@@ -1,0 +1,101 @@
+"""Observation 1 — the correctness sweep.
+
+Runs the counting protocol across every regime the paper's evaluation claims
+exactness for (closed simple, closed extended, one-way, open system, type-
+restricted) and reports the miscount of each run.  This is a benchmark rather
+than a test so the full battery's runtime is tracked alongside the figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import correctness_summary
+from repro.core.patrol import PatrolPlan
+from repro.core.protocol import ProtocolConfig
+from repro.mobility.demand import DemandConfig
+from repro.roadnet.builders import grid_network, ring_network
+from repro.roadnet.manhattan import build_midtown_grid
+from repro.sim.config import MobilityConfig, ScenarioConfig, WirelessConfig
+from repro.sim.simulator import Simulation
+from repro.surveillance.attributes import WHITE_VAN
+
+
+def run_battery():
+    runs = []
+
+    def add(name, net, config):
+        result = Simulation(net, config).run()
+        runs.append((name, result))
+
+    add(
+        "closed / simple road model",
+        grid_network(4, 4, lanes=1),
+        ScenarioConfig(
+            name="simple",
+            rng_seed=3,
+            demand=DemandConfig(volume_fraction=0.6),
+            wireless=WirelessConfig(loss_probability=0.0, attempts_per_contact=1),
+            mobility=MobilityConfig(allow_overtaking=False, admissions_per_step=1, crossing_delay_s=1.0),
+        ),
+    )
+    add(
+        "closed / lossy + overtaking + 3 seeds",
+        grid_network(4, 4, lanes=2),
+        ScenarioConfig(name="extended", rng_seed=5, num_seeds=3, demand=DemandConfig(volume_fraction=0.9)),
+    )
+    add(
+        "closed / one-way ring + patrol",
+        ring_network(8, one_way=True),
+        ScenarioConfig(name="ring", rng_seed=9, demand=DemandConfig(volume_fraction=0.8), patrol=PatrolPlan(2)),
+    )
+    add(
+        "closed / midtown one-way grid",
+        build_midtown_grid(scale=0.2),
+        ScenarioConfig(
+            name="midtown",
+            rng_seed=2014,
+            demand=DemandConfig(volume_fraction=0.8),
+            patrol=PatrolPlan(2),
+            max_duration_s=4 * 3600.0,
+        ),
+    )
+    add(
+        "open / gated grid",
+        grid_network(4, 4, lanes=2, gates_on_border=True),
+        ScenarioConfig(
+            name="open",
+            rng_seed=11,
+            num_seeds=2,
+            open_system=True,
+            demand=DemandConfig(volume_fraction=0.8),
+            settle_extra_s=60.0,
+        ),
+    )
+    add(
+        "closed / white-van target counting",
+        grid_network(4, 4, lanes=2),
+        ScenarioConfig(
+            name="white-van",
+            rng_seed=1337,
+            num_seeds=2,
+            demand=DemandConfig(volume_fraction=1.0),
+            protocol=ProtocolConfig(count_target=WHITE_VAN),
+        ),
+    )
+    return runs
+
+
+def test_correctness_battery(benchmark):
+    runs = benchmark.pedantic(run_battery, rounds=1, iterations=1)
+    print()
+    width = max(len(name) for name, _ in runs)
+    for name, result in runs:
+        print(
+            f"{name:<{width}} : truth={result.ground_truth:<4d} "
+            f"counted={result.protocol_count:<4d} error={result.miscount_error:+d} "
+            f"{'converged' if result.converged else 'NOT CONVERGED'}"
+        )
+    print(correctness_summary([r for _, r in runs]))
+    assert all(result.converged for _, result in runs)
+    assert all(result.is_exact for _, result in runs)

@@ -1,0 +1,29 @@
+"""Figure 2 — elapsed time of Alg. 3 (information constitution) in the closed
+Manhattan-midtown system, max/min/average panels over the (traffic volume x
+number of seeds) sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import figure2
+
+
+def test_fig2_closed_constitution(benchmark, bench_spec, bench_scale):
+    result = benchmark.pedantic(
+        lambda: figure2(bench_spec, scale=bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Observation 1: every run counted exactly; the sweep must also converge.
+    assert result.all_converged
+    assert result.all_exact
+    # The paper's qualitative shape: the average panel lies between min and max.
+    avg = result.panel("average")
+    mn = result.panel("minimum")
+    mx = result.panel("maximum")
+    for vol in avg.sweep.volumes:
+        for seeds in avg.sweep.seed_counts:
+            a = avg.value_minutes(vol, seeds)
+            assert mn.value_minutes(vol, seeds) <= a + 1e-9
+            assert a <= mx.value_minutes(vol, seeds) + 1e-9

@@ -1,0 +1,31 @@
+"""Figure 3 — time for the seed(s) to obtain the global view (Alg. 3 + Alg. 4)
+in the closed midtown system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import figure2, figure3
+
+
+def test_fig3_closed_collection(benchmark, bench_spec, bench_scale):
+    result = benchmark.pedantic(
+        lambda: figure3(bench_spec, scale=bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.all_converged
+    assert result.all_exact
+    # Collection completes after constitution: Fig. 3 values dominate Fig. 2's
+    # on the same scenario family (paper: 20-50 min vs 9-30 min).
+    constitution = figure2(bench_spec, scale=bench_scale)
+    coll_avg = result.panel("average")
+    cons_avg = constitution.panel("average")
+    slower_cells = 0
+    total_cells = 0
+    for vol in coll_avg.sweep.volumes:
+        for seeds in coll_avg.sweep.seed_counts:
+            total_cells += 1
+            if coll_avg.value_minutes(vol, seeds) >= cons_avg.value_minutes(vol, seeds):
+                slower_cells += 1
+    assert slower_cells >= total_cells * 0.75

@@ -1,0 +1,37 @@
+"""Figure 4 — (a) time for Alg. 5 to reach the open system's "complete
+status", (b) the same after the 15→25 mph speed-limit lift, (c) the closed
+system with the lift (compared against Fig. 2(c); paper reports 34–40% and up
+to 58% improvements respectively)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import figure2, figure4, render_speedup_comparison
+
+
+def test_fig4_open_constitution_and_speedup(benchmark, bench_spec, bench_scale):
+    result = benchmark.pedantic(
+        lambda: figure4(bench_spec, scale=bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.all_converged
+    assert result.all_exact
+
+    open_15 = result.panel("(a)")
+    open_25 = result.panel("(b)")
+    print()
+    print(render_speedup_comparison(open_15, open_25, label="Fig. 4(b) vs 4(a) [paper: 34-40% quicker]"))
+
+    closed_15 = figure2(bench_spec, scale=bench_scale).panel("average")
+    closed_25 = result.panel("(c)")
+    print(render_speedup_comparison(closed_15, closed_25, label="Fig. 4(c) vs 2(c) [paper: up to 58% quicker]"))
+
+    # Shape check: the 25 mph runs are faster on average than the 15 mph runs.
+    def mean_minutes(panel):
+        values = [v for _, row in panel.rows() for v in row]
+        return sum(values) / len(values)
+
+    assert mean_minutes(open_25) < mean_minutes(open_15)
+    assert mean_minutes(closed_25) < mean_minutes(closed_15)

@@ -1,0 +1,31 @@
+"""Figure 5 — time for the seed(s) to fetch the complete status (Alg. 5 +
+Alg. 4) in the open system, plus the 25 mph speed-up panels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import figure5, render_speedup_comparison
+
+
+def test_fig5_open_collection_and_speedup(benchmark, bench_spec, bench_scale):
+    result = benchmark.pedantic(
+        lambda: figure5(bench_spec, scale=bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.all_converged
+    assert result.all_exact
+
+    open_15 = result.panel("(a)")
+    open_25 = result.panel("(b)")
+    print()
+    print(render_speedup_comparison(open_15, open_25, label="Fig. 5(b) vs 5(a) [paper: 34-40% quicker]"))
+
+    def mean_minutes(panel):
+        values = [v for _, row in panel.rows() for v in row]
+        return sum(values) / len(values)
+
+    # Shape checks: the speed-limit lift helps, and fetching the complete
+    # status (collection) takes at least as long as reaching it.
+    assert mean_minutes(open_25) < mean_minutes(open_15)

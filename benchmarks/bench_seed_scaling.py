@@ -1,0 +1,44 @@
+"""Observation 6 — multi-seed scaling.
+
+Sweeps the number of seed checkpoints and reports the relative constitution
+and collection times versus a single seed.  The paper's finding: the speed-up
+is limited until the per-seed spanning trees evenly cover the region, which
+motivates the single cost-effective sink."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import midtown_network_factory, midtown_scenario, seed_speedup_series
+from repro.analysis.report import describe_sweep
+from repro.sim.runner import ExperimentRunner, SweepSpec
+
+
+def run_scaling(scale):
+    factory = midtown_network_factory(scale=scale)
+    base = midtown_scenario(name="seed-scaling", collection=True, rng_seed=515)
+    runner = ExperimentRunner(factory, base)
+    spec = SweepSpec(volumes=(0.6,), seed_counts=(1, 2, 4, 8), replications=2)
+    return runner.run_sweep(spec)
+
+
+def test_seed_scaling(benchmark, bench_scale):
+    sweep = benchmark.pedantic(lambda: run_scaling(bench_scale), rounds=1, iterations=1)
+    print()
+    print(describe_sweep(sweep, metric="constitution_time_s"))
+    print()
+    print(describe_sweep(sweep, metric="collection_time_s"))
+    constitution_speedup = seed_speedup_series(sweep, metric="constitution_time_s")
+    collection_speedup = seed_speedup_series(sweep, metric="collection_time_s")
+    print()
+    for seeds in sorted(constitution_speedup):
+        print(
+            f"seeds={seeds:2d}: constitution {constitution_speedup[seeds]:.2f}x, "
+            f"collection {collection_speedup[seeds]:.2f}x of the single-seed time"
+        )
+    assert sweep.all_exact
+    assert sweep.all_converged
+    # More sinks shorten the collection spanning trees noticeably...
+    assert collection_speedup[8] < 0.9
+    # ...while the paper's point stands: constitution barely improves.
+    assert constitution_speedup[8] > 0.5

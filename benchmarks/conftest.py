@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates (a reduced version of) one of the paper's tables
+or figures.  The sweeps are deliberately small — 3 traffic volumes x 2–3 seed
+counts x 1 replication on a scaled midtown network — so the whole suite runs
+in a few minutes; pass ``--paper-scale`` to use a larger region and a denser
+sweep (slow, closer to the paper's 10x10 grid).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.runner import SweepSpec
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benchmarks on a larger region with a denser sweep (slow)",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    return bool(request.config.getoption("--paper-scale"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale(paper_scale) -> float:
+    """Midtown region scale used by the benchmarks."""
+    return 0.45 if paper_scale else 0.22
+
+
+@pytest.fixture(scope="session")
+def bench_spec(paper_scale) -> SweepSpec:
+    """The (volume x seeds) sweep used by the figure benchmarks."""
+    if paper_scale:
+        return SweepSpec(volumes=(0.2, 0.4, 0.6, 0.8, 1.0), seed_counts=(1, 4, 7, 10), replications=2)
+    return SweepSpec(volumes=(0.3, 0.6, 1.0), seed_counts=(1, 4), replications=1)

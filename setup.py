@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in fully offline environments (legacy editable
+installs do not require an isolated build environment or the ``wheel``
+package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Figure regeneration and reporting for the paper's evaluation section."""
+
+from .figures import (
+    FigurePanel,
+    FigureResult,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    midtown_network_factory,
+    midtown_scenario,
+    render_speedup_comparison,
+    seed_speedup_series,
+)
+from .report import correctness_summary, describe_run, describe_sweep
+
+__all__ = [
+    "FigurePanel",
+    "FigureResult",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "midtown_network_factory",
+    "midtown_scenario",
+    "render_speedup_comparison",
+    "seed_speedup_series",
+    "correctness_summary",
+    "describe_run",
+    "describe_sweep",
+]

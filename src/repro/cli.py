@@ -1,0 +1,185 @@
+"""Command line interface.
+
+Three subcommands cover the common workflows:
+
+``run``
+    Run a single counting experiment (closed or open, any traffic volume /
+    seed count) and print its timing and accuracy summary.
+
+``figure``
+    Regenerate one of the paper's figures (2–5) as ASCII tables.  The
+    ``--quick`` flag uses the reduced sweep the benchmarks use; without it
+    the full 10x10 grid of the paper is run (slow).
+
+``validate``
+    Run a battery of correctness checks (closed, open, lossy, overtaking,
+    one-way) and report whether every configuration counted exactly —
+    the executable form of the paper's observation 1.
+
+Examples
+--------
+::
+
+    repro-count run --volume 0.6 --seeds 2 --scale 0.3
+    repro-count run --open --volume 1.0
+    repro-count figure 2 --quick
+    repro-count validate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.figures import figure2, figure3, figure4, figure5, midtown_scenario, midtown_network_factory
+from .analysis.report import correctness_summary, describe_run
+from .core.patrol import PatrolPlan
+from .mobility.demand import DemandConfig
+from .sim.config import ScenarioConfig
+from .sim.runner import SweepSpec
+from .sim.simulator import Simulation
+from .units import SPEED_LIMIT_15_MPH, SPEED_LIMIT_25_MPH
+from ._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-count",
+        description="Infrastructure-less vehicle counting (ICPP 2014) reproduction harness.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one counting experiment on the midtown network")
+    run.add_argument("--volume", type=float, default=0.6, help="traffic volume fraction (0-1]")
+    run.add_argument("--seeds", type=int, default=1, help="number of seed checkpoints")
+    run.add_argument("--scale", type=float, default=0.3, help="midtown region scale (0-1]")
+    run.add_argument("--open", action="store_true", help="open system (border interaction traffic)")
+    run.add_argument("--speed25", action="store_true", help="lift the speed limit to 25 mph")
+    run.add_argument("--rng-seed", type=int, default=2014, help="root random seed")
+    run.add_argument("--patrol", type=int, default=2, help="number of patrol cars")
+    run.add_argument("--max-minutes", type=float, default=240.0, help="simulation horizon (minutes)")
+
+    fig = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    fig.add_argument("number", type=int, choices=(2, 3, 4, 5), help="figure number")
+    fig.add_argument("--quick", action="store_true", help="reduced sweep (fast)")
+    fig.add_argument("--scale", type=float, default=0.3, help="midtown region scale")
+    fig.add_argument("--replications", type=int, default=2, help="runs per sweep cell")
+
+    val = sub.add_parser("validate", help="run the correctness battery (observation 1)")
+    val.add_argument("--rng-seed", type=int, default=7, help="root random seed")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    speed = SPEED_LIMIT_25_MPH if args.speed25 else SPEED_LIMIT_15_MPH
+    factory = midtown_network_factory(scale=args.scale, speed_limit_mps=speed, open_border=args.open)
+    base = midtown_scenario(
+        name="cli-run",
+        open_system=args.open,
+        collection=True,
+        speed_limit_mps=speed,
+        rng_seed=args.rng_seed,
+        patrol_cars=args.patrol,
+        max_duration_min=args.max_minutes,
+    )
+    config = base.with_volume(args.volume).with_seeds(args.seeds)
+    sim = Simulation(factory(), config)
+    result = sim.run()
+    print(describe_run(result))
+    return 0 if result.is_exact else 1
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.quick:
+        spec = SweepSpec(volumes=(0.2, 0.6, 1.0), seed_counts=(1, 4, 8), replications=args.replications)
+    else:
+        spec = SweepSpec.paper_full(replications=args.replications)
+    harness = {2: figure2, 3: figure3, 4: figure4, 5: figure5}[args.number]
+    result = harness(spec, scale=args.scale)
+    print(result.render())
+    return 0 if result.all_exact else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .roadnet.builders import grid_network, ring_network
+    from .sim.config import MobilityConfig, WirelessConfig
+
+    checks = []
+
+    # 1. The paper's simple road model (FIFO, lossless).
+    net = grid_network(4, 4, lanes=1)
+    cfg = ScenarioConfig(
+        name="simple-model",
+        rng_seed=args.rng_seed,
+        demand=DemandConfig(volume_fraction=0.6),
+        wireless=WirelessConfig(loss_probability=0.0, attempts_per_contact=1),
+        mobility=MobilityConfig(allow_overtaking=False, admissions_per_step=1, crossing_delay_s=1.0),
+    )
+    checks.append(("closed / simple model", Simulation(net, cfg).run()))
+
+    # 2. Extended model: lossy wireless, overtaking, multiple seeds.
+    net = grid_network(4, 4, lanes=2)
+    cfg = ScenarioConfig(
+        name="extended-model",
+        rng_seed=args.rng_seed + 1,
+        num_seeds=3,
+        demand=DemandConfig(volume_fraction=0.8),
+    )
+    checks.append(("closed / lossy + overtaking", Simulation(net, cfg).run()))
+
+    # 3. One-way ring with patrol support.
+    net = ring_network(8, one_way=True)
+    cfg = ScenarioConfig(
+        name="one-way-ring",
+        rng_seed=args.rng_seed + 2,
+        demand=DemandConfig(volume_fraction=0.8),
+        patrol=PatrolPlan(num_cars=1),
+    )
+    checks.append(("closed / one-way ring + patrol", Simulation(net, cfg).run()))
+
+    # 4. Open system with border interaction traffic.
+    net = grid_network(4, 4, lanes=2, gates_on_border=True)
+    cfg = ScenarioConfig(
+        name="open-grid",
+        rng_seed=args.rng_seed + 3,
+        num_seeds=2,
+        open_system=True,
+        demand=DemandConfig(volume_fraction=0.8),
+        settle_extra_s=120.0,
+    )
+    checks.append(("open / border interaction", Simulation(net, cfg).run()))
+
+    width = max(len(name) for name, _ in checks)
+    failures = 0
+    for name, result in checks:
+        verdict = "EXACT" if result.is_exact else f"error {result.miscount_error:+d}"
+        if not result.converged:
+            verdict += " (did not converge)"
+        if not result.is_exact or not result.converged:
+            failures += 1
+        print(f"{name:<{width}} : truth={result.ground_truth:<4d} counted={result.protocol_count:<4d} {verdict}")
+    print(correctness_summary([r for _, r in checks]))
+    return 0 if failures == 0 else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

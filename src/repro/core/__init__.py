@@ -1,0 +1,54 @@
+"""The paper's contribution: the infrastructure-less counting protocol.
+
+Algorithm map:
+
+* Alg. 1 / 3 / 5 — :class:`Checkpoint` (state machine) driven by
+  :class:`CountingProtocol` (event glue).
+* Alg. 2 / 4 — :class:`CollectionManager` with patrol support from
+  :mod:`repro.core.patrol`.
+* Baselines and the Chandy–Lamport reference implementation live in
+  :mod:`repro.core.baselines` and :mod:`repro.core.snapshot`.
+"""
+
+from .baselines import (
+    BaselineResult,
+    NaiveCheckpointCounting,
+    OracleCount,
+    SingleCheckpointEstimator,
+)
+from .checkpoint import Checkpoint, CheckpointCounters, DirectionState
+from .collection import CollectionManager, CollectionStats
+from .convergence import ConvergenceMonitor, OrphanReport
+from .patrol import CyclePatrolRouter, PatrolPlan, build_patrol_cycle, cycle_length_m
+from .protocol import AdjustmentMode, CountingProtocol, ProtocolConfig, ProtocolStats
+from .seeds import SEED_STRATEGIES, central_seed, random_seeds, select_seeds, spread_seeds
+from .snapshot import MessageSystem, SnapshotResult
+
+__all__ = [
+    "BaselineResult",
+    "NaiveCheckpointCounting",
+    "OracleCount",
+    "SingleCheckpointEstimator",
+    "Checkpoint",
+    "CheckpointCounters",
+    "DirectionState",
+    "CollectionManager",
+    "CollectionStats",
+    "ConvergenceMonitor",
+    "OrphanReport",
+    "CyclePatrolRouter",
+    "PatrolPlan",
+    "build_patrol_cycle",
+    "cycle_length_m",
+    "AdjustmentMode",
+    "CountingProtocol",
+    "ProtocolConfig",
+    "ProtocolStats",
+    "SEED_STRATEGIES",
+    "central_seed",
+    "random_seeds",
+    "select_seeds",
+    "spread_seeds",
+    "MessageSystem",
+    "SnapshotResult",
+]

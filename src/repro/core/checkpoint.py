@@ -1,0 +1,383 @@
+"""Checkpoint state machine (Algorithms 1, 3 and 5).
+
+Each intersection hosts one :class:`Checkpoint`.  The checkpoint is the
+paper's "everyone model" participant: it runs the same generic process
+everywhere, driven purely by what it can observe locally —
+
+* the camera observations of vehicles entering the intersection,
+* the labels / reports / patrol digests delivered by V2I exchanges,
+* its own static neighbourhood ``n_i(u)`` / ``n_o(u)``.
+
+The six phases of Alg. 1 map onto methods as follows:
+
+========  =====================================================================
+Phase 1   :meth:`activate_as_seed` — the seed activates counting of every
+          inbound direction.
+Phase 2   :meth:`needs_label` / :meth:`mark_label_issued` — after activation
+          the first vehicle joining *each* outbound traffic flow is labelled
+          (see DESIGN.md note 1: the label toward the predecessor is the
+          backwash "stop" signal).
+Phase 3   :meth:`receive_label` on an inactive checkpoint — record the
+          predecessor, exempt that inbound direction, start counting every
+          other inbound direction.
+Phase 4   :meth:`receive_label` on an active checkpoint — stop counting the
+          direction the labelled vehicle arrived from.
+Phase 5   :meth:`should_count` / :meth:`record_count` — count unlabelled
+          vehicles on inbound directions whose counting is active.
+Phase 6   :attr:`stable` / :meth:`refresh_stability` — the local view
+          ``c(u)`` stabilizes once every activated inbound counting ended.
+========  =====================================================================
+
+Alg. 3's extensions appear as the correction bookkeeping
+(:meth:`record_correction`, :attr:`label_failures`) and Alg. 5's open-system
+extension as the interaction counters
+(:meth:`record_interaction_entry` / :meth:`record_interaction_exit`), which a
+border checkpoint activates together with its regular counting and never
+stops.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ProtocolError
+
+__all__ = ["DirectionState", "CheckpointCounters", "Checkpoint"]
+
+
+class DirectionState(enum.Enum):
+    """Lifecycle of the counting of one inbound direction ``u <- v``."""
+
+    #: Checkpoint not yet active; no counting configured for this direction.
+    IDLE = "idle"
+    #: Counting in progress (phase 5 applies to vehicles from this direction).
+    COUNTING = "counting"
+    #: Counting ended (phase 4: a label/patrol arrived from this direction).
+    STOPPED = "stopped"
+    #: Never counted: this is the predecessor direction (phase 3 exempts it).
+    EXEMPT = "exempt"
+
+
+@dataclass
+class CheckpointCounters:
+    """A snapshot of one checkpoint's counters, used by metrics and reports."""
+
+    node: object
+    per_direction: Dict[object, int]
+    adjustments: int
+    interaction_in: int
+    interaction_out: int
+
+    @property
+    def non_interaction(self) -> int:
+        """``c(u)`` restricted to regular (non-interaction) inbound traffic."""
+        return sum(self.per_direction.values()) + self.adjustments
+
+    @property
+    def total(self) -> int:
+        """Full local contribution including interaction traffic (Alg. 5)."""
+        return self.non_interaction + self.interaction_in - self.interaction_out
+
+
+class Checkpoint:
+    """Protocol state of the checkpoint deployed at one intersection.
+
+    Parameters
+    ----------
+    node:
+        The intersection this checkpoint monitors.
+    inbound:
+        ``n_i(u)`` — tails of the directed segments flowing into ``node``.
+    outbound:
+        ``n_o(u)`` — heads of the directed segments leaving ``node``.
+    is_border:
+        Whether the intersection carries interaction traffic (open system).
+    """
+
+    def __init__(
+        self,
+        node: object,
+        inbound: Sequence[object],
+        outbound: Sequence[object],
+        *,
+        is_border: bool = False,
+    ) -> None:
+        self.node = node
+        self.inbound: List[object] = list(inbound)
+        self.outbound: List[object] = list(outbound)
+        self.is_border = bool(is_border)
+
+        # --- activation state -------------------------------------------------
+        self.active: bool = False
+        self.is_seed: bool = False
+        self.activated_at: Optional[float] = None
+        self.predecessor: Optional[object] = None
+        self.tree_id: Optional[object] = None
+
+        # --- counting state ----------------------------------------------------
+        self.direction_state: Dict[object, DirectionState] = {
+            v: DirectionState.IDLE for v in self.inbound
+        }
+        self.counters: Dict[object, int] = {v: 0 for v in self.inbound}
+        self.adjustments: int = 0
+        self.stopped_at: Dict[object, float] = {}
+        self.stabilized_at: Optional[float] = None
+
+        # --- interaction (open system, Alg. 5) ---------------------------------
+        self.interaction_active: bool = False
+        self.interaction_in: int = 0
+        self.interaction_out: int = 0
+
+        # --- neighbour synchronization (phase 2) --------------------------------
+        self.pending_labels: Dict[object, bool] = {}
+        self.labels_issued: int = 0
+        self.label_failures: int = 0
+
+        # --- spanning-tree knowledge (collection support) -----------------------
+        #: neighbour -> its predecessor (``None`` marks a seed); a key being
+        #: present means "p(neighbour) is known here".
+        self.known_parents: Dict[object, Optional[object]] = {}
+
+    # ---------------------------------------------------------------- phases
+    def activate_as_seed(self, time_s: float, tree_id: Optional[object] = None) -> None:
+        """Phase 1: initialize an inactive seed checkpoint."""
+        if self.active:
+            raise ProtocolError(f"checkpoint {self.node!r} is already active")
+        self.is_seed = True
+        self.tree_id = tree_id if tree_id is not None else self.node
+        self._activate(predecessor=None, time_s=time_s)
+
+    def activate_from(
+        self,
+        predecessor: object,
+        time_s: float,
+        *,
+        tree_id: Optional[object] = None,
+    ) -> None:
+        """Phase 3: propagation to an inactive non-seed checkpoint."""
+        if self.active:
+            raise ProtocolError(f"checkpoint {self.node!r} is already active")
+        if predecessor not in self.inbound:
+            raise ProtocolError(
+                f"checkpoint {self.node!r} cannot be activated from {predecessor!r}: "
+                "no such inbound direction"
+            )
+        self.tree_id = tree_id
+        self._activate(predecessor=predecessor, time_s=time_s)
+
+    def _activate(self, predecessor: Optional[object], time_s: float) -> None:
+        self.active = True
+        self.activated_at = time_s
+        self.predecessor = predecessor
+        for v in self.inbound:
+            if predecessor is not None and v == predecessor:
+                self.direction_state[v] = DirectionState.EXEMPT
+            else:
+                self.direction_state[v] = DirectionState.COUNTING
+        # Phase 2: the first vehicle joining *every* outbound traffic flow
+        # must be labelled (activation for inactive neighbours, backwash/stop
+        # for active ones — including the predecessor).
+        self.pending_labels = {v: True for v in self.outbound}
+        if self.is_border:
+            self.interaction_active = True
+        self.refresh_stability(time_s)
+
+    def receive_label(
+        self,
+        origin: object,
+        *,
+        origin_parent: Optional[object],
+        tree_id: Optional[object],
+        time_s: float,
+        adjustment: int = 0,
+    ) -> str:
+        """Handle a frontier/backwash label delivered from ``origin``.
+
+        Returns one of ``"activated"``, ``"stopped"`` or ``"noop"`` describing
+        what the label did here.  ``adjustment`` is the ±1 delta carried by
+        the label in the literal "paper" adjustment mode (Alg. 3 lines 7–8).
+        """
+        # The label always teaches us who the origin's predecessor is (used
+        # for spanning-tree child discovery, DESIGN.md note 2).
+        self.known_parents.setdefault(origin, origin_parent)
+        if adjustment:
+            self.adjustments += adjustment
+        if not self.active:
+            self.activate_from(origin, time_s, tree_id=tree_id)
+            return "activated"
+        if origin in self.direction_state:
+            return self.stop_direction(origin, time_s)
+        return "noop"
+
+    def receive_patrol_status(
+        self,
+        origin: object,
+        *,
+        origin_parent: Optional[object],
+        tree_id: Optional[object],
+        time_s: float,
+    ) -> str:
+        """Handle a patrol car arriving from an *active* checkpoint ``origin``.
+
+        The patrol car has the same effect as a labelled vehicle (Theorem 3):
+        every vehicle behind it on the segment ``origin -> node`` passed
+        ``origin`` while it was counting, so it is safe to stop (or, for an
+        inactive checkpoint, to activate) the corresponding direction.
+        """
+        return self.receive_label(
+            origin,
+            origin_parent=origin_parent,
+            tree_id=tree_id,
+            time_s=time_s,
+            adjustment=0,
+        )
+
+    def stop_direction(self, origin: object, time_s: float) -> str:
+        """Phase 4: end the local counting of the inbound direction ``u <- origin``."""
+        state = self.direction_state.get(origin)
+        if state is None:
+            raise ProtocolError(
+                f"checkpoint {self.node!r} has no inbound direction from {origin!r}"
+            )
+        if state is DirectionState.COUNTING:
+            self.direction_state[origin] = DirectionState.STOPPED
+            self.stopped_at[origin] = time_s
+            self.refresh_stability(time_s)
+            return "stopped"
+        return "noop"
+
+    # -------------------------------------------------------------- counting
+    def should_count(self, from_node: Optional[object]) -> bool:
+        """Phase 5 guard: is counting active for the given inbound direction?"""
+        if not self.active or from_node is None:
+            return False
+        return self.direction_state.get(from_node) is DirectionState.COUNTING
+
+    def record_count(self, from_node: object) -> None:
+        """Phase 5: count one vehicle entering via ``u <- from_node``."""
+        if from_node not in self.counters:
+            raise ProtocolError(
+                f"checkpoint {self.node!r} has no counter for direction {from_node!r}"
+            )
+        self.counters[from_node] += 1
+
+    def record_correction(self, delta: int) -> None:
+        """Apply a ±1 correction (Alg. 3 lines 3, 7, 8)."""
+        self.adjustments += int(delta)
+
+    def record_label_failure(self) -> None:
+        """Alg. 3 line 3: a labeling exchange with a departing vehicle failed."""
+        self.label_failures += 1
+
+    # ------------------------------------------------------------ interaction
+    def record_interaction_entry(self) -> bool:
+        """Alg. 5: a vehicle entered the open system here.  Returns whether it
+        was counted (only when interaction counting is already active)."""
+        if not self.is_border:
+            raise ProtocolError(f"checkpoint {self.node!r} is not on the border")
+        if not self.interaction_active:
+            return False
+        self.interaction_in += 1
+        return True
+
+    def record_interaction_exit(self) -> bool:
+        """Alg. 5: a vehicle left the open system here.  Returns whether the
+        departure was recorded (interaction counting active)."""
+        if not self.is_border:
+            raise ProtocolError(f"checkpoint {self.node!r} is not on the border")
+        if not self.interaction_active:
+            return False
+        self.interaction_out += 1
+        return True
+
+    # ----------------------------------------------------------- phase 2 API
+    def needs_label(self, to_node: object) -> bool:
+        """Whether the next vehicle departing toward ``to_node`` must be labelled."""
+        return self.active and self.pending_labels.get(to_node, False)
+
+    def mark_label_issued(self, to_node: object) -> None:
+        """The labeling exchange for direction ``node -> to_node`` succeeded."""
+        if to_node not in self.pending_labels:
+            raise ProtocolError(
+                f"checkpoint {self.node!r} has no outbound direction toward {to_node!r}"
+            )
+        self.pending_labels[to_node] = False
+        self.labels_issued += 1
+
+    # ------------------------------------------------------------- stability
+    @property
+    def stable(self) -> bool:
+        """Phase 6: every activated inbound counting has ended.
+
+        Interaction counting (Alg. 5) intentionally never ends and is not
+        part of this condition.
+        """
+        if not self.active:
+            return False
+        return all(
+            state in (DirectionState.STOPPED, DirectionState.EXEMPT)
+            for state in self.direction_state.values()
+        )
+
+    def refresh_stability(self, time_s: float) -> None:
+        """Record the stabilization time the first time :attr:`stable` holds."""
+        if self.stabilized_at is None and self.stable:
+            self.stabilized_at = time_s
+
+    def counting_directions(self) -> List[object]:
+        """Inbound directions whose counting is still in progress."""
+        return [
+            v for v, s in self.direction_state.items() if s is DirectionState.COUNTING
+        ]
+
+    # ---------------------------------------------------------------- counts
+    def snapshot(self) -> CheckpointCounters:
+        """An immutable snapshot of the current counters."""
+        return CheckpointCounters(
+            node=self.node,
+            per_direction=dict(self.counters),
+            adjustments=self.adjustments,
+            interaction_in=self.interaction_in,
+            interaction_out=self.interaction_out,
+        )
+
+    def non_interaction_count(self) -> int:
+        """``c(u)``: the stabilizing local count of regular inbound traffic."""
+        return sum(self.counters.values()) + self.adjustments
+
+    def local_count(self) -> int:
+        """The checkpoint's full contribution to the global view (Alg. 5 adds
+        the live interaction balance)."""
+        return self.non_interaction_count() + self.interaction_in - self.interaction_out
+
+    # ----------------------------------------------------- spanning-tree info
+    def note_parent_of(self, neighbor: object, parent: Optional[object]) -> None:
+        """Record (from a patrol digest) the predecessor of a neighbour."""
+        self.known_parents.setdefault(neighbor, parent)
+
+    def children(self) -> List[object]:
+        """Outbound neighbours known to have chosen this checkpoint as predecessor."""
+        return [v for v in self.outbound if self.known_parents.get(v, _UNKNOWN) == self.node]
+
+    def knows_all_outbound_parents(self) -> bool:
+        """Whether p(v) is known for every outbound neighbour ``v``."""
+        return all(v in self.known_parents for v in self.outbound)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        status = "seed" if self.is_seed else ("active" if self.active else "inactive")
+        return (
+            f"<Checkpoint {self.node!r} {status} c={self.local_count()} "
+            f"stable={self.stable}>"
+        )
+
+
+class _Unknown:
+    """Sentinel distinguishing 'parent unknown' from 'parent is None (seed)'."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<unknown>"
+
+
+_UNKNOWN = _Unknown()

@@ -1,0 +1,174 @@
+"""Police patrol support — Theorems 3 & 4 and Algorithm 4.
+
+Two things can block convergence of the in-band protocol:
+
+* an *orphan* directed segment that no vehicle happens to use after its tail
+  checkpoint activates (the "odd traffic pattern" deadlock of Section IV-B),
+* a one-way predecessor relation, which makes the Alg. 2 report hop
+  impossible for ordinary traffic.
+
+The paper resolves both with police patrol cars that drive a fixed cycle
+covering every checkpoint, carry the on/off statuses of the checkpoints they
+pass, and ferry collection reports along circuitous routes.  Theorem 4
+guarantees such a cycle exists in any (strongly connected) closed road
+system — not necessarily a Hamiltonian cycle, so checkpoints may be visited
+more than once.
+
+This module provides:
+
+* :func:`build_patrol_cycle` — a covering closed walk over the directed road
+  graph (DFS order of the nodes stitched together with shortest paths),
+* :class:`CyclePatrolRouter` — a router that drives that walk forever,
+* :class:`PatrolPlan` — how many cars to deploy and where they start
+  (evenly spaced along the cycle, as the paper prescribes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import networkx as nx
+
+from ..errors import PatrolError
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.routing import RoutePlan, Router
+
+__all__ = ["build_patrol_cycle", "CyclePatrolRouter", "PatrolPlan", "cycle_length_m"]
+
+
+def build_patrol_cycle(net: RoadNetwork, *, start: Optional[object] = None) -> List[object]:
+    """A closed walk visiting every intersection at least once (Theorem 4).
+
+    The walk visits the intersections in DFS pre-order from ``start`` and
+    connects consecutive targets (and finally the last target back to the
+    start) with shortest directed paths.  It is not length-optimal — the
+    paper does not require it to be — but it is a valid patrol cycle on any
+    strongly connected network.
+
+    Returns the node sequence of the walk; the first node equals the last
+    conceptually (the returned list does not repeat it).
+    """
+    g = net.to_networkx()
+    nodes = list(net.nodes)
+    if start is None:
+        start = nodes[0]
+    if not net.has_node(start):
+        raise PatrolError(f"patrol start {start!r} is not an intersection")
+    if not nx.is_strongly_connected(g):
+        raise PatrolError("patrol cycle requires a strongly connected road network")
+
+    order = list(nx.dfs_preorder_nodes(nx.Graph(g.to_undirected(as_view=True)), source=start))
+    # Make sure every node appears (isolated direction quirks cannot occur on
+    # a validated network, but be defensive).
+    missing = [n for n in nodes if n not in set(order)]
+    order.extend(missing)
+
+    walk: List[object] = [start]
+    current = start
+    for target in order:
+        if target == current:
+            continue
+        path = nx.shortest_path(g, current, target, weight="length_m")
+        walk.extend(path[1:])
+        current = target
+    if current != start:
+        back = nx.shortest_path(g, current, start, weight="length_m")
+        walk.extend(back[1:])
+    # The walk now starts and ends at ``start``; drop the duplicate final node.
+    if len(walk) > 1 and walk[-1] == start:
+        walk.pop()
+    if len(walk) < 2:
+        raise PatrolError("patrol cycle degenerated to a single intersection")
+    return walk
+
+
+def cycle_length_m(net: RoadNetwork, cycle: Sequence[object]) -> float:
+    """Total driving distance of one lap of the patrol cycle."""
+    total = 0.0
+    n = len(cycle)
+    for i in range(n):
+        tail, head = cycle[i], cycle[(i + 1) % n]
+        total += net.segment(tail, head).length_m
+    return total
+
+
+class CyclePatrolRouter(Router):
+    """Router that drives a fixed closed walk forever.
+
+    ``offset`` selects where along the walk the patrol car starts, so several
+    cars can share one cycle while staying evenly spaced.
+    """
+
+    def __init__(
+        self,
+        net: RoadNetwork,
+        rng: np.random.Generator,
+        cycle: Sequence[object],
+        *,
+        offset: int = 0,
+    ) -> None:
+        super().__init__(net, rng)
+        if len(cycle) < 2:
+            raise PatrolError("a patrol cycle needs at least two intersections")
+        self.cycle = list(cycle)
+        self._index = offset % len(self.cycle)
+        for tail, head in zip(self.cycle, self.cycle[1:] + self.cycle[:1]):
+            if not net.has_segment(tail, head):
+                raise PatrolError(f"patrol cycle uses missing segment {tail!r}->{head!r}")
+
+    @property
+    def start_node(self) -> object:
+        """The intersection this patrol car should be inserted at."""
+        return self.cycle[self._index]
+
+    def plan_from(self, node: object) -> RoutePlan:
+        return RoutePlan(waypoints=[self._next_after(node)])
+
+    def next_hop(self, node: object, plan: RoutePlan, previous: Optional[object] = None) -> object:
+        return self._next_after(node)
+
+    def _next_after(self, node: object) -> object:
+        # Advance the cursor to the cycle position matching ``node`` (patrol
+        # cars never leave the cycle, so the cursor only moves forward).
+        n = len(self.cycle)
+        for probe in range(n):
+            idx = (self._index + probe) % n
+            if self.cycle[idx] == node:
+                self._index = (idx + 1) % n
+                return self.cycle[self._index]
+        raise PatrolError(f"patrol car is at {node!r}, which is not on its cycle")
+
+
+@dataclass(frozen=True)
+class PatrolPlan:
+    """How patrol support is deployed for a scenario.
+
+    ``num_cars == 0`` disables patrols entirely (sufficient on purely
+    bidirectional networks with dense traffic, per the paper's observation
+    5).  When cars are deployed they share a single covering cycle and start
+    evenly spaced along it.
+    """
+
+    num_cars: int = 0
+    speed_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_cars < 0:
+            raise PatrolError("num_cars cannot be negative")
+        if self.speed_factor <= 0:
+            raise PatrolError("speed_factor must be positive")
+
+    def routers(
+        self, net: RoadNetwork, rng: np.random.Generator
+    ) -> List[CyclePatrolRouter]:
+        """Build one router per patrol car, evenly spaced along the cycle."""
+        if self.num_cars == 0:
+            return []
+        cycle = build_patrol_cycle(net)
+        spacing = max(1, len(cycle) // self.num_cars)
+        return [
+            CyclePatrolRouter(net, rng, cycle, offset=i * spacing)
+            for i in range(self.num_cars)
+        ]

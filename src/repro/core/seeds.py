@@ -1,0 +1,97 @@
+"""Seed checkpoint selection strategies.
+
+The paper initiates counting at one or more *seed* checkpoints (also the
+data sinks) and, in the multi-seed extension, observes that adding seeds only
+helps once their spanning trees "evenly cover the entire target region"
+(observation 6).  The evaluation picks seeds "randomly ... from the available
+checkpoints"; the additional strategies here are used by the seed-scaling
+benchmark to study that observation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..roadnet.graph import RoadNetwork
+
+__all__ = ["select_seeds", "random_seeds", "spread_seeds", "central_seed", "SEED_STRATEGIES"]
+
+
+def random_seeds(net: RoadNetwork, count: int, rng: np.random.Generator) -> List[object]:
+    """The paper's choice: ``count`` distinct intersections, uniformly at random."""
+    nodes = list(net.nodes)
+    _check_count(count, len(nodes))
+    idx = rng.choice(len(nodes), size=count, replace=False)
+    return [nodes[int(i)] for i in idx]
+
+
+def central_seed(net: RoadNetwork) -> List[object]:
+    """The single intersection closest to the geometric centre of the region.
+
+    Used by the examples as the natural single-sink deployment the paper's
+    observation 6 recommends.
+    """
+    nodes = list(net.nodes)
+    positions = np.asarray([net.position(n) for n in nodes], dtype=float)
+    centre = positions.mean(axis=0)
+    dists = np.linalg.norm(positions - centre, axis=1)
+    return [nodes[int(np.argmin(dists))]]
+
+
+def spread_seeds(net: RoadNetwork, count: int, rng: np.random.Generator) -> List[object]:
+    """Greedy farthest-point seeds, approximating an even spatial cover.
+
+    The first seed is random; every subsequent seed is the intersection that
+    maximizes the minimum Euclidean distance to the seeds chosen so far.
+    """
+    nodes = list(net.nodes)
+    _check_count(count, len(nodes))
+    positions = np.asarray([net.position(n) for n in nodes], dtype=float)
+    chosen = [int(rng.integers(len(nodes)))]
+    while len(chosen) < count:
+        dists = np.full(len(nodes), np.inf)
+        for idx in chosen:
+            d = np.linalg.norm(positions - positions[idx], axis=1)
+            dists = np.minimum(dists, d)
+        for idx in chosen:
+            dists[idx] = -1.0
+        chosen.append(int(np.argmax(dists)))
+    return [nodes[i] for i in chosen]
+
+
+def select_seeds(
+    net: RoadNetwork,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    strategy: str = "random",
+) -> List[object]:
+    """Select ``count`` seed checkpoints with the given strategy.
+
+    Strategies: ``"random"`` (paper default), ``"spread"`` (farthest point),
+    ``"central"`` (single central sink; ``count`` must be 1).
+    """
+    if strategy == "random":
+        return random_seeds(net, count, rng)
+    if strategy == "spread":
+        return spread_seeds(net, count, rng)
+    if strategy == "central":
+        if count != 1:
+            raise ConfigurationError("the 'central' strategy selects exactly one seed")
+        return central_seed(net)
+    raise ConfigurationError(f"unknown seed strategy {strategy!r}")
+
+
+SEED_STRATEGIES = ("random", "spread", "central")
+
+
+def _check_count(count: int, available: int) -> None:
+    if count < 1:
+        raise ConfigurationError("at least one seed is required")
+    if count > available:
+        raise ConfigurationError(
+            f"requested {count} seeds but the network only has {available} intersections"
+        )

@@ -1,0 +1,200 @@
+"""Chandy–Lamport distributed snapshots (the paper's reference [1]).
+
+The counting protocol is "motivated by the early work [Chandy & Lamport
+1985] to capture a consistent global status (also called a 'snapshot') with a
+distributed algorithm".  This module contains a small, self-contained
+implementation of that classic algorithm over an abstract message-passing
+system.  It is not used by the traffic protocol at run time; it exists to
+
+* document the correspondence (markers ↔ labelled vehicles, channel state ↔
+  vehicles in flight on a road segment, process state ↔ a checkpoint's local
+  counter), and
+* provide an executable reference whose invariants are property-tested, so
+  the conceptual foundation of the reproduction is itself verified.
+
+The system model: processes hold an integer *balance* and exchange *transfer*
+messages over FIFO channels.  A snapshot is consistent iff the sum of the
+recorded process balances plus the recorded in-flight transfers equals the
+(conserved) total amount — the exact analogue of "counted vehicles plus
+vehicles still ahead of the frontier equals the fleet".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+
+__all__ = ["Marker", "Transfer", "Process", "MessageSystem", "SnapshotResult"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """An application message moving ``amount`` between process balances."""
+
+    amount: int
+
+
+@dataclass(frozen=True)
+class Marker:
+    """The snapshot marker (the analogue of the paper's one-bit label)."""
+
+    initiator: object
+
+
+@dataclass
+class SnapshotResult:
+    """Recorded state once the snapshot completes."""
+
+    process_states: Dict[object, int] = field(default_factory=dict)
+    channel_states: Dict[Tuple[object, object], List[int]] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.process_states.values()) + sum(
+            sum(v) for v in self.channel_states.values()
+        )
+
+
+class Process:
+    """One participant in the message-passing system."""
+
+    def __init__(self, pid: object, balance: int) -> None:
+        self.pid = pid
+        self.balance = int(balance)
+        self.recorded_state: Optional[int] = None
+        #: channel -> list of transfers recorded while the channel was open
+        self.recording: Dict[object, List[int]] = {}
+        #: channels (by source pid) from which a marker has been received
+        self.marker_from: set = set()
+
+    @property
+    def has_recorded(self) -> bool:
+        return self.recorded_state is not None
+
+    def record_own_state(self) -> None:
+        self.recorded_state = self.balance
+
+
+class MessageSystem:
+    """A FIFO message-passing system running the Chandy–Lamport algorithm.
+
+    The caller drives the system explicitly: :meth:`send` puts application
+    transfers on a channel, :meth:`deliver_one` delivers the oldest message of
+    a channel, :meth:`start_snapshot` makes a process record and emit markers.
+    Determinism is entirely in the caller's hands, which is what the property
+    tests need to explore interleavings.
+    """
+
+    def __init__(self, balances: Dict[object, int]) -> None:
+        if not balances:
+            raise ProtocolError("a message system needs at least one process")
+        self.processes: Dict[object, Process] = {
+            pid: Process(pid, amount) for pid, amount in balances.items()
+        }
+        self.channels: Dict[Tuple[object, object], Deque[object]] = {}
+        for src in balances:
+            for dst in balances:
+                if src != dst:
+                    self.channels[(src, dst)] = deque()
+        self.initial_total = sum(balances.values())
+        self.snapshot_started = False
+
+    # ------------------------------------------------------------- messaging
+    def send(self, src: object, dst: object, amount: int) -> None:
+        """Transfer ``amount`` from ``src`` to ``dst`` (asynchronously)."""
+        proc = self.processes[src]
+        if amount < 0 or amount > proc.balance:
+            raise ProtocolError(f"process {src!r} cannot send {amount}")
+        proc.balance -= amount
+        self.channels[(src, dst)].append(Transfer(amount))
+
+    def deliver_one(self, src: object, dst: object) -> Optional[object]:
+        """Deliver the oldest message on channel ``src -> dst`` (FIFO)."""
+        channel = self.channels[(src, dst)]
+        if not channel:
+            return None
+        msg = channel.popleft()
+        receiver = self.processes[dst]
+        if isinstance(msg, Transfer):
+            receiver.balance += msg.amount
+            # Record in-flight transfers on channels still being recorded.
+            if receiver.has_recorded and src not in receiver.marker_from:
+                receiver.recording.setdefault(src, []).append(msg.amount)
+        elif isinstance(msg, Marker):
+            self._handle_marker(src, receiver)
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unknown message {msg!r}")
+        return msg
+
+    def _handle_marker(self, src: object, receiver: Process) -> None:
+        if not receiver.has_recorded:
+            receiver.record_own_state()
+            receiver.recording.setdefault(src, [])  # channel recorded as empty
+            receiver.marker_from.add(src)
+            self._emit_markers(receiver.pid)
+        else:
+            receiver.marker_from.add(src)
+
+    def _emit_markers(self, pid: object) -> None:
+        for (src, dst), channel in self.channels.items():
+            if src == pid:
+                channel.append(Marker(initiator=pid))
+
+    # -------------------------------------------------------------- snapshot
+    def start_snapshot(self, initiator: object) -> None:
+        """The initiator records its state and floods markers (analogue of the
+        seed checkpoint starting to count)."""
+        proc = self.processes[initiator]
+        if proc.has_recorded:
+            raise ProtocolError(f"process {initiator!r} already recorded")
+        proc.record_own_state()
+        self._emit_markers(initiator)
+        self.snapshot_started = True
+
+    def snapshot_complete(self) -> bool:
+        """The snapshot is done when every process has recorded its state and
+        received a marker on every inbound channel."""
+        if not self.snapshot_started:
+            return False
+        for proc in self.processes.values():
+            if not proc.has_recorded:
+                return False
+            inbound = {src for (src, dst) in self.channels if dst == proc.pid}
+            if not inbound.issubset(proc.marker_from):
+                return False
+        return True
+
+    def drain_until_complete(self, max_rounds: int = 10_000) -> None:
+        """Keep delivering messages round-robin until the snapshot completes."""
+        rounds = 0
+        while not self.snapshot_complete():
+            progressed = False
+            for key in self.channels:
+                if self.channels[key]:
+                    self.deliver_one(*key)
+                    progressed = True
+            rounds += 1
+            if not progressed or rounds > max_rounds:
+                raise ProtocolError("snapshot did not complete (no messages left to deliver)")
+
+    def result(self) -> SnapshotResult:
+        """The recorded snapshot (raises if it is not complete yet)."""
+        if not self.snapshot_complete():
+            raise ProtocolError("snapshot is not complete")
+        out = SnapshotResult()
+        for pid, proc in self.processes.items():
+            out.process_states[pid] = int(proc.recorded_state)  # type: ignore[arg-type]
+        for (src, dst) in self.channels:
+            recorded = self.processes[dst].recording.get(src, [])
+            out.channel_states[(src, dst)] = list(recorded)
+        return out
+
+    def current_total(self) -> int:
+        """Total amount currently held by processes and channels (conserved)."""
+        total = sum(p.balance for p in self.processes.values())
+        for channel in self.channels.values():
+            total += sum(m.amount for m in channel if isinstance(m, Transfer))
+        return total

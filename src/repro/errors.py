@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors (``TypeError``, ``KeyError`` from
+unrelated code, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "RoadNetworkError",
+    "RoutingError",
+    "MobilityError",
+    "WirelessError",
+    "ProtocolError",
+    "CollectionError",
+    "PatrolError",
+    "ConvergenceError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario / component configuration is inconsistent or out of range."""
+
+
+class RoadNetworkError(ReproError):
+    """The road network is malformed (disconnected, bad attributes, ...)."""
+
+
+class RoutingError(ReproError):
+    """No route could be produced between the requested end points."""
+
+
+class MobilityError(ReproError):
+    """The traffic engine was asked to do something impossible."""
+
+
+class WirelessError(ReproError):
+    """Invalid use of the wireless substrate."""
+
+
+class ProtocolError(ReproError):
+    """The counting protocol reached an inconsistent state.
+
+    This error indicates a bug (either in the protocol implementation or in a
+    caller driving checkpoints by hand); it is never raised during a normal
+    simulation run.
+    """
+
+
+class CollectionError(ReproError):
+    """The information-collection phase (Alg. 2 / Alg. 4) failed."""
+
+
+class PatrolError(ReproError):
+    """Patrol route construction failed (e.g. the network is not strongly
+    connected, so Theorem 4's covering cycle does not exist)."""
+
+
+class ConvergenceError(ReproError):
+    """A simulation did not converge within the allotted horizon."""
+
+
+class ExperimentError(ReproError):
+    """An experiment sweep was misconfigured or produced inconsistent data."""

@@ -1,0 +1,38 @@
+"""Traffic microsimulation substrate (the SUMO substitute).
+
+The engine turns a static :class:`~repro.roadnet.RoadNetwork` plus a demand
+model into the event stream the counting protocol consumes: crossings,
+overtakes and open-system entries/exits.
+"""
+
+from .car_following import LaneChangeModel, SimplifiedIDM
+from .demand import DemandConfig, DemandModel, VehicleSpec
+from .engine import EngineStats, TrafficEngine
+from .events import CrossingEvent, EntryEvent, ExitEvent, OvertakeEvent, TrafficEvent
+from .intersections import IntersectionPolicy, extended_policy, roundabout_policy, simple_policy
+from .trace import TraceRecord, TraceRecorder
+from .vehicle import MIN_GAP_M, VEHICLE_LENGTH_M, Vehicle
+
+__all__ = [
+    "LaneChangeModel",
+    "SimplifiedIDM",
+    "DemandConfig",
+    "DemandModel",
+    "VehicleSpec",
+    "EngineStats",
+    "TrafficEngine",
+    "CrossingEvent",
+    "EntryEvent",
+    "ExitEvent",
+    "OvertakeEvent",
+    "TrafficEvent",
+    "IntersectionPolicy",
+    "extended_policy",
+    "roundabout_policy",
+    "simple_policy",
+    "TraceRecord",
+    "TraceRecorder",
+    "MIN_GAP_M",
+    "VEHICLE_LENGTH_M",
+    "Vehicle",
+]

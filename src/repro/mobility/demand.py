@@ -1,0 +1,221 @@
+"""Traffic demand generation.
+
+The paper sweeps "different traffic volumes changing from 10% to 100% of the
+average [daily traffic]".  Demand here has two parts:
+
+* the **closed-system fleet**: a fixed number of vehicles placed uniformly on
+  the network at t = 0 and driving forever (random-waypoint by default).  The
+  100% fleet size is derived from a vehicles-per-kilometre density over the
+  directed road length, so the same volume fraction means the same congestion
+  level on any network size.
+* the **open-system flows**: in addition to an initial interior fleet, new
+  vehicles enter through border gates as Poisson arrivals, a configurable
+  fraction of them *through traffic* that exits at another gate (the paper's
+  observation 3 calls out New York's heavy through traffic).
+
+Both are driven by :class:`DemandModel`, which only produces *specifications*
+(how many vehicles, where, with which router); the engine owns actual
+insertion so that entry events are properly ordered with everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.routing import FixedTripRouter, RandomTurnRouter, RandomWaypointRouter, Router
+from ..surveillance.attributes import ExteriorSignature, random_signature
+
+__all__ = ["DemandConfig", "VehicleSpec", "DemandModel"]
+
+
+@dataclass(frozen=True)
+class VehicleSpec:
+    """Specification of one vehicle the engine should insert.
+
+    ``origin`` is the intersection the vehicle starts from; the engine places
+    it on the first segment of its route.  ``via_gate`` marks border entries
+    (open system), in which case ``origin`` is the gate node.
+    """
+
+    signature: ExteriorSignature
+    desired_speed_mps: float
+    origin: object
+    router: Router
+    via_gate: bool = False
+    is_patrol: bool = False
+
+
+@dataclass(frozen=True)
+class DemandConfig:
+    """Parameters of the demand model.
+
+    Attributes
+    ----------
+    volume_fraction:
+        Traffic volume as a fraction of the "daily average" (paper sweeps
+        0.1 .. 1.0).
+    full_density_veh_per_km:
+        Fleet density at 100% volume, in vehicles per kilometre of directed
+        road.  The default (10 veh/km) yields realistic but uncongested
+        midtown traffic at the engine's resolution.
+    min_fleet:
+        Lower bound on the closed fleet size so that tiny test networks still
+        carry a few vehicles at 10% volume.
+    speed_factor_range:
+        Desired speed is ``uniform(lo, hi) * speed_limit`` — heterogeneous
+        drivers are what makes overtaking happen.
+    random_turn_fraction:
+        Fraction of the fleet using the memoryless random-turn router (the
+        "unpredictable trajectory" extreme); the rest use random-waypoint.
+    entry_rate_veh_per_s_at_full:
+        Open systems: total Poisson arrival rate over all inbound gates at
+        100% volume.
+    through_traffic_fraction:
+        Open systems: fraction of entering vehicles that are through traffic
+        (enter at one gate, exit at another).
+    interior_fleet_fraction:
+        Open systems: initial interior fleet, as a fraction of the closed
+        fleet size for the same volume.
+    """
+
+    volume_fraction: float = 1.0
+    full_density_veh_per_km: float = 10.0
+    min_fleet: int = 4
+    speed_factor_range: Tuple[float, float] = (0.6, 1.0)
+    random_turn_fraction: float = 0.25
+    entry_rate_veh_per_s_at_full: float = 0.2
+    through_traffic_fraction: float = 0.5
+    interior_fleet_fraction: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.volume_fraction <= 1.5:
+            raise ConfigurationError(
+                f"volume_fraction must be in (0, 1.5], got {self.volume_fraction!r}"
+            )
+        if self.full_density_veh_per_km <= 0:
+            raise ConfigurationError("full_density_veh_per_km must be positive")
+        lo, hi = self.speed_factor_range
+        if not (0.0 < lo <= hi):
+            raise ConfigurationError("speed_factor_range must satisfy 0 < lo <= hi")
+        if not 0.0 <= self.random_turn_fraction <= 1.0:
+            raise ConfigurationError("random_turn_fraction must be in [0, 1]")
+        if not 0.0 <= self.through_traffic_fraction <= 1.0:
+            raise ConfigurationError("through_traffic_fraction must be in [0, 1]")
+        if not 0.0 <= self.interior_fleet_fraction <= 1.0:
+            raise ConfigurationError("interior_fleet_fraction must be in [0, 1]")
+        if self.entry_rate_veh_per_s_at_full < 0:
+            raise ConfigurationError("entry_rate_veh_per_s_at_full cannot be negative")
+        if self.min_fleet < 1:
+            raise ConfigurationError("min_fleet must be at least 1")
+
+
+class DemandModel:
+    """Generates vehicle specifications for a network at a given volume."""
+
+    def __init__(
+        self,
+        net: RoadNetwork,
+        config: DemandConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.net = net
+        self.config = config
+        self.rng = rng
+        self._nodes = list(net.nodes)
+        self._inbound_gates = [g.node for g in net.gates.values() if g.inbound]
+        self._outbound_gates = [g.node for g in net.gates.values() if g.outbound]
+
+    # ----------------------------------------------------------- fleet size
+    def closed_fleet_size(self) -> int:
+        """Number of vehicles in the closed system at the configured volume."""
+        km = self.net.total_length_m() / 1000.0
+        full = self.config.full_density_veh_per_km * km
+        return max(self.config.min_fleet, int(round(full * self.config.volume_fraction)))
+
+    def interior_fleet_size(self) -> int:
+        """Initial interior fleet of the open system."""
+        return max(
+            self.config.min_fleet,
+            int(round(self.closed_fleet_size() * self.config.interior_fleet_fraction)),
+        )
+
+    def entry_rate_veh_per_s(self) -> float:
+        """Total Poisson border-arrival rate at the configured volume."""
+        if not self._inbound_gates:
+            return 0.0
+        return self.config.entry_rate_veh_per_s_at_full * self.config.volume_fraction
+
+    # --------------------------------------------------------------- routers
+    def _make_router(self) -> Router:
+        if self.rng.random() < self.config.random_turn_fraction:
+            return RandomTurnRouter(self.net, self.rng)
+        return RandomWaypointRouter(self.net, self.rng)
+
+    def _desired_speed(self, origin: object) -> float:
+        lo, hi = self.config.speed_factor_range
+        # use the fastest outbound segment's limit as the reference
+        limits = [
+            self.net.segment(origin, nbr).speed_limit_mps
+            for nbr in self.net.outbound_neighbors(origin)
+        ]
+        ref = max(limits) if limits else 13.0
+        return float(self.rng.uniform(lo, hi)) * ref
+
+    # ----------------------------------------------------------- generation
+    def initial_fleet(self, *, open_system: bool = False) -> List[VehicleSpec]:
+        """Vehicle specs for the t = 0 fleet (closed or open interior)."""
+        n = self.interior_fleet_size() if open_system else self.closed_fleet_size()
+        specs: List[VehicleSpec] = []
+        for _ in range(n):
+            origin = self._nodes[int(self.rng.integers(len(self._nodes)))]
+            specs.append(
+                VehicleSpec(
+                    signature=random_signature(self.rng),
+                    desired_speed_mps=self._desired_speed(origin),
+                    origin=origin,
+                    router=self._make_router(),
+                )
+            )
+        return specs
+
+    def border_arrivals(self, dt: float) -> List[VehicleSpec]:
+        """Vehicle specs entering through gates during a step of length ``dt``.
+
+        The number of arrivals is Poisson with mean ``rate * dt``; each
+        arrival picks a uniformly random inbound gate.  Through-traffic
+        vehicles get a :class:`FixedTripRouter` toward a random *other*
+        outbound gate and exit there; the rest circulate like interior
+        vehicles.
+        """
+        rate = self.entry_rate_veh_per_s()
+        if rate <= 0.0 or not self._inbound_gates:
+            return []
+        n = int(self.rng.poisson(rate * dt))
+        specs: List[VehicleSpec] = []
+        for _ in range(n):
+            gate = self._inbound_gates[int(self.rng.integers(len(self._inbound_gates)))]
+            through = (
+                self.rng.random() < self.config.through_traffic_fraction
+                and len(self._outbound_gates) > 1
+            )
+            if through:
+                choices = [g for g in self._outbound_gates if g != gate]
+                dest = choices[int(self.rng.integers(len(choices)))]
+                router: Router = FixedTripRouter(self.net, self.rng, dest, exit_on_arrival=True)
+            else:
+                router = self._make_router()
+            specs.append(
+                VehicleSpec(
+                    signature=random_signature(self.rng),
+                    desired_speed_mps=self._desired_speed(gate),
+                    origin=gate,
+                    router=router,
+                    via_gate=True,
+                )
+            )
+        return specs

@@ -1,0 +1,417 @@
+"""Time-stepped microscopic traffic engine (the SUMO substitute).
+
+The engine owns every moving object in the simulation and produces the event
+stream the counting protocol consumes (:mod:`repro.mobility.events`).  One
+call to :meth:`TrafficEngine.step` advances the world by ``dt`` seconds:
+
+1. vehicles move along their segments (car following, lane changes,
+   overtake detection),
+2. vehicles that reached the end of a segment queue at the intersection;
+   the intersection policy admits some of them, each admitted vehicle either
+   crosses onto its next segment (``CrossingEvent``) or leaves the open
+   system through a gate (``ExitEvent``),
+3. externally supplied vehicles (border arrivals, patrol cars) can be
+   injected at any time through :meth:`spawn` / :meth:`spawn_initial` /
+   :meth:`spawn_patrol`.
+
+Everything is deterministic given the RNG handed in, which is what makes the
+experiment sweeps reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MobilityError
+from ..roadnet.graph import DirectedSegment, RoadNetwork
+from ..roadnet.routing import RoutePlan, Router
+from .car_following import LaneChangeModel, SimplifiedIDM
+from .demand import VehicleSpec
+from .events import CrossingEvent, EntryEvent, ExitEvent, OvertakeEvent, TrafficEvent
+from .intersections import IntersectionPolicy, simple_policy
+from .vehicle import Vehicle
+
+__all__ = ["EngineStats", "TrafficEngine"]
+
+_ARRIVAL_EPS_M = 0.5
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters describing what the engine has simulated so far."""
+
+    steps: int = 0
+    crossings: int = 0
+    overtakes: int = 0
+    entries: int = 0
+    exits: int = 0
+    spawned: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "steps": self.steps,
+            "crossings": self.crossings,
+            "overtakes": self.overtakes,
+            "entries": self.entries,
+            "exits": self.exits,
+            "spawned": self.spawned,
+        }
+
+
+class TrafficEngine:
+    """Microscopic traffic simulation over a :class:`RoadNetwork`.
+
+    Parameters
+    ----------
+    net:
+        The (frozen) road network.
+    rng:
+        Random generator for placement, lane choice and lane-change noise.
+    dt_s:
+        Simulation step in seconds.
+    policy:
+        Default intersection admission policy (the paper's "simple" model by
+        default); per-intersection overrides can be set with
+        :meth:`set_intersection_policy`.
+    allow_overtaking:
+        Master switch for lane changes.  ``False`` reproduces the paper's
+        simple road model where traffic is strictly FIFO on every segment.
+    """
+
+    def __init__(
+        self,
+        net: RoadNetwork,
+        rng: np.random.Generator,
+        *,
+        dt_s: float = 0.5,
+        policy: Optional[IntersectionPolicy] = None,
+        car_following: Optional[SimplifiedIDM] = None,
+        lane_change: Optional[LaneChangeModel] = None,
+        allow_overtaking: bool = True,
+    ) -> None:
+        if dt_s <= 0:
+            raise MobilityError(f"dt_s must be positive, got {dt_s!r}")
+        if not net.frozen:
+            net.freeze()
+        self.net = net
+        self.rng = rng
+        self.dt_s = float(dt_s)
+        self.default_policy = policy if policy is not None else simple_policy()
+        self.car_following = car_following if car_following is not None else SimplifiedIDM()
+        self.lane_change = lane_change if lane_change is not None else LaneChangeModel()
+        self.allow_overtaking = bool(allow_overtaking)
+
+        self.time_s: float = 0.0
+        self.vehicles: Dict[int, Vehicle] = {}
+        self._departed: Dict[int, Vehicle] = {}
+        self._occupancy: Dict[Tuple[object, object], List[int]] = {
+            seg.key: [] for seg in net.segments()
+        }
+        self._policies: Dict[object, IntersectionPolicy] = {}
+        self._next_vid = 0
+        self.stats = EngineStats()
+
+    # ----------------------------------------------------------- configure
+    def set_intersection_policy(self, node: object, policy: IntersectionPolicy) -> None:
+        """Override the admission policy of one intersection (e.g. a roundabout)."""
+        if not self.net.has_node(node):
+            raise MobilityError(f"unknown intersection {node!r}")
+        self._policies[node] = policy
+
+    def policy_for(self, node: object) -> IntersectionPolicy:
+        return self._policies.get(node, self.default_policy)
+
+    # -------------------------------------------------------------- spawning
+    def spawn_initial(self, specs: Iterable[VehicleSpec]) -> List[Vehicle]:
+        """Place the t = 0 fleet at random positions along their first segments.
+
+        No events are emitted: these vehicles are simply "already on the
+        road" when counting starts, exactly the population the protocol must
+        count.
+        """
+        placed = []
+        for spec in specs:
+            placed.append(self._insert(spec, via_gate=False, initial=True))
+        return placed
+
+    def spawn(self, spec: VehicleSpec) -> Tuple[Vehicle, List[TrafficEvent]]:
+        """Insert one vehicle immediately (border arrival or scripted vehicle).
+
+        Returns the vehicle and the events generated by the insertion (an
+        :class:`EntryEvent` plus a :class:`CrossingEvent` when the vehicle
+        comes in through a gate).
+        """
+        events: List[TrafficEvent] = []
+        vehicle = self._insert(spec, via_gate=spec.via_gate, initial=False, events=events)
+        return vehicle, events
+
+    def spawn_patrol(self, router: Router, origin: object, *, speed_mps: Optional[float] = None) -> Vehicle:
+        """Insert a police patrol car at ``origin`` following ``router``.
+
+        Patrol cars are never counted; they ferry checkpoint statuses and
+        collection reports (Theorem 3 / Alg. 4).
+        """
+        from ..surveillance.attributes import ExteriorSignature
+
+        limits = [
+            self.net.segment(origin, nbr).speed_limit_mps
+            for nbr in self.net.outbound_neighbors(origin)
+        ]
+        spec = VehicleSpec(
+            signature=ExteriorSignature(color="black", make="dodge", body_type="sedan"),
+            desired_speed_mps=speed_mps if speed_mps is not None else max(limits),
+            origin=origin,
+            router=router,
+            is_patrol=True,
+        )
+        return self._insert(spec, via_gate=False, initial=True)
+
+    def _insert(
+        self,
+        spec: VehicleSpec,
+        *,
+        via_gate: bool,
+        initial: bool,
+        events: Optional[List[TrafficEvent]] = None,
+    ) -> Vehicle:
+        if not self.net.has_node(spec.origin):
+            raise MobilityError(f"vehicle origin {spec.origin!r} is not an intersection")
+        vid = self._next_vid
+        self._next_vid += 1
+        vehicle = Vehicle(
+            vid=vid,
+            signature=spec.signature,
+            desired_speed_mps=max(1.0, float(spec.desired_speed_mps)),
+            router=spec.router,
+            plan=spec.router.plan_from(spec.origin),
+            is_patrol=spec.is_patrol,
+            entered_at_s=self.time_s,
+        )
+        self.vehicles[vid] = vehicle
+        self.stats.spawned += 1
+
+        if via_gate:
+            self.stats.entries += 1
+            if events is not None:
+                events.append(EntryEvent(time_s=self.time_s, vehicle=vehicle, gate_node=spec.origin))
+            # Entering vehicles pass through the gate intersection immediately.
+            next_node = spec.router.next_hop(spec.origin, vehicle.plan, previous=None)
+            if events is not None:
+                events.append(
+                    CrossingEvent(
+                        time_s=self.time_s,
+                        vehicle=vehicle,
+                        node=spec.origin,
+                        from_node=None,
+                        to_node=next_node,
+                    )
+                )
+            self.stats.crossings += 1
+            self._place(vehicle, spec.origin, next_node, pos_m=0.0)
+        else:
+            next_node = spec.router.next_hop(spec.origin, vehicle.plan, previous=None)
+            seg = self.net.segment(spec.origin, next_node)
+            pos = float(self.rng.uniform(0.0, seg.length_m * 0.9)) if initial else 0.0
+            self._place(vehicle, spec.origin, next_node, pos_m=pos)
+        return vehicle
+
+    def _place(self, vehicle: Vehicle, tail: object, head: object, *, pos_m: float) -> None:
+        seg = self.net.segment(tail, head)
+        vehicle.edge = seg.key
+        vehicle.lane = int(self.rng.integers(seg.lanes))
+        vehicle.pos_m = min(pos_m, seg.length_m)
+        vehicle.speed_mps = min(vehicle.desired_speed_mps, seg.speed_limit_mps) * 0.5
+        vehicle.previous_node = tail
+        vehicle.waiting_since_s = None
+        self._occupancy[seg.key].append(vehicle.vid)
+
+    # --------------------------------------------------------------- queries
+    def active_vehicles(self, *, include_patrol: bool = True) -> List[Vehicle]:
+        """Vehicles currently inside the system."""
+        return [
+            v
+            for v in self.vehicles.values()
+            if include_patrol or not v.is_patrol
+        ]
+
+    def inside_count(self) -> int:
+        """Ground truth: number of non-patrol vehicles currently inside."""
+        return sum(1 for v in self.vehicles.values() if not v.is_patrol)
+
+    def departed_vehicles(self) -> List[Vehicle]:
+        """Vehicles that have left the open system."""
+        return list(self._departed.values())
+
+    def total_spawned(self, *, include_patrol: bool = False) -> int:
+        """Number of vehicles ever inserted (excluding patrol by default)."""
+        pool = list(self.vehicles.values()) + list(self._departed.values())
+        return sum(1 for v in pool if include_patrol or not v.is_patrol)
+
+    def occupancy(self, edge: Tuple[object, object]) -> List[Vehicle]:
+        """Vehicles currently on ``edge`` (unspecified order)."""
+        return [self.vehicles[vid] for vid in self._occupancy[edge]]
+
+    # ------------------------------------------------------------------ step
+    def step(self) -> List[TrafficEvent]:
+        """Advance the world by one time step and return the events produced."""
+        events: List[TrafficEvent] = []
+        self._advance_segments(events)
+        self._process_intersections(events)
+        self.time_s += self.dt_s
+        self.stats.steps += 1
+        return events
+
+    def run(self, duration_s: float) -> List[TrafficEvent]:
+        """Run for ``duration_s`` simulated seconds, returning all events."""
+        steps = int(round(duration_s / self.dt_s))
+        out: List[TrafficEvent] = []
+        for _ in range(steps):
+            out.extend(self.step())
+        return out
+
+    # ----------------------------------------------------- segment dynamics
+    def _advance_segments(self, events: List[TrafficEvent]) -> None:
+        for edge_key, vids in self._occupancy.items():
+            if not vids:
+                continue
+            seg = self.net.segment(*edge_key)
+            vehicles = [self.vehicles[v] for v in vids]
+            before = {v.vid: (v.pos_m, v.vid) for v in vehicles}
+
+            lanes_occ: List[List[Vehicle]] = [[] for _ in range(seg.lanes)]
+            for v in vehicles:
+                if v.lane >= seg.lanes:
+                    v.lane = seg.lanes - 1
+                lanes_occ[v.lane].append(v)
+            for lane in lanes_occ:
+                lane.sort(key=lambda v: (-v.pos_m, v.vid))
+
+            if self.allow_overtaking and seg.lanes > 1:
+                self._lane_changes(seg, lanes_occ)
+                lanes_occ = [[] for _ in range(seg.lanes)]
+                for v in vehicles:
+                    lanes_occ[v.lane].append(v)
+                for lane in lanes_occ:
+                    lane.sort(key=lambda v: (-v.pos_m, v.vid))
+
+            for lane in lanes_occ:
+                leader: Optional[Vehicle] = None
+                for v in lane:
+                    self.car_following.advance(v, leader, seg.speed_limit_mps, seg.length_m, self.dt_s)
+                    if v.pos_m >= seg.length_m - _ARRIVAL_EPS_M and v.waiting_since_s is None:
+                        v.waiting_since_s = self.time_s
+                    leader = v
+
+            if self.allow_overtaking and seg.lanes > 1 and len(vehicles) > 1:
+                self._detect_overtakes(seg, vehicles, before, events)
+
+    def _lane_changes(self, seg: DirectedSegment, lanes_occ: List[List[Vehicle]]) -> None:
+        for lane_vehicles in lanes_occ:
+            for idx, v in enumerate(lane_vehicles):
+                leader = lane_vehicles[idx - 1] if idx > 0 else None
+                if leader is None or not self.lane_change.wants_to_change(v, leader):
+                    continue
+                target = self.lane_change.target_lane(v, seg.lanes, lanes_occ, self.rng)
+                if target is not None:
+                    v.lane = target
+
+    def _detect_overtakes(
+        self,
+        seg: DirectedSegment,
+        vehicles: List[Vehicle],
+        before: Dict[int, Tuple[float, int]],
+        events: List[TrafficEvent],
+    ) -> None:
+        after = {v.vid: (v.pos_m, v.vid) for v in vehicles}
+        by_vid = {v.vid: v for v in vehicles}
+        vids = list(by_vid.keys())
+        for i in range(len(vids)):
+            for j in range(i + 1, len(vids)):
+                a, b = vids[i], vids[j]
+                was_a_ahead = before[a] > before[b]
+                now_a_ahead = after[a] > after[b]
+                if was_a_ahead == now_a_ahead:
+                    continue
+                passer, passee = (a, b) if now_a_ahead else (b, a)
+                self.stats.overtakes += 1
+                events.append(
+                    OvertakeEvent(
+                        time_s=self.time_s,
+                        edge=seg.key,
+                        passer=by_vid[passer],
+                        passee=by_vid[passee],
+                    )
+                )
+
+    # -------------------------------------------------- intersection crossing
+    def _process_intersections(self, events: List[TrafficEvent]) -> None:
+        # Gather the front-most waiting vehicle per (inbound edge, lane).
+        candidates: Dict[object, List[Tuple[float, int, object]]] = {}
+        for edge_key, vids in self._occupancy.items():
+            if not vids:
+                continue
+            seg = self.net.segment(*edge_key)
+            node = seg.head
+            policy = self.policy_for(node)
+            front_per_lane: Dict[int, Vehicle] = {}
+            for vid in vids:
+                v = self.vehicles[vid]
+                if v.waiting_since_s is None:
+                    continue
+                best = front_per_lane.get(v.lane)
+                if best is None or v.pos_m > best.pos_m:
+                    front_per_lane[v.lane] = v
+            for v in front_per_lane.values():
+                if self.time_s - v.waiting_since_s + self.dt_s >= policy.crossing_delay_s:
+                    candidates.setdefault(node, []).append((v.waiting_since_s, v.vid, edge_key))
+
+        for node, waiting in candidates.items():
+            policy = self.policy_for(node)
+            waiting.sort(key=lambda item: (item[0], item[1]))
+            for _, vid, edge_key in waiting[: policy.admissions_per_step]:
+                vehicle = self.vehicles.get(vid)
+                if vehicle is None or vehicle.edge != edge_key:
+                    continue
+                self._cross(vehicle, node, events)
+
+    def _cross(self, vehicle: Vehicle, node: object, events: List[TrafficEvent]) -> None:
+        assert vehicle.edge is not None
+        tail = vehicle.edge[0]
+        self._occupancy[vehicle.edge].remove(vehicle.vid)
+        vehicle.edge = None
+        vehicle.waiting_since_s = None
+
+        gate = self.net.gates.get(node)
+        wants_exit = vehicle.plan.exits_at == node and vehicle.plan.empty
+        if gate is not None and gate.outbound and wants_exit and not vehicle.is_patrol:
+            vehicle.exited_at_s = self.time_s
+            del self.vehicles[vehicle.vid]
+            self._departed[vehicle.vid] = vehicle
+            self.stats.exits += 1
+            events.append(
+                ExitEvent(time_s=self.time_s, vehicle=vehicle, gate_node=node, from_node=tail)
+            )
+            return
+
+        assert vehicle.router is not None
+        next_node = vehicle.router.next_hop(node, vehicle.plan, previous=tail)
+        self.stats.crossings += 1
+        events.append(
+            CrossingEvent(
+                time_s=self.time_s,
+                vehicle=vehicle,
+                node=node,
+                from_node=tail,
+                to_node=next_node,
+            )
+        )
+        self._place(vehicle, node, next_node, pos_m=0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TrafficEngine(net={self.net.name!r}, t={self.time_s:.1f}s, "
+            f"vehicles={len(self.vehicles)}, crossings={self.stats.crossings})"
+        )

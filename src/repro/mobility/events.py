@@ -1,0 +1,88 @@
+"""Events emitted by the traffic engine.
+
+The counting protocol is *event driven*: it never inspects the engine's
+internal state, it only reacts to the four event types below, exactly like
+the paper's checkpoints only see vehicles at the moment they enter the
+surveillance and only talk to radios.  Keeping this interface narrow is what
+lets the protocol run unchanged on any mobility source (a different engine,
+or replayed traces).
+
+Events are plain frozen dataclasses carrying the vehicle object (so the
+protocol can perform V2I exchanges against the vehicle's carried state) plus
+the topological context of the event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from .vehicle import Vehicle
+
+__all__ = [
+    "CrossingEvent",
+    "OvertakeEvent",
+    "EntryEvent",
+    "ExitEvent",
+    "TrafficEvent",
+]
+
+
+@dataclass(frozen=True)
+class CrossingEvent:
+    """A vehicle entered intersection ``node`` and continues inside the system.
+
+    ``from_node`` is the tail of the inbound segment (``None`` when the
+    vehicle was just injected at this intersection, e.g. initial placement or
+    a border entry).  ``to_node`` is the head of the outbound segment chosen
+    by the router.
+    """
+
+    time_s: float
+    vehicle: Vehicle
+    node: object
+    from_node: Optional[object]
+    to_node: object
+
+
+@dataclass(frozen=True)
+class OvertakeEvent:
+    """``passer`` overtook ``passee`` on directed segment ``edge``.
+
+    Emitted once per pair and per net order change within a time step.  This
+    is the engine-level ground truth of the event the paper detects with the
+    collaborative V2V protocol of reference [8]; the protocol layer decides
+    what (if anything) to do with it.
+    """
+
+    time_s: float
+    edge: Tuple[object, object]
+    passer: Vehicle
+    passee: Vehicle
+
+
+@dataclass(frozen=True)
+class EntryEvent:
+    """A vehicle entered the open system from outside through ``gate_node``."""
+
+    time_s: float
+    vehicle: Vehicle
+    gate_node: object
+
+
+@dataclass(frozen=True)
+class ExitEvent:
+    """A vehicle left the open system to the outside through ``gate_node``.
+
+    ``from_node`` is the intersection at the tail of the segment the vehicle
+    was travelling on when it reached the gate (``None`` if it exited from
+    the gate it entered at without traversing a segment).
+    """
+
+    time_s: float
+    vehicle: Vehicle
+    gate_node: object
+    from_node: Optional[object]
+
+
+TrafficEvent = Union[CrossingEvent, OvertakeEvent, EntryEvent, ExitEvent]

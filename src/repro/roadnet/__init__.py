@@ -1,0 +1,50 @@
+"""Road-network substrate: intersections, directed segments, builders, routing.
+
+This package is the static world model: everything the traffic engine and the
+counting protocol need to know about the road system before a single vehicle
+moves.  See :class:`repro.roadnet.RoadNetwork` for the data model and
+:mod:`repro.roadnet.manhattan` for the synthetic midtown map used to
+reproduce the paper's evaluation.
+"""
+
+from .graph import DirectedSegment, Gate, RoadNetwork
+from .builders import (
+    grid_network,
+    line_network,
+    random_planar_network,
+    ring_network,
+    star_network,
+    triangle_network,
+)
+from .manhattan import MidtownSpec, build_midtown_grid, midtown_landmarks
+from .routing import (
+    FixedTripRouter,
+    RandomTurnRouter,
+    RandomWaypointRouter,
+    RoutePlan,
+    Router,
+    path_length_m,
+    shortest_path,
+)
+
+__all__ = [
+    "DirectedSegment",
+    "Gate",
+    "RoadNetwork",
+    "grid_network",
+    "line_network",
+    "random_planar_network",
+    "ring_network",
+    "star_network",
+    "triangle_network",
+    "MidtownSpec",
+    "build_midtown_grid",
+    "midtown_landmarks",
+    "FixedTripRouter",
+    "RandomTurnRouter",
+    "RandomWaypointRouter",
+    "RoutePlan",
+    "Router",
+    "path_length_m",
+    "shortest_path",
+]

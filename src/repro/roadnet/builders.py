@@ -1,0 +1,270 @@
+"""Road-network builders.
+
+The paper evaluates on the Manhattan midtown map (see
+:mod:`repro.roadnet.manhattan`); the generic builders here provide the small,
+fully controllable topologies used by unit tests, examples and ablation
+benchmarks:
+
+* :func:`triangle_network` — the 3-intersection closed system of Fig. 1,
+* :func:`grid_network` — rectangular bidirectional grid,
+* :func:`ring_network` — a simple cycle (optionally one-way),
+* :func:`star_network` — a hub with spokes,
+* :func:`random_planar_network` — a random connected road graph built from a
+  geometric graph, for property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+import networkx as nx
+
+from ..errors import RoadNetworkError
+from ..units import SPEED_LIMIT_15_MPH
+from .graph import Gate, RoadNetwork
+
+__all__ = [
+    "triangle_network",
+    "grid_network",
+    "ring_network",
+    "star_network",
+    "line_network",
+    "random_planar_network",
+]
+
+
+def triangle_network(
+    length_m: float = 300.0,
+    *,
+    lanes: int = 1,
+    speed_limit_mps: float = SPEED_LIMIT_15_MPH,
+) -> RoadNetwork:
+    """The three-intersection closed road system used in the paper's Fig. 1.
+
+    Intersections are labelled ``1``, ``2`` and ``3``; every pair is joined by
+    a bidirectional segment.  Checkpoint ``1`` is the seed/sink in the paper's
+    walk-through.
+    """
+    net = RoadNetwork(name="fig1-triangle")
+    coords = {1: (0.0, 0.0), 2: (length_m, 0.0), 3: (length_m / 2.0, length_m)}
+    for node, pos in coords.items():
+        net.add_intersection(node, pos)
+    for a, b in ((1, 2), (2, 3), (1, 3)):
+        net.add_bidirectional(a, b, length_m, lanes=lanes, speed_limit_mps=speed_limit_mps)
+    return net.freeze()
+
+
+def line_network(
+    n: int,
+    length_m: float = 250.0,
+    *,
+    lanes: int = 1,
+    speed_limit_mps: float = SPEED_LIMIT_15_MPH,
+) -> RoadNetwork:
+    """``n`` intersections in a row joined by bidirectional segments.
+
+    Useful for studying wave propagation depth (the spanning tree is a path).
+    """
+    if n < 2:
+        raise RoadNetworkError("a line network needs at least 2 intersections")
+    net = RoadNetwork(name=f"line-{n}")
+    for i in range(n):
+        net.add_intersection(i, (i * length_m, 0.0))
+    for i in range(n - 1):
+        net.add_bidirectional(i, i + 1, length_m, lanes=lanes, speed_limit_mps=speed_limit_mps)
+    return net.freeze()
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    *,
+    block_length_m: float = 200.0,
+    block_width_m: Optional[float] = None,
+    lanes: int = 1,
+    speed_limit_mps: float = SPEED_LIMIT_15_MPH,
+    gates_on_border: bool = False,
+) -> RoadNetwork:
+    """A ``rows x cols`` rectangular grid of bidirectional streets.
+
+    Nodes are ``(r, c)`` tuples.  ``block_length_m`` is the east-west block
+    edge and ``block_width_m`` the north-south one (defaults to the same).
+    When ``gates_on_border`` is true every perimeter intersection becomes a
+    two-way gate, turning the grid into an open system.
+    """
+    if rows < 2 or cols < 2:
+        raise RoadNetworkError("grid networks need at least 2 rows and 2 columns")
+    width = block_length_m if block_width_m is None else block_width_m
+    net = RoadNetwork(name=f"grid-{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            net.add_intersection((r, c), (c * block_length_m, r * width))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                net.add_bidirectional(
+                    (r, c), (r, c + 1), block_length_m, lanes=lanes, speed_limit_mps=speed_limit_mps
+                )
+            if r + 1 < rows:
+                net.add_bidirectional(
+                    (r, c), (r + 1, c), width, lanes=lanes, speed_limit_mps=speed_limit_mps
+                )
+    if gates_on_border:
+        for r in range(rows):
+            for c in range(cols):
+                if r in (0, rows - 1) or c in (0, cols - 1):
+                    net.add_gate(Gate(node=(r, c)))
+    return net.freeze()
+
+
+def ring_network(
+    n: int,
+    length_m: float = 250.0,
+    *,
+    one_way: bool = False,
+    lanes: int = 1,
+    speed_limit_mps: float = SPEED_LIMIT_15_MPH,
+) -> RoadNetwork:
+    """``n`` intersections on a cycle.
+
+    ``one_way=True`` produces a directed ring: every segment is one-way, the
+    extreme case of the paper's one-way-street extension (information can
+    only travel around the loop).
+    """
+    if n < 3:
+        raise RoadNetworkError("a ring needs at least 3 intersections")
+    net = RoadNetwork(name=f"ring-{n}{'-oneway' if one_way else ''}")
+    radius = length_m * n / (2.0 * np.pi)
+    for i in range(n):
+        angle = 2.0 * np.pi * i / n
+        net.add_intersection(i, (radius * np.cos(angle), radius * np.sin(angle)))
+    for i in range(n):
+        j = (i + 1) % n
+        if one_way:
+            net.add_segment(i, j, length_m, lanes=lanes, speed_limit_mps=speed_limit_mps)
+        else:
+            net.add_bidirectional(i, j, length_m, lanes=lanes, speed_limit_mps=speed_limit_mps)
+    return net.freeze()
+
+
+def star_network(
+    spokes: int,
+    length_m: float = 250.0,
+    *,
+    lanes: int = 1,
+    speed_limit_mps: float = SPEED_LIMIT_15_MPH,
+) -> RoadNetwork:
+    """A hub intersection ``0`` with ``spokes`` leaf pairs.
+
+    Every spoke is a short two-intersection stub connected back to the hub so
+    that leaves still satisfy the in/out-degree validation (traffic can turn
+    around at the outer intersection via a small loop of two nodes).
+    """
+    if spokes < 2:
+        raise RoadNetworkError("a star needs at least 2 spokes")
+    net = RoadNetwork(name=f"star-{spokes}")
+    net.add_intersection("hub", (0.0, 0.0))
+    for k in range(spokes):
+        angle = 2.0 * np.pi * k / spokes
+        outer = f"leaf-{k}"
+        net.add_intersection(outer, (length_m * np.cos(angle), length_m * np.sin(angle)))
+        net.add_bidirectional("hub", outer, length_m, lanes=lanes, speed_limit_mps=speed_limit_mps)
+    return net.freeze()
+
+
+def random_planar_network(
+    n_nodes: int,
+    *,
+    seed: int = 0,
+    area_m: float = 2000.0,
+    target_degree: float = 3.0,
+    lanes: int = 1,
+    one_way_fraction: float = 0.0,
+    speed_limit_mps: float = SPEED_LIMIT_15_MPH,
+) -> RoadNetwork:
+    """A random connected road network for property-based testing.
+
+    Nodes are scattered uniformly in an ``area_m`` square and joined by a
+    Euclidean minimum spanning tree (guaranteeing connectivity) plus extra
+    short edges until the average undirected degree reaches
+    ``target_degree``.  A fraction of segments can then be made one-way while
+    preserving strong connectivity.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of intersections (>= 3).
+    seed:
+        Seed for the internal RNG; the same seed always yields the same
+        network.
+    one_way_fraction:
+        Fraction of road segments to attempt converting to one-way streets.
+        Conversions that would break strong connectivity are skipped, so the
+        realised fraction may be lower.
+    """
+    if n_nodes < 3:
+        raise RoadNetworkError("random networks need at least 3 intersections")
+    if not 0.0 <= one_way_fraction <= 1.0:
+        raise RoadNetworkError("one_way_fraction must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0.0, area_m, size=(n_nodes, 2))
+
+    # Build candidate undirected edges: MST for connectivity + nearest pairs.
+    complete = nx.Graph()
+    for i in range(n_nodes):
+        complete.add_node(i)
+    for i in range(n_nodes):
+        for j in range(i + 1, n_nodes):
+            d = float(np.hypot(*(pts[i] - pts[j])))
+            complete.add_edge(i, j, weight=d)
+    mst = nx.minimum_spanning_tree(complete)
+    chosen = set(frozenset(e) for e in mst.edges())
+
+    n_extra_target = max(0, int(round(target_degree * n_nodes / 2.0)) - len(chosen))
+    candidates = sorted(
+        (data["weight"], u, v)
+        for u, v, data in complete.edges(data=True)
+        if frozenset((u, v)) not in chosen
+    )
+    for _w, u, v in candidates[: n_extra_target * 3]:
+        if len(chosen) >= len(mst.edges()) + n_extra_target:
+            break
+        chosen.add(frozenset((u, v)))
+
+    net = RoadNetwork(name=f"random-{n_nodes}-s{seed}")
+    for i in range(n_nodes):
+        net.add_intersection(i, (float(pts[i, 0]), float(pts[i, 1])))
+
+    undirected = [tuple(sorted(e)) for e in chosen]
+    rng.shuffle(undirected)
+    n_one_way = int(round(one_way_fraction * len(undirected)))
+
+    # First add everything bidirectional, then try to drop reverse directions.
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(range(n_nodes))
+    lengths = {}
+    for u, v in undirected:
+        d = max(30.0, float(np.hypot(*(pts[u] - pts[v]))))
+        lengths[(u, v)] = d
+        digraph.add_edge(u, v)
+        digraph.add_edge(v, u)
+
+    made_one_way = []
+    for u, v in undirected:
+        if len(made_one_way) >= n_one_way:
+            break
+        # keep u->v, drop v->u if strong connectivity survives
+        digraph.remove_edge(v, u)
+        if nx.is_strongly_connected(digraph):
+            made_one_way.append((u, v))
+        else:
+            digraph.add_edge(v, u)
+
+    for u, v in undirected:
+        d = lengths[(u, v)]
+        if (u, v) in made_one_way:
+            net.add_segment(u, v, d, lanes=lanes, speed_limit_mps=speed_limit_mps)
+        else:
+            net.add_bidirectional(u, v, d, lanes=lanes, speed_limit_mps=speed_limit_mps)
+    return net.freeze()

@@ -1,0 +1,216 @@
+"""Routing: shortest paths, random-waypoint trips and turn decisions.
+
+Vehicles in the paper "change speed and trajectory in an unpredictable
+manner"; the counting protocol must work for *any* trajectory.  The router
+therefore offers both:
+
+* destination-driven routing (shortest path to a random waypoint, re-drawn on
+  arrival) — the default, giving realistic through traffic, and
+* a memoryless random-turn model (uniform next segment, avoiding immediate
+  U-turns where possible) — the adversarial "unpredictable" extreme used in
+  robustness tests.
+
+The router is deliberately stateless with respect to vehicles: the traffic
+engine asks for the next edge given the current position and the vehicle's
+routing state, so the same router instance can serve every vehicle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import networkx as nx
+
+from ..errors import RoutingError
+from .graph import RoadNetwork
+
+__all__ = [
+    "RoutePlan",
+    "Router",
+    "RandomWaypointRouter",
+    "RandomTurnRouter",
+    "FixedTripRouter",
+    "shortest_path",
+    "path_length_m",
+]
+
+
+def shortest_path(net: RoadNetwork, origin: object, destination: object) -> List[object]:
+    """Shortest path (by free-flow travel time) between two intersections.
+
+    Raises :class:`~repro.errors.RoutingError` when no path exists.
+    """
+    g = net.to_networkx()
+    try:
+        return nx.shortest_path(g, origin, destination, weight="travel_time_s")
+    except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+        raise RoutingError(f"no route from {origin!r} to {destination!r}") from exc
+
+
+def path_length_m(net: RoadNetwork, path: Sequence[object]) -> float:
+    """Total length in metres of a node path."""
+    total = 0.0
+    for tail, head in zip(path, path[1:]):
+        total += net.segment(tail, head).length_m
+    return total
+
+
+@dataclass
+class RoutePlan:
+    """Per-vehicle routing state owned by the traffic engine.
+
+    ``waypoints`` is the remaining node sequence (excluding the node the
+    vehicle most recently crossed).  ``exits_at`` marks a planned departure
+    from an open system through the given gate node.
+    """
+
+    waypoints: List[object] = field(default_factory=list)
+    exits_at: Optional[object] = None
+
+    def peek(self) -> Optional[object]:
+        """The next intersection on the plan, if any."""
+        return self.waypoints[0] if self.waypoints else None
+
+    def advance(self) -> Optional[object]:
+        """Pop and return the next intersection on the plan."""
+        return self.waypoints.pop(0) if self.waypoints else None
+
+    @property
+    def empty(self) -> bool:
+        return not self.waypoints
+
+
+class Router:
+    """Base class for routing policies.
+
+    Subclasses implement :meth:`plan_from` (initial plan for a vehicle at a
+    given intersection) and :meth:`replan` (called when a plan runs out).
+    """
+
+    def __init__(self, net: RoadNetwork, rng: np.random.Generator) -> None:
+        self.net = net
+        self.rng = rng
+
+    # -- interface ---------------------------------------------------------
+    def plan_from(self, node: object) -> RoutePlan:
+        raise NotImplementedError
+
+    def replan(self, node: object, plan: RoutePlan) -> RoutePlan:
+        """Produce a fresh plan for a vehicle currently at ``node``."""
+        return self.plan_from(node)
+
+    def next_hop(self, node: object, plan: RoutePlan, previous: Optional[object] = None) -> object:
+        """The next intersection to drive to from ``node``.
+
+        Consumes the plan; replans transparently when the plan is exhausted.
+        ``previous`` (the intersection the vehicle came from) lets policies
+        avoid immediate U-turns when an alternative exists.
+        """
+        nxt = plan.advance()
+        if nxt is not None and self.net.has_segment(node, nxt):
+            return nxt
+        fresh = self.replan(node, plan)
+        plan.waypoints = fresh.waypoints
+        plan.exits_at = fresh.exits_at
+        nxt = plan.advance()
+        if nxt is not None and self.net.has_segment(node, nxt):
+            return nxt
+        # Last resort: any outbound neighbour, avoiding a U-turn if possible.
+        options = self.net.outbound_neighbors(node)
+        if not options:
+            raise RoutingError(f"intersection {node!r} has no outbound segment")
+        non_uturn = [o for o in options if o != previous]
+        pool = non_uturn or options
+        return pool[int(self.rng.integers(len(pool)))]
+
+
+class RandomWaypointRouter(Router):
+    """Random-waypoint routing over the road graph.
+
+    Each plan is the shortest path to a uniformly random destination
+    intersection; on arrival a new destination is drawn.  This is the closest
+    laptop-scale equivalent of SUMO's random trip demand and produces the
+    long, meandering trajectories the paper's evaluation relies on.
+    """
+
+    def __init__(self, net: RoadNetwork, rng: np.random.Generator) -> None:
+        super().__init__(net, rng)
+        self._nodes = list(net.nodes)
+
+    def plan_from(self, node: object) -> RoutePlan:
+        for _ in range(16):
+            dest = self._nodes[int(self.rng.integers(len(self._nodes)))]
+            if dest == node:
+                continue
+            try:
+                path = shortest_path(self.net, node, dest)
+            except RoutingError:
+                continue
+            return RoutePlan(waypoints=list(path[1:]))
+        raise RoutingError(f"could not find any destination reachable from {node!r}")
+
+
+class RandomTurnRouter(Router):
+    """Memoryless random-turn routing (adversarial 'unpredictable' traffic).
+
+    At every intersection the vehicle picks a uniformly random outbound
+    segment, avoiding an immediate U-turn when another choice exists.  Plans
+    are always length one, so :meth:`next_hop` effectively re-rolls at every
+    crossing.
+    """
+
+    def plan_from(self, node: object) -> RoutePlan:
+        options = self.net.outbound_neighbors(node)
+        if not options:
+            raise RoutingError(f"intersection {node!r} has no outbound segment")
+        choice = options[int(self.rng.integers(len(options)))]
+        return RoutePlan(waypoints=[choice])
+
+    def next_hop(self, node: object, plan: RoutePlan, previous: Optional[object] = None) -> object:
+        options = self.net.outbound_neighbors(node)
+        if not options:
+            raise RoutingError(f"intersection {node!r} has no outbound segment")
+        non_uturn = [o for o in options if o != previous]
+        pool = non_uturn or options
+        return pool[int(self.rng.integers(len(pool)))]
+
+
+class FixedTripRouter(Router):
+    """Routing along a fixed origin→destination trip (through traffic).
+
+    Used in the open system for vehicles that enter at one gate and leave at
+    another, and by the examples for the "Central Park to Madison Square
+    Park" workload.  When the trip is exhausted the vehicle either exits (if
+    ``exit_on_arrival``) or falls back to random-waypoint behaviour.
+    """
+
+    def __init__(
+        self,
+        net: RoadNetwork,
+        rng: np.random.Generator,
+        destination: object,
+        *,
+        exit_on_arrival: bool = False,
+    ) -> None:
+        super().__init__(net, rng)
+        self.destination = destination
+        self.exit_on_arrival = exit_on_arrival
+        self._fallback = RandomWaypointRouter(net, rng)
+
+    def plan_from(self, node: object) -> RoutePlan:
+        if node == self.destination:
+            if self.exit_on_arrival:
+                return RoutePlan(waypoints=[], exits_at=node)
+            return self._fallback.plan_from(node)
+        path = shortest_path(self.net, node, self.destination)
+        return RoutePlan(
+            waypoints=list(path[1:]),
+            exits_at=self.destination if self.exit_on_arrival else None,
+        )
+
+    def replan(self, node: object, plan: RoutePlan) -> RoutePlan:
+        if node == self.destination and not self.exit_on_arrival:
+            return self._fallback.plan_from(node)
+        return self.plan_from(node)

@@ -1,0 +1,25 @@
+"""Simulation harness: configuration, the Simulation facade, runner and metrics."""
+
+from .config import MobilityConfig, ScenarioConfig, WirelessConfig
+from .metrics import AccuracyReport, summarize_run
+from .results import AggregateStat, RunResult, SweepCell, SweepResult
+from .rng import RngFactory
+from .runner import ExperimentRunner, SweepSpec, run_single
+from .simulator import Simulation
+
+__all__ = [
+    "MobilityConfig",
+    "ScenarioConfig",
+    "WirelessConfig",
+    "AccuracyReport",
+    "summarize_run",
+    "AggregateStat",
+    "RunResult",
+    "SweepCell",
+    "SweepResult",
+    "RngFactory",
+    "ExperimentRunner",
+    "SweepSpec",
+    "run_single",
+    "Simulation",
+]

@@ -1,0 +1,114 @@
+"""Scenario configuration.
+
+A :class:`ScenarioConfig` bundles everything needed to run one counting
+experiment on a given road network: traffic demand, engine behaviour,
+wireless model, protocol options, patrol deployment, seed selection and the
+simulation horizon.  The experiment runner sweeps these configurations to
+regenerate the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from ..core.patrol import PatrolPlan
+from ..core.protocol import ProtocolConfig
+from ..errors import ConfigurationError
+from ..mobility.demand import DemandConfig
+from ..units import minutes_to_seconds
+
+__all__ = ["WirelessConfig", "MobilityConfig", "ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class WirelessConfig:
+    """Wireless substrate settings (paper default: 30 % per-attempt loss)."""
+
+    loss_probability: float = 0.3
+    attempts_per_contact: int = 4
+    reliable_within_window: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ConfigurationError("loss_probability must be in [0, 1)")
+        if self.attempts_per_contact < 1:
+            raise ConfigurationError("attempts_per_contact must be at least 1")
+
+
+@dataclass(frozen=True)
+class MobilityConfig:
+    """Traffic engine settings."""
+
+    dt_s: float = 0.5
+    allow_overtaking: bool = True
+    admissions_per_step: int = 4
+    crossing_delay_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        if self.admissions_per_step < 1:
+            raise ConfigurationError("admissions_per_step must be at least 1")
+        if self.crossing_delay_s < 0:
+            raise ConfigurationError("crossing_delay_s cannot be negative")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Full description of one counting experiment.
+
+    Attributes
+    ----------
+    name:
+        Label used in result tables.
+    rng_seed:
+        Root seed; together with the network it fully determines the run.
+    num_seeds / seed_strategy:
+        Seed checkpoint selection (paper: 1–10 random seeds).
+    demand, mobility, wireless, protocol, patrol:
+        Component configurations.
+    open_system:
+        Whether border gates are active (Alg. 5).  The network must declare
+        gates for this to have an effect.
+    max_duration_s:
+        Hard simulation horizon.
+    settle_extra_s:
+        Extra time simulated after full convergence, so that verification can
+        check the counters indeed stay put (and, in the open system, that the
+        interaction counters keep tracking the border flow).
+    """
+
+    name: str = "scenario"
+    rng_seed: int = 0
+    num_seeds: int = 1
+    seed_strategy: str = "random"
+    demand: DemandConfig = field(default_factory=DemandConfig)
+    mobility: MobilityConfig = field(default_factory=MobilityConfig)
+    wireless: WirelessConfig = field(default_factory=WirelessConfig)
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    patrol: PatrolPlan = field(default_factory=PatrolPlan)
+    open_system: bool = False
+    max_duration_s: float = minutes_to_seconds(120.0)
+    settle_extra_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_seeds < 1:
+            raise ConfigurationError("num_seeds must be at least 1")
+        if self.max_duration_s <= 0:
+            raise ConfigurationError("max_duration_s must be positive")
+        if self.settle_extra_s < 0:
+            raise ConfigurationError("settle_extra_s cannot be negative")
+
+    # Convenience helpers used by the sweep runner -------------------------
+    def with_volume(self, volume_fraction: float) -> "ScenarioConfig":
+        """A copy of this scenario at a different traffic volume."""
+        return replace(self, demand=replace(self.demand, volume_fraction=volume_fraction))
+
+    def with_seeds(self, num_seeds: int) -> "ScenarioConfig":
+        """A copy of this scenario with a different number of seed checkpoints."""
+        return replace(self, num_seeds=num_seeds)
+
+    def with_rng_seed(self, rng_seed: int) -> "ScenarioConfig":
+        """A copy of this scenario with a different root RNG seed."""
+        return replace(self, rng_seed=rng_seed)

@@ -1,0 +1,119 @@
+"""Metrics extraction from a running/finished simulation.
+
+The paper reports two families of numbers:
+
+* **correctness** — "no mis- or double-counting" (observation 1), which we
+  check by comparing the protocol's global count against the engine's ground
+  truth, and the collected seed-side view against the same truth;
+* **timing** — the elapsed time of information constitution (Fig. 2 / Fig. 4)
+  and of information collection (Fig. 3 / Fig. 5), as max / min / average
+  over checkpoints or over runs.
+
+:func:`summarize_run` turns a :class:`~repro.sim.simulator.Simulation` into a
+:class:`~repro.sim.results.RunResult`; :class:`AccuracyReport` gives a
+human-readable verdict used by examples and the validation CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .results import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .simulator import Simulation
+
+__all__ = ["summarize_run", "AccuracyReport"]
+
+
+def summarize_run(sim: "Simulation") -> RunResult:
+    """Build the :class:`RunResult` for the simulation's current state."""
+    protocol = sim.protocol
+    stabilization = [t for t in protocol.stabilization_times().values()]
+    all_stable = all(t is not None for t in stabilization)
+    constitution_time = max(stabilization) if all_stable and stabilization else None
+    constitution_min = (
+        min(t for t in stabilization if t is not None)
+        if any(t is not None for t in stabilization)
+        else None
+    )
+    known = [t for t in stabilization if t is not None]
+    constitution_avg = (sum(known) / len(known)) if all_stable and known else None
+
+    collection = protocol.collection
+    collection_time = collection.completion_time() if collection.enabled else None
+    collected_count = (
+        collection.global_view()
+        if collection.enabled and collection.all_seeds_done()
+        else None
+    )
+
+    ground_truth = sim.ground_truth()
+    return RunResult(
+        scenario_name=sim.config.name,
+        rng_seed=sim.config.rng_seed,
+        volume_fraction=sim.config.demand.volume_fraction,
+        num_seeds=len(sim.seeds),
+        open_system=sim.config.open_system,
+        constitution_time_s=constitution_time,
+        constitution_min_s=constitution_min,
+        constitution_avg_s=constitution_avg,
+        collection_time_s=collection_time,
+        simulated_s=sim.engine.time_s,
+        ground_truth=ground_truth,
+        protocol_count=protocol.global_count(),
+        collected_count=collected_count,
+        adjustments=protocol.total_adjustments(),
+        inside_at_end=sim.engine.inside_count(),
+        converged=all_stable,
+        collection_converged=bool(collection.enabled and collection.all_seeds_done()),
+        protocol_stats=protocol.stats.as_dict(),
+        engine_stats=sim.engine.stats.as_dict(),
+        exchange_stats=sim.exchange.stats.as_dict(),
+    )
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Human-readable correctness verdict for one run."""
+
+    ground_truth: int
+    protocol_count: int
+    collected_count: Optional[int]
+    adjustments: int
+    converged: bool
+
+    @classmethod
+    def from_result(cls, result: RunResult) -> "AccuracyReport":
+        return cls(
+            ground_truth=result.ground_truth,
+            protocol_count=result.protocol_count,
+            collected_count=result.collected_count,
+            adjustments=result.adjustments,
+            converged=result.converged,
+        )
+
+    @property
+    def exact(self) -> bool:
+        return self.protocol_count == self.ground_truth
+
+    @property
+    def miscount(self) -> int:
+        return self.protocol_count - self.ground_truth
+
+    def describe(self) -> str:
+        lines = [
+            f"ground truth vehicles : {self.ground_truth}",
+            f"protocol global count : {self.protocol_count}",
+        ]
+        if self.collected_count is not None:
+            lines.append(f"collected at seed(s)  : {self.collected_count}")
+        lines.append(f"corrections applied   : {self.adjustments:+d}")
+        verdict = "EXACT (no mis- or double-counting)" if self.exact else (
+            f"OFF BY {self.miscount:+d}"
+        )
+        if not self.converged:
+            verdict += " [not converged]"
+        lines.append(f"verdict               : {verdict}")
+        return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Result containers for single runs and aggregated sweeps."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..units import seconds_to_minutes
+
+__all__ = ["RunResult", "AggregateStat", "SweepCell", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulation run.
+
+    All times are simulated seconds; helpers convert to the minutes the paper
+    plots.  ``None`` marks "did not happen within the horizon".
+    """
+
+    scenario_name: str
+    rng_seed: int
+    volume_fraction: float
+    num_seeds: int
+    open_system: bool
+
+    # convergence / timing
+    constitution_time_s: Optional[float]
+    constitution_min_s: Optional[float]
+    constitution_avg_s: Optional[float]
+    collection_time_s: Optional[float]
+    simulated_s: float
+
+    # counting accuracy
+    ground_truth: int
+    protocol_count: int
+    collected_count: Optional[int]
+    adjustments: int
+    inside_at_end: int
+
+    # bookkeeping
+    converged: bool
+    collection_converged: bool
+    protocol_stats: Dict[str, int] = field(default_factory=dict)
+    engine_stats: Dict[str, int] = field(default_factory=dict)
+    exchange_stats: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ accuracy
+    @property
+    def miscount_error(self) -> int:
+        """Protocol count minus ground truth (0 = the paper's exactness claim)."""
+        return self.protocol_count - self.ground_truth
+
+    @property
+    def collection_error(self) -> Optional[int]:
+        """Collected (seed-side) count minus ground truth, when collection ran."""
+        if self.collected_count is None:
+            return None
+        return self.collected_count - self.ground_truth
+
+    @property
+    def is_exact(self) -> bool:
+        return self.miscount_error == 0
+
+    # -------------------------------------------------------------- timing
+    @property
+    def constitution_time_min(self) -> Optional[float]:
+        return None if self.constitution_time_s is None else seconds_to_minutes(self.constitution_time_s)
+
+    @property
+    def collection_time_min(self) -> Optional[float]:
+        return None if self.collection_time_s is None else seconds_to_minutes(self.collection_time_s)
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario_name,
+            "rng_seed": self.rng_seed,
+            "volume_fraction": self.volume_fraction,
+            "num_seeds": self.num_seeds,
+            "open_system": self.open_system,
+            "constitution_time_s": self.constitution_time_s,
+            "constitution_min_s": self.constitution_min_s,
+            "constitution_avg_s": self.constitution_avg_s,
+            "collection_time_s": self.collection_time_s,
+            "ground_truth": self.ground_truth,
+            "protocol_count": self.protocol_count,
+            "collected_count": self.collected_count,
+            "miscount_error": self.miscount_error,
+            "converged": self.converged,
+            "collection_converged": self.collection_converged,
+        }
+
+
+@dataclass(frozen=True)
+class AggregateStat:
+    """Mean / min / max of one metric over replications."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "AggregateStat":
+        vals = [float(v) for v in values if v is not None and not math.isnan(float(v))]
+        if not vals:
+            return cls(mean=float("nan"), minimum=float("nan"), maximum=float("nan"), count=0)
+        return cls(
+            mean=sum(vals) / len(vals),
+            minimum=min(vals),
+            maximum=max(vals),
+            count=len(vals),
+        )
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """Aggregated results for one (volume, seeds) cell of a sweep."""
+
+    volume_fraction: float
+    num_seeds: int
+    runs: Tuple[RunResult, ...]
+
+    def metric(self, name: str) -> AggregateStat:
+        """Aggregate a RunResult attribute over the cell's replications."""
+        return AggregateStat.from_values(
+            [getattr(run, name) for run in self.runs if getattr(run, name) is not None]
+        )
+
+    @property
+    def all_exact(self) -> bool:
+        return all(run.is_exact for run in self.runs)
+
+    @property
+    def all_converged(self) -> bool:
+        return all(run.converged for run in self.runs)
+
+
+@dataclass
+class SweepResult:
+    """All cells of a (volume x seeds) sweep, as the figures need them."""
+
+    name: str
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def cell(self, volume_fraction: float, num_seeds: int) -> SweepCell:
+        for c in self.cells:
+            if c.volume_fraction == volume_fraction and c.num_seeds == num_seeds:
+                return c
+        raise KeyError(f"no cell for volume={volume_fraction}, seeds={num_seeds}")
+
+    @property
+    def volumes(self) -> List[float]:
+        return sorted({c.volume_fraction for c in self.cells})
+
+    @property
+    def seed_counts(self) -> List[int]:
+        return sorted({c.num_seeds for c in self.cells})
+
+    def series(self, metric: str, statistic: str = "mean") -> Dict[int, List[Tuple[float, float]]]:
+        """Per-seed-count series of ``metric`` over traffic volume.
+
+        Returns ``{num_seeds: [(volume, value), ...]}`` — the structure the
+        figure renderers print.
+        """
+        out: Dict[int, List[Tuple[float, float]]] = {}
+        for seeds in self.seed_counts:
+            series: List[Tuple[float, float]] = []
+            for vol in self.volumes:
+                stat = self.cell(vol, seeds).metric(metric)
+                series.append((vol, getattr(stat, statistic)))
+            out[seeds] = series
+        return out
+
+    @property
+    def all_exact(self) -> bool:
+        return all(cell.all_exact for cell in self.cells)
+
+    @property
+    def all_converged(self) -> bool:
+        return all(cell.all_converged for cell in self.cells)

@@ -1,0 +1,125 @@
+"""Experiment runner: parameter sweeps with replications.
+
+The paper's evaluation sweeps two axes — traffic volume (10–100 % of the
+daily average) and number of seeds (1–10) — and reports max / min / average
+elapsed times.  :class:`ExperimentRunner` reproduces that structure: for every
+``(volume, seeds)`` cell it runs ``replications`` independent simulations
+(fresh RNG seeds, fresh random seed-checkpoint draws) and aggregates the
+results into a :class:`~repro.sim.results.SweepResult` that the figure
+generators and benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..errors import ExperimentError
+from ..roadnet.graph import RoadNetwork
+from .config import ScenarioConfig
+from .results import RunResult, SweepCell, SweepResult
+from .simulator import Simulation
+
+__all__ = ["SweepSpec", "ExperimentRunner", "run_single"]
+
+NetworkFactory = Callable[[], RoadNetwork]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The axes of one sweep.
+
+    ``volumes`` are traffic-volume fractions, ``seed_counts`` the numbers of
+    seed checkpoints, ``replications`` how many independent runs per cell.
+    """
+
+    volumes: Sequence[float] = (0.2, 0.6, 1.0)
+    seed_counts: Sequence[int] = (1, 4, 8)
+    replications: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.volumes:
+            raise ExperimentError("a sweep needs at least one traffic volume")
+        if not self.seed_counts:
+            raise ExperimentError("a sweep needs at least one seed count")
+        if self.replications < 1:
+            raise ExperimentError("replications must be at least 1")
+        if any(v <= 0 for v in self.volumes):
+            raise ExperimentError("traffic volumes must be positive")
+        if any(s < 1 for s in self.seed_counts):
+            raise ExperimentError("seed counts must be at least 1")
+
+    @classmethod
+    def paper_full(cls, replications: int = 3) -> "SweepSpec":
+        """The full grid of the paper's figures (10 volumes x 10 seed counts)."""
+        return cls(
+            volumes=tuple(v / 10.0 for v in range(1, 11)),
+            seed_counts=tuple(range(1, 11)),
+            replications=replications,
+        )
+
+    @classmethod
+    def smoke(cls) -> "SweepSpec":
+        """A tiny sweep for tests."""
+        return cls(volumes=(0.5,), seed_counts=(1,), replications=1)
+
+
+def run_single(
+    network_factory: NetworkFactory,
+    config: ScenarioConfig,
+    *,
+    seeds: Optional[Sequence[object]] = None,
+) -> RunResult:
+    """Run one scenario on a freshly built network and return its result."""
+    net = network_factory()
+    sim = Simulation(net, config, seeds=seeds)
+    return sim.run()
+
+
+class ExperimentRunner:
+    """Runs a (volume x seeds x replication) sweep of one base scenario.
+
+    Parameters
+    ----------
+    network_factory:
+        Zero-argument callable building the road network.  It is called for
+        every run so that runs cannot leak state into each other.
+    base_config:
+        The scenario configuration shared by all cells; the runner only
+        varies ``demand.volume_fraction``, ``num_seeds`` and ``rng_seed``.
+    """
+
+    def __init__(
+        self,
+        network_factory: NetworkFactory,
+        base_config: ScenarioConfig,
+        *,
+        name: Optional[str] = None,
+    ) -> None:
+        self.network_factory = network_factory
+        self.base_config = base_config
+        self.name = name or base_config.name
+
+    def run_cell(
+        self, volume_fraction: float, num_seeds: int, replications: int
+    ) -> SweepCell:
+        """Run all replications of one (volume, seeds) cell."""
+        runs: List[RunResult] = []
+        for rep in range(replications):
+            config = (
+                self.base_config.with_volume(volume_fraction)
+                .with_seeds(num_seeds)
+                .with_rng_seed(self.base_config.rng_seed + 7919 * rep + hash((volume_fraction, num_seeds)) % 1009)
+            )
+            runs.append(run_single(self.network_factory, config))
+        return SweepCell(
+            volume_fraction=volume_fraction, num_seeds=num_seeds, runs=tuple(runs)
+        )
+
+    def run_sweep(self, spec: SweepSpec) -> SweepResult:
+        """Run the full sweep and return the aggregated result."""
+        result = SweepResult(name=self.name)
+        for volume in spec.volumes:
+            for seeds in spec.seed_counts:
+                result.cells.append(self.run_cell(volume, seeds, spec.replications))
+        return result

@@ -1,0 +1,231 @@
+"""The simulation facade: engine + protocol + collection + patrol + metrics.
+
+:class:`Simulation` is the object the examples, tests and benchmarks use.  It
+owns one scenario: a road network, a :class:`ScenarioConfig` and all the
+component instances derived from them, and it knows how to
+
+* populate the network with the initial fleet (and patrol cars),
+* step the engine, feed the event stream to the counting protocol, inject
+  border arrivals (open systems),
+* detect convergence of the constitution (Alg. 1/3/5) and of the collection
+  (Alg. 2/4),
+* produce a :class:`~repro.sim.results.RunResult` with the timing and
+  accuracy figures the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.convergence import ConvergenceMonitor
+from ..core.patrol import PatrolPlan
+from ..core.protocol import CountingProtocol
+from ..core.seeds import select_seeds
+from ..errors import ConfigurationError, ConvergenceError
+from ..mobility.demand import DemandModel
+from ..mobility.engine import TrafficEngine
+from ..mobility.events import CrossingEvent
+from ..mobility.intersections import IntersectionPolicy
+from ..roadnet.graph import RoadNetwork
+from ..wireless.channel import BernoulliLossChannel, PerfectChannel
+from ..wireless.exchange import ExchangeService
+from .config import ScenarioConfig
+from .metrics import summarize_run
+from .results import RunResult
+from .rng import RngFactory
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """One configured counting experiment on a road network.
+
+    Parameters
+    ----------
+    net:
+        The road network.  For open-system scenarios it must declare gates.
+    config:
+        The scenario configuration.
+    seeds:
+        Explicit seed checkpoints; when omitted they are selected according
+        to ``config.num_seeds`` / ``config.seed_strategy``.
+    """
+
+    def __init__(
+        self,
+        net: RoadNetwork,
+        config: Optional[ScenarioConfig] = None,
+        *,
+        seeds: Optional[Sequence[object]] = None,
+    ) -> None:
+        self.net = net
+        self.config = config if config is not None else ScenarioConfig()
+        if self.config.open_system and not net.is_open_system:
+            raise ConfigurationError(
+                "open_system scenarios require a network with border gates"
+            )
+        self.rngs = RngFactory(self.config.rng_seed)
+
+        # --- seeds -----------------------------------------------------------
+        if seeds is not None:
+            self.seeds = list(seeds)
+        else:
+            self.seeds = select_seeds(
+                net,
+                self.config.num_seeds,
+                self.rngs.generator("seeds"),
+                strategy=self.config.seed_strategy,
+            )
+
+        # --- wireless --------------------------------------------------------
+        wireless = self.config.wireless
+        channel = (
+            PerfectChannel()
+            if wireless.loss_probability == 0.0
+            else BernoulliLossChannel(wireless.loss_probability)
+        )
+        self.exchange = ExchangeService(
+            channel,
+            self.rngs.generator("wireless"),
+            attempts_per_contact=wireless.attempts_per_contact,
+            reliable_within_window=wireless.reliable_within_window,
+        )
+
+        # --- engine ----------------------------------------------------------
+        mobility = self.config.mobility
+        self.engine = TrafficEngine(
+            net,
+            self.rngs.generator("engine"),
+            dt_s=mobility.dt_s,
+            policy=IntersectionPolicy(
+                admissions_per_step=mobility.admissions_per_step,
+                crossing_delay_s=mobility.crossing_delay_s,
+                name="scenario",
+            ),
+            allow_overtaking=mobility.allow_overtaking,
+        )
+
+        # --- demand ----------------------------------------------------------
+        self.demand = DemandModel(net, self.config.demand, self.rngs.generator("demand"))
+
+        # --- protocol --------------------------------------------------------
+        self.protocol = CountingProtocol(
+            net,
+            self.seeds,
+            self.rngs.generator("recognition"),
+            exchange=self.exchange,
+            config=self.config.protocol,
+        )
+        self.monitor = ConvergenceMonitor(self.protocol)
+
+        self._populated = False
+        self._initial_fleet_size = 0
+        self._patrol_count = 0
+
+    # ------------------------------------------------------------- population
+    def populate(self) -> None:
+        """Insert the initial fleet and patrol cars (idempotent)."""
+        if self._populated:
+            return
+        specs = self.demand.initial_fleet(open_system=self.config.open_system)
+        self.engine.spawn_initial(specs)
+        self._initial_fleet_size = len(specs)
+
+        patrol_rng = self.rngs.generator("patrol")
+        for router in self.config.patrol.routers(self.net, patrol_rng):
+            self.engine.spawn_patrol(router, router.start_node)
+            self._patrol_count += 1
+        self._populated = True
+
+    @property
+    def initial_fleet_size(self) -> int:
+        return self._initial_fleet_size
+
+    @property
+    def patrol_count(self) -> int:
+        return self._patrol_count
+
+    # ------------------------------------------------------------------ loop
+    def step(self) -> None:
+        """Advance the scenario by one engine time step."""
+        if not self._populated:
+            self.populate()
+        injected = []
+        if self.config.open_system:
+            for spec in self.demand.border_arrivals(self.engine.dt_s):
+                _vehicle, events = self.engine.spawn(spec)
+                injected.extend(events)
+        events = injected + self.engine.step()
+        for event in events:
+            if isinstance(event, CrossingEvent):
+                self.monitor.note_traffic(event.from_node, event.node, event.time_s)
+        self.protocol.handle_events(events)
+        self.monitor.observe(self.engine.time_s)
+
+    def run(self, *, raise_on_timeout: bool = False) -> RunResult:
+        """Run until convergence (plus ``settle_extra_s``) or the horizon.
+
+        Convergence means: every checkpoint's counting stabilized and, when
+        collection is enabled, every seed has obtained its subtree total.
+        """
+        if not self._populated:
+            self.populate()
+        max_steps = int(round(self.config.max_duration_s / self.engine.dt_s))
+        settle_steps = int(round(self.config.settle_extra_s / self.engine.dt_s))
+        settled = 0
+        converged = False
+        for _ in range(max_steps):
+            self.step()
+            if self._converged():
+                converged = True
+                if settled >= settle_steps:
+                    break
+                settled += 1
+        if not converged and raise_on_timeout:
+            raise ConvergenceError(
+                f"scenario {self.config.name!r} did not converge within "
+                f"{self.config.max_duration_s:.0f} simulated seconds"
+            )
+        return self.result()
+
+    def run_for(self, duration_s: float) -> None:
+        """Run for a fixed simulated duration regardless of convergence."""
+        if not self._populated:
+            self.populate()
+        steps = int(round(duration_s / self.engine.dt_s))
+        for _ in range(steps):
+            self.step()
+
+    def _converged(self) -> bool:
+        if not self.protocol.all_stable():
+            return False
+        if self.config.protocol.collection_enabled and not self.protocol.collection.all_seeds_done():
+            return False
+        return True
+
+    # --------------------------------------------------------------- results
+    def ground_truth(self) -> int:
+        """The number of target vehicles the count should equal.
+
+        Closed system: every (target) vehicle ever inserted.  Open system:
+        the (target) vehicles currently inside — the complete-status
+        invariant of Definition 1 / Corollary 2.
+        """
+        target = self.config.protocol.count_target
+        if self.config.open_system:
+            pool = [v for v in self.engine.vehicles.values() if not v.is_patrol]
+        else:
+            pool = [
+                v
+                for v in list(self.engine.vehicles.values()) + self.engine.departed_vehicles()
+                if not v.is_patrol
+            ]
+        if target is None or target.is_wildcard:
+            return len(pool)
+        return sum(1 for v in pool if target.matches(v.signature))
+
+    def result(self) -> RunResult:
+        """Summarize the current state into a :class:`RunResult`."""
+        return summarize_run(self)

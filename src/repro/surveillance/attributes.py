@@ -1,0 +1,111 @@
+"""Vehicle exterior attributes.
+
+The paper's privacy constraint (Section II) forbids using any ownership
+information such as the VIN; checkpoints may only use *exterior
+characteristics* — colour, brand and body type — to decide whether a passing
+vehicle belongs to the class being counted (e.g. "white van" in the Beltway
+sniper scenario).  These attributes are deliberately **not unique**: many
+vehicles share the same signature, which is exactly why per-vehicle identity
+cannot be used to de-duplicate counts and why the synchronization protocol is
+needed in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "COLORS",
+    "MAKES",
+    "BODY_TYPES",
+    "ExteriorSignature",
+    "random_signature",
+    "WHITE_VAN",
+]
+
+#: Common vehicle colours, with rough relative frequencies.
+COLORS: Tuple[Tuple[str, float], ...] = (
+    ("white", 0.24),
+    ("black", 0.20),
+    ("gray", 0.18),
+    ("silver", 0.12),
+    ("blue", 0.10),
+    ("red", 0.09),
+    ("green", 0.04),
+    ("yellow", 0.03),
+)
+
+#: Vehicle manufacturers ("brand" in the paper), uniform frequencies.
+MAKES: Tuple[str, ...] = (
+    "toyota", "ford", "honda", "chevrolet", "nissan",
+    "bmw", "mercedes", "volkswagen", "hyundai", "dodge",
+)
+
+#: Body types, with rough relative frequencies.
+BODY_TYPES: Tuple[Tuple[str, float], ...] = (
+    ("sedan", 0.42),
+    ("suv", 0.28),
+    ("van", 0.10),
+    ("pickup", 0.10),
+    ("taxi", 0.06),
+    ("truck", 0.04),
+)
+
+
+@dataclass(frozen=True)
+class ExteriorSignature:
+    """The (colour, make, body type) triple visible to a roadside camera.
+
+    ``matches`` implements the partial matching used when counting a
+    *specified type* of vehicle: ``None`` fields in the query act as
+    wildcards, so ``ExteriorSignature("white", None, "van")`` matches every
+    white van regardless of make.
+    """
+
+    color: Optional[str] = None
+    make: Optional[str] = None
+    body_type: Optional[str] = None
+
+    def matches(self, other: "ExteriorSignature") -> bool:
+        """Whether ``other`` (a concrete vehicle) matches this query."""
+        for mine, theirs in (
+            (self.color, other.color),
+            (self.make, other.make),
+            (self.body_type, other.body_type),
+        ):
+            if mine is not None and mine != theirs:
+                return False
+        return True
+
+    @property
+    def is_wildcard(self) -> bool:
+        """True when every field is a wildcard (matches all vehicles)."""
+        return self.color is None and self.make is None and self.body_type is None
+
+    def describe(self) -> str:
+        """Human readable description, e.g. ``"white * van"``."""
+        return " ".join(x if x is not None else "*" for x in (self.color, self.make, self.body_type))
+
+
+#: The Beltway-sniper query used by the paper's "Does anyone see that white
+#: van?" extension and by ``examples/suspect_vehicle_search.py``.
+WHITE_VAN = ExteriorSignature(color="white", body_type="van")
+
+
+def _weighted_choice(rng: np.random.Generator, table: Sequence[Tuple[str, float]]) -> str:
+    names = [n for n, _ in table]
+    weights = np.asarray([w for _, w in table], dtype=float)
+    weights = weights / weights.sum()
+    return str(rng.choice(names, p=weights))
+
+
+def random_signature(rng: np.random.Generator) -> ExteriorSignature:
+    """Draw a concrete vehicle signature from the population distributions."""
+    return ExteriorSignature(
+        color=_weighted_choice(rng, COLORS),
+        make=str(rng.choice(MAKES)),
+        body_type=_weighted_choice(rng, BODY_TYPES),
+    )

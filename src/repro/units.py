@@ -1,0 +1,68 @@
+"""Unit helpers.
+
+All internal quantities use SI units: metres, seconds, metres/second.
+The paper quotes speed limits in miles per hour (15 mph and 25 mph) and
+elapsed times in minutes; these helpers keep the conversions in one place so
+magic constants never leak into the protocol or engine code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MPH_TO_MPS",
+    "mph_to_mps",
+    "mps_to_mph",
+    "minutes_to_seconds",
+    "seconds_to_minutes",
+    "kmh_to_mps",
+    "mps_to_kmh",
+    "MANHATTAN_BLOCK_SHORT_M",
+    "MANHATTAN_BLOCK_LONG_M",
+    "SPEED_LIMIT_15_MPH",
+    "SPEED_LIMIT_25_MPH",
+]
+
+#: Exact factor: 1 mile = 1609.344 m, 1 hour = 3600 s.
+MPH_TO_MPS: float = 1609.344 / 3600.0
+
+#: Typical Manhattan block edge lengths (metres): short side between avenues
+#: is ~80 m, long side between streets is ~274 m.
+MANHATTAN_BLOCK_SHORT_M: float = 80.0
+MANHATTAN_BLOCK_LONG_M: float = 274.0
+
+
+def mph_to_mps(mph: float) -> float:
+    """Convert miles/hour to metres/second."""
+    return float(mph) * MPH_TO_MPS
+
+
+def mps_to_mph(mps: float) -> float:
+    """Convert metres/second to miles/hour."""
+    return float(mps) / MPH_TO_MPS
+
+
+def kmh_to_mps(kmh: float) -> float:
+    """Convert kilometres/hour to metres/second."""
+    return float(kmh) / 3.6
+
+
+def mps_to_kmh(mps: float) -> float:
+    """Convert metres/second to kilometres/hour."""
+    return float(mps) * 3.6
+
+
+def minutes_to_seconds(minutes: float) -> float:
+    """Convert minutes to seconds."""
+    return float(minutes) * 60.0
+
+
+def seconds_to_minutes(seconds: float) -> float:
+    """Convert seconds to minutes."""
+    return float(seconds) / 60.0
+
+
+#: The paper's default urban speed limit (15 mph) in m/s.
+SPEED_LIMIT_15_MPH: float = mph_to_mps(15.0)
+
+#: The paper's "lifted" speed limit (25 mph) in m/s.
+SPEED_LIMIT_25_MPH: float = mph_to_mps(25.0)

@@ -1,0 +1,145 @@
+"""Message payloads exchanged over the V2V / V2I links.
+
+The protocol keeps the information carried by vehicles deliberately tiny —
+the paper stresses that only a one-bit on/off status plus small counters are
+needed.  These dataclasses are the structured form of that information:
+
+* :class:`LabelToken` — the frontier/backwash label of Alg. 1 phase 2
+  ("checkpoint *origin* is active; everything behind me on this segment has
+  been counted"), plus the ±1 adjustment delta of Alg. 3 when the literal
+  "paper" adjustment mode is used.
+* :class:`CounterReport` — an Alg. 2 / Alg. 4 subtree report travelling from
+  a checkpoint to its predecessor.
+* :class:`StatusDigest` — the set of known checkpoint on/off statuses carried
+  by patrol cars (Theorem 3) together with any reports they ferry.
+
+All payloads are immutable except for the label's mutable adjustment delta,
+which mirrors how the paper lets the labelled vehicle accumulate corrections
+while it travels along one segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+__all__ = ["LabelToken", "CounterReport", "StatusDigest"]
+
+
+@dataclass
+class LabelToken:
+    """The one-bit "active" label installed on the first vehicle joining an
+    outbound traffic flow (Alg. 1 phase 2).
+
+    Attributes
+    ----------
+    origin:
+        The checkpoint that issued the label (``u`` in phase 2).
+    segment:
+        The directed segment ``(origin, target)`` the label travels along.
+        The label is only meaningful to the checkpoint at ``target``.
+    origin_predecessor:
+        ``p(origin)`` at issue time, carried so the receiving checkpoint can
+        discover its spanning-tree children (see DESIGN.md note 2).  ``None``
+        for seed checkpoints.
+    tree_id:
+        Identifier of the seed whose wave this label extends (multi-seed
+        extension: all trees use "the same label" for synchronization, but
+        the tree id lets the collection phase route reports to the right
+        sink).
+    issued_at:
+        Simulation time when the label was installed on the vehicle.
+    adjustment:
+        The ±1 corrections of Alg. 3 lines 7–8 accumulated while the label
+        travels (only used in the literal ``"paper"`` adjustment mode).
+    """
+
+    origin: object
+    segment: Tuple[object, object]
+    origin_predecessor: Optional[object] = None
+    tree_id: Optional[object] = None
+    issued_at: float = 0.0
+    adjustment: int = 0
+
+    @property
+    def target(self) -> object:
+        """The checkpoint this label is destined for."""
+        return self.segment[1]
+
+
+@dataclass(frozen=True)
+class CounterReport:
+    """A stabilized subtree count reported toward the predecessor (Alg. 2).
+
+    ``value`` is ``c(u) + sum of the successors' reported values``;
+    ``reporter`` is ``u`` and ``destination`` is ``p(u)``.  ``tree_id``
+    identifies the seed/sink the report ultimately belongs to.
+    """
+
+    reporter: object
+    destination: object
+    value: int
+    tree_id: Optional[object] = None
+    hops: int = 1
+
+    def relayed(self) -> "CounterReport":
+        """The same report after one more relay hop (patrol forwarding)."""
+        return CounterReport(
+            reporter=self.reporter,
+            destination=self.destination,
+            value=self.value,
+            tree_id=self.tree_id,
+            hops=self.hops + 1,
+        )
+
+
+@dataclass
+class StatusDigest:
+    """Checkpoint statuses and ferried reports carried by a patrol car.
+
+    ``active`` maps checkpoint id -> simulation time at which the patrol
+    learned that the checkpoint was active.  ``parents`` maps checkpoint id
+    -> its predecessor (used by Alg. 4 to learn tree children across one-way
+    segments).  ``reports`` are undelivered :class:`CounterReport` payloads
+    the patrol is ferrying along a circuitous route.
+    """
+
+    active: Dict[object, float] = field(default_factory=dict)
+    parents: Dict[object, Optional[object]] = field(default_factory=dict)
+    trees: Dict[object, Optional[object]] = field(default_factory=dict)
+    reports: Dict[Tuple[object, object], CounterReport] = field(default_factory=dict)
+
+    def note_active(
+        self,
+        checkpoint: object,
+        time_s: float,
+        parent: Optional[object],
+        tree_id: Optional[object] = None,
+    ) -> None:
+        """Record that ``checkpoint`` was observed active at ``time_s``."""
+        self.active.setdefault(checkpoint, time_s)
+        if checkpoint not in self.parents:
+            self.parents[checkpoint] = parent
+        if checkpoint not in self.trees:
+            self.trees[checkpoint] = tree_id
+
+    def add_report(self, report: CounterReport) -> None:
+        """Ferry a report (keyed by reporter/destination; newest wins)."""
+        self.reports[(report.reporter, report.destination)] = report
+
+    def pop_reports_for(self, checkpoint: object) -> Tuple[CounterReport, ...]:
+        """Remove and return every ferried report destined for ``checkpoint``."""
+        keys = [k for k, rep in self.reports.items() if rep.destination == checkpoint]
+        out = tuple(self.reports.pop(k) for k in keys)
+        return out
+
+    def merge(self, other: "StatusDigest") -> None:
+        """Merge knowledge from another digest (checkpoint <-> patrol sync)."""
+        for cp, t in other.active.items():
+            self.active.setdefault(cp, t)
+        for cp, parent in other.parents.items():
+            self.parents.setdefault(cp, parent)
+        for cp, tree in other.trees.items():
+            self.trees.setdefault(cp, tree)
+        for key, rep in other.reports.items():
+            self.reports.setdefault(key, rep)

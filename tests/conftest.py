@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility.demand import DemandConfig
+from repro.roadnet.builders import grid_network, line_network, ring_network, triangle_network
+from repro.sim.config import MobilityConfig, ScenarioConfig, WirelessConfig
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for unit tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle():
+    """The 3-intersection closed system of the paper's Fig. 1."""
+    return triangle_network()
+
+
+@pytest.fixture
+def small_grid():
+    """A 3x3 bidirectional grid (single lane, FIFO)."""
+    return grid_network(3, 3, lanes=1)
+
+
+@pytest.fixture
+def two_lane_grid():
+    """A 4x4 grid with two lanes (overtaking possible)."""
+    return grid_network(4, 4, lanes=2)
+
+
+@pytest.fixture
+def gated_grid():
+    """A 4x4 grid whose perimeter intersections are border gates."""
+    return grid_network(4, 4, lanes=2, gates_on_border=True)
+
+
+@pytest.fixture
+def oneway_ring():
+    """A directed ring: every segment is one-way."""
+    return ring_network(6, one_way=True)
+
+
+@pytest.fixture
+def simple_model_config():
+    """The paper's simple road model: FIFO, lossless, one admission per step."""
+    return ScenarioConfig(
+        name="simple-model",
+        rng_seed=3,
+        num_seeds=1,
+        demand=DemandConfig(volume_fraction=0.6),
+        wireless=WirelessConfig(loss_probability=0.0, attempts_per_contact=1),
+        mobility=MobilityConfig(
+            allow_overtaking=False, admissions_per_step=1, crossing_delay_s=1.0
+        ),
+    )
+
+
+@pytest.fixture
+def extended_model_config():
+    """The paper's extended model: 30% lossy wireless, overtaking, multi-admission."""
+    return ScenarioConfig(
+        name="extended-model",
+        rng_seed=5,
+        num_seeds=1,
+        demand=DemandConfig(volume_fraction=0.8),
+        wireless=WirelessConfig(loss_probability=0.3),
+        mobility=MobilityConfig(allow_overtaking=True, admissions_per_step=4),
+    )

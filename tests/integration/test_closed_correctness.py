@@ -1,0 +1,133 @@
+"""Theorem 1 / Theorem 2 as executable claims: closed-system exactness.
+
+Every test runs the full stack (engine + wireless + protocol + collection) on
+a closed road system and checks the paper's headline claim: the converged
+global count equals the true fleet size, with no mis- or double-counting —
+and, for the simple road model, that the base algorithm achieves this without
+ever invoking the Alg. 3 correction rules.
+"""
+
+import pytest
+
+from repro.core.patrol import PatrolPlan
+from repro.core.protocol import AdjustmentMode, ProtocolConfig
+from repro.mobility.demand import DemandConfig
+from repro.roadnet.builders import grid_network, line_network, ring_network, triangle_network
+from repro.sim.config import MobilityConfig, ScenarioConfig, WirelessConfig
+from repro.sim.simulator import Simulation
+
+
+def run_closed(net, config):
+    sim = Simulation(net, config)
+    result = sim.run()
+    return sim, result
+
+
+class TestTheorem1SimpleModel:
+    """FIFO traffic, lossless links, single admission (Alg. 1 verbatim)."""
+
+    def test_fig1_triangle_exact(self, simple_model_config):
+        sim, result = run_closed(triangle_network(), simple_model_config)
+        assert result.converged and result.collection_converged
+        assert result.is_exact
+        assert result.collected_count == result.ground_truth
+
+    def test_simple_model_never_needs_corrections(self, small_grid, simple_model_config):
+        sim, result = run_closed(small_grid, simple_model_config)
+        assert result.is_exact
+        # Theorem 1's mechanism alone suffices: the correction rules never fire.
+        assert result.adjustments == 0
+        assert result.protocol_stats["corrections_plus"] == 0
+        assert result.protocol_stats["corrections_minus"] == 0
+        assert result.protocol_stats["labeling_failures"] == 0
+
+    def test_every_segment_gets_exactly_one_label(self, small_grid, simple_model_config):
+        sim, result = run_closed(small_grid, simple_model_config)
+        assert result.protocol_stats["labels_installed"] == small_grid.num_segments
+        assert result.protocol_stats["labels_delivered"] == small_grid.num_segments
+
+    def test_line_network_exact(self, simple_model_config):
+        _sim, result = run_closed(line_network(5), simple_model_config)
+        assert result.is_exact and result.adjustments == 0
+
+    def test_per_checkpoint_counters_are_non_negative(self, small_grid, simple_model_config):
+        sim, result = run_closed(small_grid, simple_model_config)
+        for cp in sim.protocol.checkpoints.values():
+            assert all(v >= 0 for v in cp.counters.values())
+            assert cp.stable
+
+
+class TestTheorem2ExtendedModel:
+    """Lossy wireless, overtaking, multiple lanes, multiple seeds (Alg. 3)."""
+
+    def test_lossy_and_overtaking_exact(self, two_lane_grid, extended_model_config):
+        _sim, result = run_closed(two_lane_grid, extended_model_config)
+        assert result.converged
+        assert result.is_exact
+        assert result.collected_count == result.ground_truth
+
+    @pytest.mark.parametrize("num_seeds", [1, 2, 4])
+    def test_multi_seed_exact(self, two_lane_grid, extended_model_config, num_seeds):
+        config = extended_model_config.with_seeds(num_seeds)
+        _sim, result = run_closed(two_lane_grid, config)
+        assert result.is_exact
+        assert result.num_seeds == num_seeds
+
+    @pytest.mark.parametrize("volume", [0.2, 1.0])
+    def test_traffic_volume_does_not_affect_correctness(self, two_lane_grid, extended_model_config, volume):
+        config = extended_model_config.with_volume(volume)
+        _sim, result = run_closed(two_lane_grid, config)
+        assert result.is_exact
+
+    def test_one_way_ring_with_patrol(self):
+        config = ScenarioConfig(
+            name="one-way",
+            rng_seed=9,
+            demand=DemandConfig(volume_fraction=0.8),
+            patrol=PatrolPlan(num_cars=1),
+        )
+        _sim, result = run_closed(ring_network(8, one_way=True), config)
+        assert result.converged and result.is_exact
+        assert result.collected_count == result.ground_truth
+
+    def test_heavier_loss_still_exact(self, two_lane_grid):
+        config = ScenarioConfig(
+            name="heavy-loss",
+            rng_seed=21,
+            demand=DemandConfig(volume_fraction=0.8),
+            wireless=WirelessConfig(loss_probability=0.6),
+        )
+        _sim, result = run_closed(two_lane_grid, config)
+        assert result.is_exact
+
+    def test_paper_adjustment_mode_exact_in_fifo(self, small_grid, simple_model_config):
+        # In the FIFO/lossless model the literal paper rules are also exact
+        # (they simply never trigger).
+        config = ScenarioConfig(
+            name="paper-mode-fifo",
+            rng_seed=simple_model_config.rng_seed,
+            demand=simple_model_config.demand,
+            wireless=simple_model_config.wireless,
+            mobility=simple_model_config.mobility,
+            protocol=ProtocolConfig(adjustment_mode=AdjustmentMode.PAPER),
+        )
+        _sim, result = run_closed(small_grid, config)
+        assert result.is_exact and result.adjustments == 0
+
+
+class TestCountersStaySettled:
+    def test_counts_do_not_drift_after_convergence(self, small_grid, simple_model_config):
+        sim = Simulation(small_grid, simple_model_config)
+        result = sim.run()
+        assert result.converged
+        settled = sim.protocol.global_count()
+        sim.run_for(120.0)  # keep the traffic flowing for two more minutes
+        assert sim.protocol.global_count() == settled
+
+    def test_stabilization_times_within_simulated_horizon(self, small_grid, simple_model_config):
+        sim = Simulation(small_grid, simple_model_config)
+        result = sim.run()
+        times = [t for t in sim.protocol.stabilization_times().values()]
+        assert all(t is not None and 0.0 <= t <= result.simulated_s for t in times)
+        assert result.constitution_time_s == max(times)
+        assert result.constitution_min_s == min(times)

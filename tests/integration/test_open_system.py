@@ -1,0 +1,99 @@
+"""Corollaries 1 and 2: the open road system reaches a complete status and
+its live count tracks the number of vehicles inside exactly."""
+
+import pytest
+
+from repro.core.patrol import PatrolPlan
+from repro.mobility.demand import DemandConfig
+from repro.roadnet.builders import grid_network
+from repro.roadnet.manhattan import build_midtown_grid
+from repro.sim.config import MobilityConfig, ScenarioConfig, WirelessConfig
+from repro.sim.simulator import Simulation
+
+
+def open_config(rng_seed=11, volume=0.8, seeds=2, **kw):
+    return ScenarioConfig(
+        name="open-system",
+        rng_seed=rng_seed,
+        num_seeds=seeds,
+        open_system=True,
+        demand=DemandConfig(volume_fraction=volume),
+        settle_extra_s=60.0,
+        **kw,
+    )
+
+
+class TestCorollary1Convergence:
+    def test_complete_status_reached(self, gated_grid):
+        sim = Simulation(gated_grid, open_config())
+        result = sim.run()
+        assert result.converged, "Alg. 5 did not reach the complete status"
+        assert result.constitution_time_s is not None
+        assert sim.protocol.all_stable()
+
+    def test_border_checkpoints_keep_interaction_active(self, gated_grid):
+        sim = Simulation(gated_grid, open_config())
+        sim.run()
+        for node in gated_grid.border_nodes():
+            cp = sim.protocol.checkpoint(node)
+            assert cp.is_border
+            if cp.active:
+                assert cp.interaction_active
+
+
+class TestCorollary2Exactness:
+    def test_count_equals_vehicles_inside_at_completion(self, gated_grid):
+        sim = Simulation(gated_grid, open_config())
+        result = sim.run()
+        assert result.converged
+        assert result.protocol_count == result.ground_truth == sim.engine.inside_count()
+
+    def test_live_tracking_after_complete_status(self, gated_grid):
+        sim = Simulation(gated_grid, open_config(rng_seed=23))
+        result = sim.run()
+        assert result.converged
+        # After the complete status the live sum of counters must keep
+        # matching the true number of vehicles inside as traffic flows.
+        for _ in range(6):
+            sim.run_for(30.0)
+            assert sim.protocol.global_count() == sim.engine.inside_count()
+
+    def test_entries_and_exits_are_observed(self, gated_grid):
+        sim = Simulation(gated_grid, open_config(volume=1.0))
+        result = sim.run()
+        assert result.protocol_stats["interaction_entries"] > 0
+        assert result.engine_stats["entries"] > 0
+        assert result.engine_stats["exits"] > 0
+
+    @pytest.mark.parametrize("volume", [0.3, 1.0])
+    def test_exact_across_traffic_volumes(self, gated_grid, volume):
+        sim = Simulation(gated_grid, open_config(rng_seed=31, volume=volume))
+        result = sim.run()
+        assert result.converged
+        assert result.protocol_count == sim.engine.inside_count()
+
+    def test_open_midtown_with_one_way_streets(self):
+        net = build_midtown_grid(scale=0.2, open_border=True)
+        config = open_config(rng_seed=41, seeds=1, patrol=PatrolPlan(num_cars=2))
+        sim = Simulation(net, config)
+        result = sim.run()
+        assert result.converged
+        assert result.protocol_count == sim.engine.inside_count()
+
+    def test_heavy_through_traffic_still_exact(self, gated_grid):
+        config = ScenarioConfig(
+            name="through-heavy",
+            rng_seed=53,
+            num_seeds=2,
+            open_system=True,
+            demand=DemandConfig(
+                volume_fraction=1.0,
+                through_traffic_fraction=0.9,
+                entry_rate_veh_per_s_at_full=0.4,
+            ),
+            settle_extra_s=60.0,
+        )
+        sim = Simulation(gated_grid, config)
+        result = sim.run()
+        assert result.converged
+        assert result.protocol_count == sim.engine.inside_count()

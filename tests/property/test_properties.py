@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Three families:
+
+* the Chandy–Lamport reference implementation records a consistent snapshot
+  (total conserved) for *any* interleaving of transfers and marker deliveries,
+* random road networks produced by the builders always satisfy the structural
+  assumptions the protocol needs,
+* the full counting stack is exact on randomly generated small scenarios
+  (topology, traffic volume, seeds, wireless loss all drawn by hypothesis).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.checkpoint import Checkpoint, DirectionState
+from repro.core.snapshot import MessageSystem
+from repro.mobility.demand import DemandConfig
+from repro.roadnet.builders import grid_network, random_planar_network, ring_network
+from repro.sim.config import MobilityConfig, ScenarioConfig, WirelessConfig
+from repro.sim.simulator import Simulation
+
+# A relaxed profile: the scenarios below run a full simulation per example.
+SLOW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+FAST = settings(max_examples=50, deadline=None)
+
+
+# --------------------------------------------------------------------------- Chandy-Lamport
+@FAST
+@given(
+    balances=st.lists(st.integers(min_value=0, max_value=20), min_size=2, max_size=5),
+    transfers=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(1, 5)), max_size=20
+    ),
+    snapshot_after=st.integers(min_value=0, max_value=20),
+)
+def test_snapshot_total_always_conserved(balances, transfers, snapshot_after):
+    pids = list(range(len(balances)))
+    system = MessageSystem({pid: bal for pid, bal in zip(pids, balances)})
+    initial_total = sum(balances)
+    started = False
+    for i, (src, dst, amount) in enumerate(transfers):
+        if i == snapshot_after and not started:
+            system.start_snapshot(pids[0])
+            started = True
+        src, dst = pids[src % len(pids)], pids[dst % len(pids)]
+        if src == dst:
+            continue
+        amount = min(amount, system.processes[src].balance)
+        if amount > 0:
+            system.send(src, dst, amount)
+    if not started:
+        system.start_snapshot(pids[0])
+    system.drain_until_complete()
+    assert system.result().total == initial_total
+    assert system.current_total() == initial_total
+
+
+# --------------------------------------------------------------------------- road networks
+@FAST
+@given(
+    n_nodes=st.integers(min_value=4, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+    one_way=st.floats(min_value=0.0, max_value=0.6),
+)
+def test_random_networks_satisfy_protocol_assumptions(n_nodes, seed, one_way):
+    import networkx as nx
+
+    net = random_planar_network(n_nodes, seed=seed, one_way_fraction=one_way)
+    assert net.num_nodes == n_nodes
+    g = net.to_networkx()
+    assert nx.is_strongly_connected(g)
+    for node in net.nodes:
+        assert net.outbound_neighbors(node)
+        assert net.inbound_neighbors(node)
+    # a patrol cycle always exists (Theorem 4)
+    from repro.core.patrol import build_patrol_cycle
+
+    cycle = build_patrol_cycle(net)
+    assert set(cycle) == set(net.nodes)
+
+
+# --------------------------------------------------------------------------- checkpoint machine
+@FAST
+@given(
+    n_neighbors=st.integers(min_value=1, max_value=6),
+    order=st.permutations(range(6)),
+    seed_activation=st.booleans(),
+)
+def test_checkpoint_stabilizes_after_all_labels(n_neighbors, order, seed_activation):
+    neighbors = [f"n{i}" for i in range(n_neighbors)]
+    cp = Checkpoint("u", inbound=neighbors, outbound=neighbors)
+    if seed_activation:
+        cp.activate_as_seed(0.0)
+    else:
+        cp.receive_label(neighbors[0], origin_parent=None, tree_id="t", time_s=0.0)
+    # deliver stop labels from every neighbour in an arbitrary order
+    for idx in order:
+        if idx < n_neighbors:
+            cp.receive_label(neighbors[idx], origin_parent="u", tree_id="t", time_s=1.0 + idx)
+    assert cp.stable
+    assert cp.stabilized_at is not None
+    # every direction ended in STOPPED or EXEMPT, never COUNTING/IDLE
+    assert all(
+        s in (DirectionState.STOPPED, DirectionState.EXEMPT)
+        for s in cp.direction_state.values()
+    )
+    # the predecessor direction is exempt for non-seeds
+    if not seed_activation:
+        assert cp.direction_state[neighbors[0]] is DirectionState.EXEMPT
+
+
+# --------------------------------------------------------------------------- end-to-end counting
+@SLOW
+@given(
+    rows=st.integers(min_value=3, max_value=4),
+    cols=st.integers(min_value=3, max_value=4),
+    lanes=st.integers(min_value=1, max_value=2),
+    volume=st.floats(min_value=0.3, max_value=1.0),
+    loss=st.sampled_from([0.0, 0.3]),
+    num_seeds=st.integers(min_value=1, max_value=3),
+    rng_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_closed_counting_exact_on_random_scenarios(
+    rows, cols, lanes, volume, loss, num_seeds, rng_seed
+):
+    net = grid_network(rows, cols, lanes=lanes)
+    config = ScenarioConfig(
+        name="prop-closed",
+        rng_seed=rng_seed,
+        num_seeds=num_seeds,
+        demand=DemandConfig(volume_fraction=volume),
+        wireless=WirelessConfig(loss_probability=loss),
+        mobility=MobilityConfig(allow_overtaking=lanes > 1),
+        max_duration_s=3600.0,
+    )
+    result = Simulation(net, config).run()
+    assert result.converged, "closed scenario failed to converge within an hour of traffic"
+    assert result.is_exact
+    assert result.collected_count == result.ground_truth
+
+
+@SLOW
+@given(
+    volume=st.floats(min_value=0.4, max_value=1.0),
+    rng_seed=st.integers(min_value=0, max_value=2**16),
+    through=st.floats(min_value=0.2, max_value=0.9),
+)
+def test_open_counting_tracks_inside_on_random_scenarios(volume, rng_seed, through):
+    net = grid_network(4, 4, lanes=2, gates_on_border=True)
+    config = ScenarioConfig(
+        name="prop-open",
+        rng_seed=rng_seed,
+        num_seeds=2,
+        open_system=True,
+        demand=DemandConfig(volume_fraction=volume, through_traffic_fraction=through),
+        settle_extra_s=60.0,
+        max_duration_s=3600.0,
+    )
+    sim = Simulation(net, config)
+    result = sim.run()
+    assert result.converged
+    assert result.protocol_count == sim.engine.inside_count()

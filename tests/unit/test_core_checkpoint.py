@@ -1,0 +1,235 @@
+"""Checkpoint state machine (Alg. 1 / 3 / 5 phases)."""
+
+import pytest
+
+from repro.core.checkpoint import Checkpoint, DirectionState
+from repro.errors import ProtocolError
+
+
+def make_checkpoint(node="u", inbound=("a", "b", "c"), outbound=("a", "b", "c"), **kw):
+    return Checkpoint(node, inbound=list(inbound), outbound=list(outbound), **kw)
+
+
+class TestActivation:
+    def test_initially_inactive(self):
+        cp = make_checkpoint()
+        assert not cp.active and not cp.stable
+        assert all(s is DirectionState.IDLE for s in cp.direction_state.values())
+        assert not cp.should_count("a")
+
+    def test_seed_activation_counts_all_inbound(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        assert cp.active and cp.is_seed
+        assert cp.predecessor is None
+        assert all(s is DirectionState.COUNTING for s in cp.direction_state.values())
+        assert all(cp.needs_label(v) for v in cp.outbound)
+
+    def test_non_seed_activation_exempts_predecessor(self):
+        cp = make_checkpoint()
+        cp.activate_from("a", 5.0, tree_id="seed-1")
+        assert cp.predecessor == "a"
+        assert cp.tree_id == "seed-1"
+        assert cp.direction_state["a"] is DirectionState.EXEMPT
+        assert cp.direction_state["b"] is DirectionState.COUNTING
+        assert not cp.should_count("a")
+        assert cp.should_count("b")
+
+    def test_double_activation_rejected(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        with pytest.raises(ProtocolError):
+            cp.activate_as_seed(1.0)
+        with pytest.raises(ProtocolError):
+            cp.activate_from("a", 1.0)
+
+    def test_activation_from_non_neighbor_rejected(self):
+        cp = make_checkpoint()
+        with pytest.raises(ProtocolError):
+            cp.activate_from("zzz", 0.0)
+
+    def test_border_checkpoint_activates_interaction(self):
+        cp = make_checkpoint(is_border=True)
+        assert not cp.interaction_active
+        cp.activate_as_seed(0.0)
+        assert cp.interaction_active
+
+
+class TestLabels:
+    def test_label_activates_inactive_checkpoint(self):
+        cp = make_checkpoint()
+        outcome = cp.receive_label("a", origin_parent="x", tree_id="t", time_s=3.0)
+        assert outcome == "activated"
+        assert cp.predecessor == "a"
+        assert cp.known_parents["a"] == "x"
+
+    def test_label_stops_counting_on_active_checkpoint(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        outcome = cp.receive_label("b", origin_parent="u", tree_id=None, time_s=4.0)
+        assert outcome == "stopped"
+        assert cp.direction_state["b"] is DirectionState.STOPPED
+        assert cp.stopped_at["b"] == 4.0
+
+    def test_duplicate_stop_is_noop(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        cp.receive_label("b", origin_parent=None, tree_id=None, time_s=4.0)
+        assert cp.receive_label("b", origin_parent=None, tree_id=None, time_s=5.0) == "noop"
+
+    def test_label_carries_paper_mode_adjustment(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        cp.receive_label("b", origin_parent=None, tree_id=None, time_s=1.0, adjustment=2)
+        assert cp.adjustments == 2
+
+    def test_stop_unknown_direction_rejected(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        with pytest.raises(ProtocolError):
+            cp.stop_direction("zzz", 1.0)
+
+    def test_patrol_status_equivalent_to_label(self):
+        cp = make_checkpoint()
+        assert cp.receive_patrol_status("a", origin_parent=None, tree_id="t", time_s=2.0) == "activated"
+        assert cp.predecessor == "a"
+
+
+class TestCounting:
+    def test_record_count_accumulates(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        cp.record_count("a")
+        cp.record_count("a")
+        cp.record_count("b")
+        assert cp.counters == {"a": 2, "b": 1, "c": 0}
+        assert cp.non_interaction_count() == 3
+        assert cp.local_count() == 3
+
+    def test_record_count_unknown_direction_rejected(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        with pytest.raises(ProtocolError):
+            cp.record_count("zzz")
+
+    def test_corrections_affect_counts(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        cp.record_count("a")
+        cp.record_correction(-1)
+        cp.record_correction(+1)
+        assert cp.adjustments == 0
+        assert cp.non_interaction_count() == 1
+
+    def test_snapshot_is_immutable_copy(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        cp.record_count("a")
+        snap = cp.snapshot()
+        cp.record_count("a")
+        assert snap.per_direction["a"] == 1
+        assert snap.non_interaction == 1
+        assert snap.total == 1
+
+
+class TestStability:
+    def test_stability_requires_all_directions_stopped(self):
+        cp = make_checkpoint()
+        cp.activate_from("a", 0.0)
+        assert not cp.stable
+        cp.receive_label("b", origin_parent=None, tree_id=None, time_s=1.0)
+        assert not cp.stable
+        cp.receive_label("c", origin_parent=None, tree_id=None, time_s=2.0)
+        assert cp.stable
+        assert cp.stabilized_at == 2.0
+
+    def test_counting_directions_listing(self):
+        cp = make_checkpoint()
+        cp.activate_from("a", 0.0)
+        assert set(cp.counting_directions()) == {"b", "c"}
+
+    def test_stabilized_at_recorded_once(self):
+        cp = make_checkpoint(inbound=("a",), outbound=("a",))
+        cp.activate_from("a", 7.0)
+        # only inbound is the predecessor -> stable immediately at activation
+        assert cp.stable
+        assert cp.stabilized_at == 7.0
+        cp.refresh_stability(99.0)
+        assert cp.stabilized_at == 7.0
+
+
+class TestInteraction:
+    def test_interaction_counts_only_when_active(self):
+        cp = make_checkpoint(is_border=True)
+        assert not cp.record_interaction_entry()
+        assert not cp.record_interaction_exit()
+        cp.activate_as_seed(0.0)
+        assert cp.record_interaction_entry()
+        assert cp.record_interaction_exit()
+        assert cp.interaction_in == 1 and cp.interaction_out == 1
+        assert cp.local_count() == 0
+
+    def test_interaction_on_non_border_rejected(self):
+        cp = make_checkpoint(is_border=False)
+        with pytest.raises(ProtocolError):
+            cp.record_interaction_entry()
+        with pytest.raises(ProtocolError):
+            cp.record_interaction_exit()
+
+    def test_interaction_excluded_from_non_interaction_count(self):
+        cp = make_checkpoint(is_border=True)
+        cp.activate_as_seed(0.0)
+        cp.record_count("a")
+        cp.record_interaction_entry()
+        assert cp.non_interaction_count() == 1
+        assert cp.local_count() == 2
+
+    def test_stability_ignores_interaction(self):
+        cp = make_checkpoint(is_border=True)
+        cp.activate_as_seed(0.0)
+        for v in ("a", "b", "c"):
+            cp.receive_label(v, origin_parent=None, tree_id=None, time_s=1.0)
+        assert cp.stable
+        # interaction stays active forever
+        assert cp.interaction_active
+
+
+class TestLabelingBookkeeping:
+    def test_needs_label_until_issued(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        assert cp.needs_label("b")
+        cp.mark_label_issued("b")
+        assert not cp.needs_label("b")
+        assert cp.labels_issued == 1
+
+    def test_mark_unknown_direction_rejected(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        with pytest.raises(ProtocolError):
+            cp.mark_label_issued("zzz")
+
+    def test_label_failure_counter(self):
+        cp = make_checkpoint()
+        cp.activate_as_seed(0.0)
+        cp.record_label_failure()
+        assert cp.label_failures == 1
+
+
+class TestSpanningTreeKnowledge:
+    def test_children_require_known_parent(self):
+        cp = make_checkpoint(node="u")
+        cp.activate_as_seed(0.0)
+        assert cp.children() == []
+        assert not cp.knows_all_outbound_parents()
+        cp.note_parent_of("a", "u")
+        cp.note_parent_of("b", "x")
+        cp.note_parent_of("c", None)  # c is a seed
+        assert cp.children() == ["a"]
+        assert cp.knows_all_outbound_parents()
+
+    def test_note_parent_keeps_first_value(self):
+        cp = make_checkpoint(node="u")
+        cp.note_parent_of("a", "u")
+        cp.note_parent_of("a", "x")
+        assert cp.known_parents["a"] == "u"

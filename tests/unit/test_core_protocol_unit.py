@@ -1,0 +1,318 @@
+"""CountingProtocol unit behaviour driven by hand-crafted events.
+
+These tests drive the protocol directly with synthetic
+Crossing/Overtake/Entry/Exit events on the Fig. 1 triangle, checking each
+phase in isolation (the integration tests exercise the full engine loop).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import AdjustmentMode, CountingProtocol, ProtocolConfig
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mobility.events import CrossingEvent, EntryEvent, ExitEvent, OvertakeEvent
+from repro.mobility.vehicle import Vehicle
+from repro.roadnet.builders import grid_network, triangle_network
+from repro.roadnet.graph import Gate
+from repro.surveillance.attributes import ExteriorSignature, WHITE_VAN
+from repro.wireless.exchange import ExchangeService
+
+
+def make_vehicle(vid, signature=None, counted=False, is_patrol=False):
+    return Vehicle(
+        vid=vid,
+        signature=signature or ExteriorSignature(color="blue", make="ford", body_type="sedan"),
+        desired_speed_mps=10.0,
+        counted=counted,
+        is_patrol=is_patrol,
+    )
+
+
+def make_protocol(net=None, seeds=(1,), **config_kw):
+    net = net if net is not None else triangle_network()
+    rng = np.random.default_rng(0)
+    return CountingProtocol(
+        net,
+        list(seeds),
+        rng,
+        exchange=ExchangeService.perfect(rng),
+        config=ProtocolConfig(**config_kw),
+    )
+
+
+def crossing(vehicle, node, from_node, to_node, t=1.0):
+    return CrossingEvent(time_s=t, vehicle=vehicle, node=node, from_node=from_node, to_node=to_node)
+
+
+class TestConstruction:
+    def test_seed_checkpoints_start_active(self):
+        proto = make_protocol()
+        assert proto.checkpoint(1).active and proto.checkpoint(1).is_seed
+        assert not proto.checkpoint(2).active
+
+    def test_requires_at_least_one_seed(self):
+        with pytest.raises(ConfigurationError):
+            make_protocol(seeds=())
+
+    def test_unknown_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_protocol(seeds=(99,))
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_protocol(seeds=(1, 1))
+
+    def test_invalid_adjustment_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(adjustment_mode="bogus")
+
+
+class TestPhases:
+    def test_seed_counts_unlabeled_vehicle(self):
+        proto = make_protocol()
+        v = make_vehicle(1)
+        proto.handle_events([crossing(v, 1, from_node=2, to_node=3)])
+        assert proto.checkpoint(1).counters[2] == 1
+        assert v.counted
+
+    def test_first_departure_gets_label(self):
+        proto = make_protocol()
+        v = make_vehicle(1)
+        proto.handle_events([crossing(v, 1, from_node=2, to_node=3)])
+        assert len(v.labels) == 1
+        assert v.labels[0].origin == 1 and v.labels[0].target == 3
+        assert not proto.checkpoint(1).needs_label(3)
+
+    def test_second_departure_not_labeled(self):
+        proto = make_protocol()
+        v1, v2 = make_vehicle(1), make_vehicle(2)
+        proto.handle_events([
+            crossing(v1, 1, from_node=2, to_node=3),
+            crossing(v2, 1, from_node=2, to_node=3, t=2.0),
+        ])
+        assert len(v1.labels) == 1 and len(v2.labels) == 0
+        assert proto.checkpoint(1).counters[2] == 2
+
+    def test_label_activates_downstream_checkpoint(self):
+        proto = make_protocol()
+        v = make_vehicle(1)
+        proto.handle_events([crossing(v, 1, from_node=2, to_node=3)])
+        proto.handle_events([crossing(v, 3, from_node=1, to_node=2, t=30.0)])
+        cp3 = proto.checkpoint(3)
+        assert cp3.active and cp3.predecessor == 1
+        # labelled vehicle itself is not counted at the new checkpoint
+        assert cp3.counters[1] == 0
+        # the original label was consumed; the newly activated checkpoint 3
+        # immediately re-labels the vehicle as it departs toward 2 (phase 2)
+        assert not v.labels_for(3)
+        assert [lab.origin for lab in v.labels] == [3]
+
+    def test_backwash_label_stops_counting(self):
+        proto = make_protocol()
+        carrier = make_vehicle(1)
+        proto.handle_events([crossing(carrier, 1, from_node=2, to_node=3)])
+        proto.handle_events([crossing(carrier, 3, from_node=1, to_node=2, t=30.0)])
+        # checkpoint 3 now labels its own outbound flows; send a vehicle 3 -> 1
+        backwash = make_vehicle(2, counted=True)
+        proto.handle_events([crossing(backwash, 3, from_node=2, to_node=1, t=31.0)])
+        assert backwash.labels and backwash.labels[0].origin == 3
+        proto.handle_events([crossing(backwash, 1, from_node=3, to_node=2, t=60.0)])
+        from repro.core.checkpoint import DirectionState
+        assert proto.checkpoint(1).direction_state[3] is DirectionState.STOPPED
+
+    def test_known_parents_learned_from_labels(self):
+        proto = make_protocol()
+        v = make_vehicle(1)
+        proto.handle_events([crossing(v, 1, from_node=2, to_node=3)])
+        proto.handle_events([crossing(v, 3, from_node=1, to_node=2, t=30.0)])
+        assert proto.checkpoint(3).known_parents[1] is None  # 1 is a seed
+
+    def test_patrol_vehicle_never_counted(self):
+        proto = make_protocol()
+        patrol = make_vehicle(1, is_patrol=True)
+        proto.handle_events([crossing(patrol, 1, from_node=2, to_node=3)])
+        assert proto.checkpoint(1).counters[2] == 0
+        assert proto.stats.patrol_syncs == 1
+
+    def test_unknown_event_type_rejected(self):
+        proto = make_protocol()
+        with pytest.raises(ProtocolError):
+            proto.handle_events([object()])
+
+
+class TestAdjustmentModes:
+    def test_exact_mode_cancels_double_count(self):
+        proto = make_protocol()
+        v = make_vehicle(1, counted=True)
+        proto.handle_events([crossing(v, 1, from_node=2, to_node=3)])
+        cp = proto.checkpoint(1)
+        assert cp.counters[2] == 1
+        assert cp.adjustments == -1
+        assert cp.local_count() == 0
+
+    def test_exact_mode_recovers_missed_vehicle(self):
+        proto = make_protocol()
+        # stop direction 1<-2 first, then an uncounted vehicle arrives there
+        cp = proto.checkpoint(1)
+        cp.receive_label(2, origin_parent=None, tree_id=None, time_s=0.5)
+        v = make_vehicle(1, counted=False)
+        proto.handle_events([crossing(v, 1, from_node=2, to_node=3)])
+        assert cp.counters[2] == 0
+        assert cp.adjustments == +1
+        assert v.counted
+
+    def test_paper_mode_counts_blindly(self):
+        proto = make_protocol(adjustment_mode=AdjustmentMode.PAPER)
+        v = make_vehicle(1, counted=True)
+        proto.handle_events([crossing(v, 1, from_node=2, to_node=3)])
+        cp = proto.checkpoint(1)
+        assert cp.counters[2] == 1
+        assert cp.adjustments == 0  # double count not corrected locally
+
+    def test_overtake_adds_plus_one_to_label_exact(self):
+        proto = make_protocol()
+        carrier = make_vehicle(1)
+        proto.handle_events([crossing(carrier, 1, from_node=2, to_node=3)])
+        slow = make_vehicle(2, counted=False)
+        proto.handle_events([
+            OvertakeEvent(time_s=5.0, edge=(1, 3), passer=carrier, passee=slow)
+        ])
+        assert carrier.labels[0].adjustment == 1
+        assert slow.counted  # marked via V2V collaboration
+        # delivering the label applies the +1 at the receiving checkpoint
+        proto.handle_events([crossing(carrier, 3, from_node=1, to_node=2, t=30.0)])
+        assert proto.checkpoint(3).adjustments == 1
+
+    def test_overtake_of_non_target_vehicle_ignored(self):
+        proto = make_protocol(count_target=WHITE_VAN)
+        carrier = make_vehicle(1)
+        proto.checkpoint(1).mark_label_issued(2)  # silence other pending labels
+        proto.handle_events([crossing(carrier, 1, from_node=2, to_node=3)])
+        sedan = make_vehicle(2)  # blue sedan: not a white van
+        proto.handle_events([
+            OvertakeEvent(time_s=5.0, edge=(1, 3), passer=carrier, passee=sedan)
+        ])
+        assert carrier.labels[0].adjustment == 0
+        assert not sedan.counted
+
+    def test_paper_mode_minus_one_when_label_overtaken(self):
+        proto = make_protocol(adjustment_mode=AdjustmentMode.PAPER)
+        carrier = make_vehicle(1)
+        proto.handle_events([crossing(carrier, 1, from_node=2, to_node=3)])
+        fast = make_vehicle(2, counted=True)
+        proto.handle_events([
+            OvertakeEvent(time_s=5.0, edge=(1, 3), passer=fast, passee=carrier)
+        ])
+        assert carrier.labels[0].adjustment == -1
+
+    def test_exact_mode_ignores_label_overtaken_case(self):
+        proto = make_protocol()
+        carrier = make_vehicle(1)
+        proto.handle_events([crossing(carrier, 1, from_node=2, to_node=3)])
+        fast = make_vehicle(2, counted=True)
+        proto.handle_events([
+            OvertakeEvent(time_s=5.0, edge=(1, 3), passer=fast, passee=carrier)
+        ])
+        assert carrier.labels[0].adjustment == 0
+
+
+class TestTargetFiltering:
+    def test_only_target_vehicles_counted(self):
+        proto = make_protocol(count_target=WHITE_VAN)
+        van = make_vehicle(1, signature=ExteriorSignature("white", "ford", "van"))
+        sedan = make_vehicle(2)
+        proto.handle_events([
+            crossing(van, 1, from_node=2, to_node=3),
+            crossing(sedan, 1, from_node=2, to_node=3, t=2.0),
+        ])
+        assert proto.checkpoint(1).counters[2] == 1
+        assert van.counted and not sedan.counted
+
+    def test_non_target_vehicle_still_carries_labels(self):
+        proto = make_protocol(count_target=WHITE_VAN)
+        sedan = make_vehicle(1)
+        proto.handle_events([crossing(sedan, 1, from_node=2, to_node=3)])
+        assert sedan.labels  # communication is independent of the target class
+
+
+class TestBorderEvents:
+    def _open_protocol(self, seeds=((0, 0),)):
+        net = grid_network(3, 3, gates_on_border=True)
+        rng = np.random.default_rng(0)
+        return net, CountingProtocol(
+            net, list(seeds), rng, exchange=ExchangeService.perfect(rng), config=ProtocolConfig()
+        )
+
+    def test_entry_counted_when_gate_active(self):
+        net, proto = self._open_protocol()
+        v = make_vehicle(1)
+        proto.handle_events([EntryEvent(time_s=1.0, vehicle=v, gate_node=(0, 0))])
+        cp = proto.checkpoint((0, 0))
+        assert cp.interaction_in == 1
+        assert v.counted
+
+    def test_entry_ignored_when_gate_inactive(self):
+        net, proto = self._open_protocol()
+        v = make_vehicle(1)
+        proto.handle_events([EntryEvent(time_s=1.0, vehicle=v, gate_node=(2, 2))])
+        assert proto.checkpoint((2, 2)).interaction_in == 0
+        assert not v.counted
+
+    def test_entry_at_interior_node_rejected(self):
+        net, proto = self._open_protocol()
+        v = make_vehicle(1)
+        with pytest.raises(ProtocolError):
+            proto.handle_events([EntryEvent(time_s=1.0, vehicle=v, gate_node=(1, 1))])
+
+    def test_exit_decrements_when_gate_active(self):
+        net, proto = self._open_protocol()
+        v = make_vehicle(1, counted=True)
+        proto.handle_events([
+            ExitEvent(time_s=2.0, vehicle=v, gate_node=(0, 0), from_node=(0, 1))
+        ])
+        cp = proto.checkpoint((0, 0))
+        # the vehicle is first observed on the inbound direction (double count
+        # cancelled by the exact rule), then the interaction exit is recorded
+        assert cp.interaction_out == 1
+        assert cp.local_count() + cp.interaction_out - cp.interaction_in == cp.non_interaction_count()
+
+    def test_exit_of_counted_vehicle_through_inactive_gate_compensated(self):
+        net, proto = self._open_protocol()
+        v = make_vehicle(1, counted=True)
+        proto.handle_events([
+            ExitEvent(time_s=2.0, vehicle=v, gate_node=(2, 2), from_node=(2, 1))
+        ])
+        cp = proto.checkpoint((2, 2))
+        assert cp.interaction_out == 0
+        assert cp.adjustments == -1
+        assert proto.stats.early_exit_corrections == 1
+
+    def test_exit_of_uncounted_vehicle_through_inactive_gate_ignored(self):
+        net, proto = self._open_protocol()
+        v = make_vehicle(1, counted=False)
+        proto.handle_events([
+            ExitEvent(time_s=2.0, vehicle=v, gate_node=(2, 2), from_node=(2, 1))
+        ])
+        assert proto.checkpoint((2, 2)).adjustments == 0
+
+
+class TestQueries:
+    def test_global_count_sums_checkpoints(self):
+        proto = make_protocol()
+        v1, v2 = make_vehicle(1), make_vehicle(2)
+        proto.handle_events([
+            crossing(v1, 1, from_node=2, to_node=3),
+            crossing(v2, 1, from_node=3, to_node=2, t=2.0),
+        ])
+        assert proto.global_count() == 2
+
+    def test_counting_in_progress_lists_segments(self):
+        proto = make_protocol()
+        pending = proto.counting_in_progress()
+        assert (2, 1) in pending and (3, 1) in pending
+
+    def test_all_active_and_stable_flags(self):
+        proto = make_protocol()
+        assert not proto.all_active()
+        assert not proto.all_stable()
+        assert proto.complete_status_time() is None

@@ -1,0 +1,198 @@
+"""Traffic engine behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MobilityError
+from repro.mobility.car_following import LaneChangeModel, SimplifiedIDM
+from repro.mobility.demand import DemandConfig, DemandModel, VehicleSpec
+from repro.mobility.engine import TrafficEngine
+from repro.mobility.events import CrossingEvent, EntryEvent, ExitEvent, OvertakeEvent
+from repro.mobility.intersections import extended_policy, simple_policy
+from repro.mobility.vehicle import Vehicle
+from repro.roadnet.builders import grid_network, line_network
+from repro.roadnet.routing import FixedTripRouter, RandomWaypointRouter
+from repro.surveillance.attributes import random_signature
+
+
+def make_engine(net, seed=0, **kwargs):
+    return TrafficEngine(net, np.random.default_rng(seed), **kwargs)
+
+
+def spec_at(net, rng, origin, speed=8.0, via_gate=False, router=None):
+    return VehicleSpec(
+        signature=random_signature(rng),
+        desired_speed_mps=speed,
+        origin=origin,
+        router=router or RandomWaypointRouter(net, rng),
+        via_gate=via_gate,
+    )
+
+
+class TestSpawning:
+    def test_initial_fleet_is_placed_on_edges(self, small_grid, rng):
+        eng = make_engine(small_grid)
+        dm = DemandModel(small_grid, DemandConfig(volume_fraction=0.5), rng)
+        vehicles = eng.spawn_initial(dm.initial_fleet())
+        assert len(vehicles) == dm.closed_fleet_size()
+        assert all(v.on_edge for v in vehicles)
+        assert eng.inside_count() == len(vehicles)
+
+    def test_spawn_via_gate_emits_entry_and_crossing(self, gated_grid, rng):
+        eng = make_engine(gated_grid)
+        vehicle, events = eng.spawn(spec_at(gated_grid, rng, (0, 0), via_gate=True))
+        kinds = [type(e).__name__ for e in events]
+        assert kinds == ["EntryEvent", "CrossingEvent"]
+        assert vehicle.on_edge
+
+    def test_spawn_at_unknown_node_raises(self, small_grid, rng):
+        eng = make_engine(small_grid)
+        with pytest.raises(MobilityError):
+            eng.spawn(spec_at(small_grid, rng, "nowhere"))
+
+    def test_invalid_dt_rejected(self, small_grid, rng):
+        with pytest.raises(MobilityError):
+            TrafficEngine(small_grid, rng, dt_s=0.0)
+
+    def test_spawn_patrol_not_counted_inside(self, small_grid, rng):
+        from repro.core.patrol import CyclePatrolRouter, build_patrol_cycle
+
+        eng = make_engine(small_grid)
+        cycle = build_patrol_cycle(small_grid)
+        patrol = eng.spawn_patrol(CyclePatrolRouter(small_grid, rng, cycle), cycle[0])
+        assert patrol.is_patrol
+        assert patrol.digest is not None
+        assert eng.inside_count() == 0  # patrol excluded from ground truth
+
+
+class TestStepping:
+    def test_vehicles_eventually_cross(self, small_grid, rng):
+        eng = make_engine(small_grid)
+        dm = DemandModel(small_grid, DemandConfig(volume_fraction=0.5), rng)
+        eng.spawn_initial(dm.initial_fleet())
+        events = eng.run(120.0)
+        crossings = [e for e in events if isinstance(e, CrossingEvent)]
+        assert crossings, "no vehicle crossed an intersection in 2 minutes"
+        assert eng.stats.crossings == len(crossings)
+
+    def test_time_advances_by_dt(self, small_grid):
+        eng = make_engine(small_grid, dt_s=0.5)
+        eng.step()
+        eng.step()
+        assert eng.time_s == pytest.approx(1.0)
+
+    def test_closed_system_conserves_vehicles(self, small_grid, rng):
+        eng = make_engine(small_grid)
+        dm = DemandModel(small_grid, DemandConfig(volume_fraction=0.5), rng)
+        n = len(eng.spawn_initial(dm.initial_fleet()))
+        eng.run(300.0)
+        assert eng.inside_count() == n
+        assert not eng.departed_vehicles()
+
+    def test_crossing_event_segments_exist(self, small_grid, rng):
+        eng = make_engine(small_grid)
+        dm = DemandModel(small_grid, DemandConfig(volume_fraction=0.5), rng)
+        eng.spawn_initial(dm.initial_fleet())
+        for event in eng.run(180.0):
+            if isinstance(event, CrossingEvent):
+                if event.from_node is not None:
+                    assert small_grid.has_segment(event.from_node, event.node)
+                assert small_grid.has_segment(event.node, event.to_node)
+
+    def test_positions_stay_within_segments(self, small_grid, rng):
+        eng = make_engine(small_grid)
+        dm = DemandModel(small_grid, DemandConfig(volume_fraction=1.0), rng)
+        eng.spawn_initial(dm.initial_fleet())
+        for _ in range(200):
+            eng.step()
+            for v in eng.vehicles.values():
+                assert v.edge is not None
+                seg = small_grid.segment(*v.edge)
+                assert 0.0 <= v.pos_m <= seg.length_m + 1e-6
+
+    def test_no_overtakes_without_lane_changes(self, small_grid, rng):
+        eng = make_engine(small_grid, allow_overtaking=False)
+        dm = DemandModel(small_grid, DemandConfig(volume_fraction=1.0), rng)
+        eng.spawn_initial(dm.initial_fleet())
+        events = eng.run(240.0)
+        assert not [e for e in events if isinstance(e, OvertakeEvent)]
+
+    def test_overtakes_happen_on_multilane(self, two_lane_grid, rng):
+        eng = make_engine(two_lane_grid, seed=3)
+        dm = DemandModel(two_lane_grid, DemandConfig(volume_fraction=1.0), np.random.default_rng(3))
+        eng.spawn_initial(dm.initial_fleet())
+        events = eng.run(300.0)
+        assert [e for e in events if isinstance(e, OvertakeEvent)]
+
+
+class TestOpenSystem:
+    def test_through_traffic_exits(self, gated_grid, rng):
+        eng = make_engine(gated_grid)
+        router = FixedTripRouter(gated_grid, rng, destination=(3, 3), exit_on_arrival=True)
+        vehicle, _ = eng.spawn(spec_at(gated_grid, rng, (0, 0), via_gate=True, router=router))
+        events = eng.run(600.0)
+        exits = [e for e in events if isinstance(e, ExitEvent)]
+        assert len(exits) == 1
+        assert exits[0].vehicle.vid == vehicle.vid
+        assert exits[0].gate_node == (3, 3)
+        assert eng.inside_count() == 0
+        assert vehicle.exited_at_s is not None
+
+    def test_exit_only_at_outbound_gate(self, rng):
+        # A gate that is inbound-only never lets vehicles out.
+        from repro.roadnet.graph import Gate
+
+        net = grid_network(3, 3)
+        net = net.open_copy([Gate(node=(2, 2), inbound=True, outbound=False)])
+        eng = make_engine(net)
+        router = FixedTripRouter(net, rng, destination=(2, 2), exit_on_arrival=True)
+        eng.spawn(spec_at(net, rng, (0, 0), via_gate=True, router=router))
+        events = eng.run(600.0)
+        assert not [e for e in events if isinstance(e, ExitEvent)]
+        assert eng.inside_count() == 1
+
+
+class TestIntersectionPolicies:
+    def test_simple_policy_admits_one_per_step(self, rng):
+        net = line_network(3, length_m=60.0)
+        eng = make_engine(net, policy=simple_policy(), dt_s=1.0)
+        dm = DemandModel(net, DemandConfig(volume_fraction=1.5), rng)
+        eng.spawn_initial(dm.initial_fleet())
+        for _ in range(300):
+            events = eng.step()
+            per_node = {}
+            for e in events:
+                if isinstance(e, CrossingEvent):
+                    per_node[e.node] = per_node.get(e.node, 0) + 1
+            assert all(count <= 1 for count in per_node.values())
+
+    def test_extended_policy_allows_parallel_crossings(self):
+        assert extended_policy(4).admissions_per_step == 4
+
+    def test_policy_override_per_intersection(self, small_grid):
+        eng = make_engine(small_grid)
+        eng.set_intersection_policy((1, 1), extended_policy(6))
+        assert eng.policy_for((1, 1)).admissions_per_step == 6
+        assert eng.policy_for((0, 0)).admissions_per_step == simple_policy().admissions_per_step
+
+    def test_policy_override_unknown_node(self, small_grid):
+        eng = make_engine(small_grid)
+        with pytest.raises(MobilityError):
+            eng.set_intersection_policy("nope", extended_policy())
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectories(self, small_grid):
+        def run(seed):
+            eng = TrafficEngine(small_grid, np.random.default_rng(seed))
+            dm = DemandModel(small_grid, DemandConfig(volume_fraction=0.8), np.random.default_rng(seed))
+            eng.spawn_initial(dm.initial_fleet())
+            events = eng.run(200.0)
+            return [
+                (e.time_s, e.vehicle.vid, e.node)
+                for e in events
+                if isinstance(e, CrossingEvent)
+            ]
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)

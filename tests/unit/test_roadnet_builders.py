@@ -1,0 +1,117 @@
+"""Network builders."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import RoadNetworkError
+from repro.roadnet.builders import (
+    grid_network,
+    line_network,
+    random_planar_network,
+    ring_network,
+    star_network,
+    triangle_network,
+)
+
+
+class TestTriangle:
+    def test_matches_fig1_topology(self):
+        net = triangle_network()
+        assert net.num_nodes == 3
+        assert net.num_segments == 6
+        for a in (1, 2, 3):
+            assert set(net.outbound_neighbors(a)) == {1, 2, 3} - {a}
+
+
+class TestLine:
+    def test_line_sizes(self):
+        net = line_network(5)
+        assert net.num_nodes == 5
+        assert net.num_segments == 8
+
+    def test_line_too_short(self):
+        with pytest.raises(RoadNetworkError):
+            line_network(1)
+
+
+class TestGrid:
+    def test_grid_counts(self):
+        net = grid_network(3, 4)
+        assert net.num_nodes == 12
+        # undirected edges: 3*3 horizontal + 2*4 vertical = 17 -> 34 directed
+        assert net.num_segments == 34
+
+    def test_grid_positions_follow_block_sizes(self):
+        net = grid_network(2, 2, block_length_m=100.0, block_width_m=50.0)
+        assert net.position((0, 1)) == (100.0, 0.0)
+        assert net.position((1, 0)) == (0.0, 50.0)
+
+    def test_grid_minimum_size(self):
+        with pytest.raises(RoadNetworkError):
+            grid_network(1, 5)
+
+    def test_grid_gates_on_border(self):
+        net = grid_network(3, 3, gates_on_border=True)
+        assert net.is_open_system
+        assert len(net.border_nodes()) == 8  # all but the centre
+
+    def test_grid_strongly_connected(self):
+        g = grid_network(4, 3).to_networkx()
+        assert nx.is_strongly_connected(g)
+
+
+class TestRing:
+    def test_bidirectional_ring(self):
+        net = ring_network(5)
+        assert net.num_nodes == 5
+        assert net.num_segments == 10
+        assert not net.one_way_segments()
+
+    def test_one_way_ring(self):
+        net = ring_network(5, one_way=True)
+        assert net.num_segments == 5
+        assert len(net.one_way_segments()) == 5
+        assert nx.is_strongly_connected(net.to_networkx())
+
+    def test_ring_too_small(self):
+        with pytest.raises(RoadNetworkError):
+            ring_network(2)
+
+
+class TestStar:
+    def test_star_structure(self):
+        net = star_network(4)
+        assert net.num_nodes == 5
+        assert set(net.outbound_neighbors("hub")) == {f"leaf-{k}" for k in range(4)}
+
+    def test_star_minimum(self):
+        with pytest.raises(RoadNetworkError):
+            star_network(1)
+
+
+class TestRandomPlanar:
+    def test_deterministic_given_seed(self):
+        a = random_planar_network(12, seed=3)
+        b = random_planar_network(12, seed=3)
+        assert {s.key for s in a.segments()} == {s.key for s in b.segments()}
+
+    def test_different_seeds_differ(self):
+        a = random_planar_network(12, seed=3)
+        b = random_planar_network(12, seed=4)
+        assert {s.key for s in a.segments()} != {s.key for s in b.segments()}
+
+    def test_strongly_connected_even_with_one_way(self):
+        net = random_planar_network(15, seed=1, one_way_fraction=0.5)
+        assert nx.is_strongly_connected(net.to_networkx())
+
+    def test_one_way_fraction_bounds(self):
+        with pytest.raises(RoadNetworkError):
+            random_planar_network(10, one_way_fraction=1.5)
+
+    def test_minimum_size(self):
+        with pytest.raises(RoadNetworkError):
+            random_planar_network(2)
+
+    def test_every_node_present(self):
+        net = random_planar_network(10, seed=7)
+        assert net.num_nodes == 10

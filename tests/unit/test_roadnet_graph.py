@@ -1,0 +1,197 @@
+"""RoadNetwork data model."""
+
+import pytest
+
+from repro.errors import RoadNetworkError
+from repro.roadnet.graph import Gate, RoadNetwork
+
+
+def build_two_node_loop():
+    net = RoadNetwork(name="loop")
+    net.add_bidirectional("a", "b", 100.0)
+    return net
+
+
+class TestConstruction:
+    def test_add_segment_creates_nodes(self):
+        net = RoadNetwork()
+        net.add_segment("a", "b", 50.0)
+        assert net.has_node("a") and net.has_node("b")
+        assert net.has_segment("a", "b")
+        assert not net.has_segment("b", "a")
+
+    def test_self_loop_rejected(self):
+        net = RoadNetwork()
+        with pytest.raises(RoadNetworkError):
+            net.add_segment("a", "a", 50.0)
+
+    def test_non_positive_length_rejected(self):
+        net = RoadNetwork()
+        with pytest.raises(RoadNetworkError):
+            net.add_segment("a", "b", 0.0)
+
+    def test_invalid_lanes_rejected(self):
+        net = RoadNetwork()
+        with pytest.raises(RoadNetworkError):
+            net.add_segment("a", "b", 10.0, lanes=0)
+
+    def test_duplicate_segment_rejected(self):
+        net = RoadNetwork()
+        net.add_segment("a", "b", 10.0)
+        with pytest.raises(RoadNetworkError):
+            net.add_segment("a", "b", 10.0)
+
+    def test_bidirectional_adds_both_directions(self):
+        net = build_two_node_loop()
+        assert net.has_segment("a", "b") and net.has_segment("b", "a")
+        assert net.num_segments == 2
+
+    def test_oneway_flag_updates_when_reverse_added(self):
+        net = RoadNetwork()
+        net.add_segment("a", "b", 10.0)
+        assert net.segment("a", "b").oneway
+        net.add_segment("b", "a", 10.0)
+        assert not net.segment("a", "b").oneway
+        assert not net.segment("b", "a").oneway
+
+
+class TestQueries:
+    def test_neighbor_sets(self):
+        net = RoadNetwork()
+        net.add_bidirectional("a", "b", 10.0)
+        net.add_segment("a", "c", 10.0)
+        net.add_segment("c", "a", 10.0)
+        assert set(net.outbound_neighbors("a")) == {"b", "c"}
+        assert set(net.inbound_neighbors("a")) == {"b", "c"}
+        assert net.degree("a") == 4
+
+    def test_unknown_node_raises(self):
+        net = build_two_node_loop()
+        with pytest.raises(RoadNetworkError):
+            net.outbound_neighbors("zzz")
+
+    def test_segment_lookup_missing_raises(self):
+        net = build_two_node_loop()
+        with pytest.raises(RoadNetworkError):
+            net.segment("a", "zzz")
+
+    def test_travel_time(self):
+        net = RoadNetwork()
+        seg = net.add_segment("a", "b", 100.0, speed_limit_mps=10.0)
+        assert seg.travel_time_s() == pytest.approx(10.0)
+        assert seg.travel_time_s(speed_mps=20.0) == pytest.approx(5.0)
+
+    def test_travel_time_zero_speed_rejected(self):
+        net = RoadNetwork()
+        seg = net.add_segment("a", "b", 100.0)
+        with pytest.raises(RoadNetworkError):
+            seg.travel_time_s(speed_mps=0.0)
+
+    def test_total_length(self):
+        net = build_two_node_loop()
+        assert net.total_length_m() == pytest.approx(200.0)
+
+    def test_one_way_segments_listing(self):
+        net = RoadNetwork()
+        net.add_bidirectional("a", "b", 10.0)
+        net.add_segment("b", "c", 10.0)
+        net.add_segment("c", "a", 10.0)
+        one_way = {(s.tail, s.head) for s in net.one_way_segments()}
+        assert one_way == {("b", "c"), ("c", "a")}
+
+    def test_len_and_contains(self):
+        net = build_two_node_loop()
+        assert len(net) == 2
+        assert "a" in net and "zzz" not in net
+
+
+class TestValidationAndFreeze:
+    def test_freeze_validates_and_locks(self):
+        net = build_two_node_loop()
+        net.freeze()
+        assert net.frozen
+        with pytest.raises(RoadNetworkError):
+            net.add_segment("a", "c", 10.0)
+
+    def test_empty_network_invalid(self):
+        net = RoadNetwork()
+        with pytest.raises(RoadNetworkError):
+            net.validate()
+
+    def test_node_without_inbound_invalid(self):
+        net = RoadNetwork()
+        net.add_segment("a", "b", 10.0)
+        net.add_segment("b", "a", 10.0)
+        net.add_segment("a", "c", 10.0)  # c has no outbound, a<-c missing
+        with pytest.raises(RoadNetworkError):
+            net.validate()
+
+    def test_disconnected_network_invalid(self):
+        net = RoadNetwork()
+        net.add_bidirectional("a", "b", 10.0)
+        net.add_bidirectional("c", "d", 10.0)
+        with pytest.raises(RoadNetworkError):
+            net.validate()
+
+    def test_freeze_is_idempotent(self):
+        net = build_two_node_loop()
+        assert net.freeze() is net
+        assert net.freeze() is net
+
+
+class TestGatesAndCopies:
+    def test_gate_requires_known_node(self):
+        net = build_two_node_loop()
+        with pytest.raises(RoadNetworkError):
+            net.add_gate(Gate(node="zzz"))
+
+    def test_gate_must_allow_a_direction(self):
+        with pytest.raises(RoadNetworkError):
+            Gate(node="a", inbound=False, outbound=False)
+
+    def test_duplicate_gate_rejected(self):
+        net = build_two_node_loop()
+        net.add_gate(Gate(node="a"))
+        with pytest.raises(RoadNetworkError):
+            net.add_gate(Gate(node="a"))
+
+    def test_open_system_flags(self):
+        net = build_two_node_loop()
+        assert not net.is_open_system
+        net.add_gate(Gate(node="a"))
+        assert net.is_open_system
+        assert net.border_nodes() == ["a"]
+        assert net.is_border("a") and not net.is_border("b")
+
+    def test_closed_copy_drops_gates(self):
+        net = build_two_node_loop()
+        net.add_gate(Gate(node="a"))
+        net.freeze()
+        closed = net.closed_copy().freeze()
+        assert not closed.is_open_system
+        assert closed.num_segments == net.num_segments
+
+    def test_open_copy_installs_gates(self):
+        net = build_two_node_loop().freeze()
+        opened = net.open_copy([Gate(node="b")])
+        assert opened.is_open_system
+        assert opened.border_nodes() == ["b"]
+        # the original is untouched
+        assert not net.is_open_system
+
+    def test_to_networkx_attributes(self):
+        net = build_two_node_loop().freeze()
+        g = net.to_networkx()
+        assert g.number_of_nodes() == 2
+        assert g.number_of_edges() == 2
+        assert g["a"]["b"]["length_m"] == pytest.approx(100.0)
+        # cached once frozen
+        assert net.to_networkx() is g
+
+    def test_positions(self):
+        net = RoadNetwork()
+        net.add_intersection("a", (1.0, 2.0))
+        net.add_bidirectional("a", "b", 10.0)
+        assert net.position("a") == (1.0, 2.0)
+        assert net.position("b") == (0.0, 0.0)
+        assert "a" in net.positions()

@@ -1,0 +1,82 @@
+"""Synthetic Manhattan midtown builder."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import RoadNetworkError
+from repro.roadnet.manhattan import MidtownSpec, build_midtown_grid, midtown_landmarks
+from repro.units import SPEED_LIMIT_25_MPH
+
+
+class TestMidtownSpec:
+    def test_default_size(self):
+        spec = MidtownSpec()
+        assert spec.num_intersections == 360
+
+    def test_scaled_preserves_structure(self):
+        spec = MidtownSpec().scaled(0.5)
+        assert 3 <= spec.n_avenues < 10
+        assert 3 <= spec.n_streets < 36
+        assert spec.avenue_lanes == MidtownSpec().avenue_lanes
+
+    def test_scale_bounds(self):
+        with pytest.raises(RoadNetworkError):
+            MidtownSpec().scaled(0.0)
+        with pytest.raises(RoadNetworkError):
+            MidtownSpec().scaled(1.5)
+
+
+class TestBuildMidtown:
+    def test_full_size(self):
+        net = build_midtown_grid()
+        assert net.num_nodes == 360
+        assert nx.is_strongly_connected(net.to_networkx())
+
+    def test_contains_one_way_streets(self):
+        net = build_midtown_grid(scale=0.3)
+        assert len(net.one_way_segments()) > 0
+
+    def test_contains_two_way_arterials(self):
+        net = build_midtown_grid(scale=0.5)
+        two_way = net.num_segments - len(net.one_way_segments())
+        assert two_way > 0
+
+    def test_avenues_have_multiple_lanes(self):
+        net = build_midtown_grid(scale=0.3)
+        lane_counts = {seg.lanes for seg in net.segments()}
+        assert max(lane_counts) >= 3
+        assert min(lane_counts) == 1
+
+    def test_speed_limit_override(self):
+        net = build_midtown_grid(scale=0.3, speed_limit_mps=SPEED_LIMIT_25_MPH)
+        assert all(seg.speed_limit_mps == pytest.approx(SPEED_LIMIT_25_MPH) for seg in net.segments())
+
+    def test_open_border(self):
+        net = build_midtown_grid(scale=0.3, open_border=True)
+        assert net.is_open_system
+        rows = {n[0] for n in net.nodes}
+        cols = {n[1] for n in net.nodes}
+        expected_border = 2 * len(cols) + 2 * (len(rows) - 2)
+        assert len(net.border_nodes()) == expected_border
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(RoadNetworkError):
+            build_midtown_grid(MidtownSpec(n_avenues=2, n_streets=10))
+
+    def test_strongly_connected_at_various_scales(self):
+        for scale in (0.15, 0.3, 0.6):
+            net = build_midtown_grid(scale=scale)
+            assert nx.is_strongly_connected(net.to_networkx()), scale
+
+
+class TestLandmarks:
+    def test_landmarks_are_intersections(self):
+        net = build_midtown_grid(scale=0.3)
+        marks = midtown_landmarks(net)
+        assert net.has_node(marks["central-park"])
+        assert net.has_node(marks["madison-square"])
+
+    def test_landmarks_on_opposite_ends(self):
+        net = build_midtown_grid(scale=0.3)
+        marks = midtown_landmarks(net)
+        assert marks["central-park"][0] > marks["madison-square"][0]

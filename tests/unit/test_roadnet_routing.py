@@ -1,0 +1,126 @@
+"""Routing policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.roadnet.builders import grid_network, ring_network, triangle_network
+from repro.roadnet.routing import (
+    FixedTripRouter,
+    RandomTurnRouter,
+    RandomWaypointRouter,
+    RoutePlan,
+    path_length_m,
+    shortest_path,
+)
+
+
+@pytest.fixture
+def grid():
+    return grid_network(3, 3)
+
+
+class TestShortestPath:
+    def test_simple_path(self, grid):
+        path = shortest_path(grid, (0, 0), (2, 2))
+        assert path[0] == (0, 0) and path[-1] == (2, 2)
+        assert len(path) == 5  # 4 hops on a grid
+
+    def test_no_route_raises(self, grid):
+        with pytest.raises(RoutingError):
+            shortest_path(grid, (0, 0), "nowhere")
+
+    def test_path_length(self, grid):
+        path = shortest_path(grid, (0, 0), (0, 2))
+        assert path_length_m(grid, path) == pytest.approx(400.0)
+
+
+class TestRoutePlan:
+    def test_peek_and_advance(self):
+        plan = RoutePlan(waypoints=[1, 2, 3])
+        assert plan.peek() == 1
+        assert plan.advance() == 1
+        assert plan.peek() == 2
+        assert not plan.empty
+
+    def test_empty_plan(self):
+        plan = RoutePlan()
+        assert plan.peek() is None
+        assert plan.advance() is None
+        assert plan.empty
+
+
+class TestRandomWaypoint:
+    def test_plan_reaches_valid_destination(self, grid, rng):
+        router = RandomWaypointRouter(grid, rng)
+        plan = router.plan_from((0, 0))
+        assert not plan.empty
+        # every consecutive pair is an existing segment
+        prev = (0, 0)
+        for node in plan.waypoints:
+            assert grid.has_segment(prev, node)
+            prev = node
+
+    def test_next_hop_always_valid(self, grid, rng):
+        router = RandomWaypointRouter(grid, rng)
+        node, prev = (1, 1), None
+        plan = router.plan_from(node)
+        for _ in range(50):
+            nxt = router.next_hop(node, plan, previous=prev)
+            assert grid.has_segment(node, nxt)
+            prev, node = node, nxt
+
+
+class TestRandomTurn:
+    def test_avoids_uturn_when_possible(self, grid, rng):
+        router = RandomTurnRouter(grid, rng)
+        for _ in range(30):
+            nxt = router.next_hop((1, 1), RoutePlan(), previous=(0, 1))
+            assert nxt != (0, 1)
+
+    def test_uturn_allowed_when_forced(self, rng):
+        # On a 2-node loop the only option is to turn back.
+        from repro.roadnet.graph import RoadNetwork
+
+        net = RoadNetwork()
+        net.add_bidirectional("a", "b", 50.0)
+        net.freeze()
+        router = RandomTurnRouter(net, rng)
+        assert router.next_hop("a", RoutePlan(), previous="b") == "b"
+
+
+class TestFixedTrip:
+    def test_follows_shortest_path(self, grid, rng):
+        router = FixedTripRouter(grid, rng, destination=(2, 2))
+        plan = router.plan_from((0, 0))
+        assert plan.waypoints[-1] == (2, 2)
+
+    def test_exit_on_arrival_sets_marker(self, grid, rng):
+        router = FixedTripRouter(grid, rng, destination=(2, 2), exit_on_arrival=True)
+        plan = router.plan_from((0, 0))
+        assert plan.exits_at == (2, 2)
+        at_dest = router.plan_from((2, 2))
+        assert at_dest.empty and at_dest.exits_at == (2, 2)
+
+    def test_falls_back_to_waypoint_after_arrival(self, grid, rng):
+        router = FixedTripRouter(grid, rng, destination=(1, 1), exit_on_arrival=False)
+        plan = router.plan_from((1, 1))
+        assert not plan.empty  # fell back to a fresh random trip
+
+    def test_replan_mid_route(self, grid, rng):
+        router = FixedTripRouter(grid, rng, destination=(2, 2))
+        plan = RoutePlan(waypoints=["bogus"])
+        nxt = router.next_hop((0, 0), plan, previous=None)
+        assert grid.has_segment((0, 0), nxt)
+
+
+class TestOneWayRouting:
+    def test_waypoint_respects_one_way(self, rng):
+        net = ring_network(6, one_way=True)
+        router = RandomWaypointRouter(net, rng)
+        node = 0
+        plan = router.plan_from(node)
+        for _ in range(20):
+            nxt = router.next_hop(node, plan, previous=None)
+            assert nxt == (node + 1) % 6  # only one legal direction
+            node = nxt

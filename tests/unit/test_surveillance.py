@@ -1,0 +1,91 @@
+"""Surveillance substrate: signatures, recognition, cameras."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.surveillance.attributes import (
+    WHITE_VAN,
+    ExteriorSignature,
+    random_signature,
+)
+from repro.surveillance.camera import IntersectionCamera
+from repro.surveillance.recognition import Recognizer
+
+
+class TestSignatures:
+    def test_wildcard_matches_everything(self, rng):
+        query = ExteriorSignature()
+        assert query.is_wildcard
+        for _ in range(20):
+            assert query.matches(random_signature(rng))
+
+    def test_partial_match(self):
+        van = ExteriorSignature(color="white", make="ford", body_type="van")
+        assert WHITE_VAN.matches(van)
+        assert not WHITE_VAN.matches(ExteriorSignature(color="red", make="ford", body_type="van"))
+        assert not WHITE_VAN.matches(ExteriorSignature(color="white", make="ford", body_type="sedan"))
+
+    def test_describe(self):
+        assert WHITE_VAN.describe() == "white * van"
+
+    def test_random_signature_fields_valid(self, rng):
+        sig = random_signature(rng)
+        assert sig.color and sig.make and sig.body_type
+
+    def test_random_signature_distribution_reasonable(self):
+        rng = np.random.default_rng(0)
+        sigs = [random_signature(rng) for _ in range(3000)]
+        white = sum(1 for s in sigs if s.color == "white")
+        assert 0.15 < white / len(sigs) < 0.35  # ~24% nominal
+
+
+class TestRecognizer:
+    def test_perfect_recognizer_counts_everything(self, rng):
+        rec = Recognizer(rng=rng)
+        assert rec.counts_everything
+        assert rec.observe(random_signature(rng))
+
+    def test_target_filtering(self, rng):
+        rec = Recognizer(WHITE_VAN, rng=rng)
+        assert rec.observe(ExteriorSignature(color="white", make="ford", body_type="van"))
+        assert not rec.observe(ExteriorSignature(color="black", make="ford", body_type="van"))
+
+    def test_false_negative_rate(self):
+        rng = np.random.default_rng(1)
+        rec = Recognizer(false_negative_rate=0.5, rng=rng)
+        sig = ExteriorSignature(color="white", make="ford", body_type="van")
+        hits = sum(rec.observe(sig) for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.5, abs=0.05)
+        assert rec.stats.false_negatives > 0
+
+    def test_false_positive_rate(self):
+        rng = np.random.default_rng(2)
+        rec = Recognizer(WHITE_VAN, false_positive_rate=0.25, rng=rng)
+        sig = ExteriorSignature(color="black", make="bmw", body_type="sedan")
+        hits = sum(rec.observe(sig) for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.25, abs=0.05)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Recognizer(false_negative_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            Recognizer(false_positive_rate=-0.2)
+
+
+class TestCamera:
+    def test_observation_fields(self, rng):
+        cam = IntersectionCamera("x", Recognizer(rng=rng))
+        obs = cam.observe_crossing(7, random_signature(rng), "a", "b", 12.5)
+        assert obs.vehicle_id == 7
+        assert obs.from_node == "a" and obs.to_node == "b"
+        assert obs.time_s == 12.5
+        assert obs.is_target
+
+    def test_multi_target_peak_tracking(self, rng):
+        cam = IntersectionCamera("x", Recognizer(rng=rng))
+        for vid in range(3):
+            cam.observe_crossing(vid, random_signature(rng), "a", "b", 5.0)
+        cam.observe_crossing(9, random_signature(rng), "a", "b", 6.0)
+        assert cam.simultaneous_peak == 3
+        assert cam.observed == 4

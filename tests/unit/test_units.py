@@ -1,0 +1,39 @@
+"""Unit conversions."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_mph_round_trip():
+    assert units.mps_to_mph(units.mph_to_mps(15.0)) == pytest.approx(15.0)
+
+
+def test_mph_to_mps_known_value():
+    # 15 mph = 6.7056 m/s exactly (1 mile = 1609.344 m)
+    assert units.mph_to_mps(15.0) == pytest.approx(6.7056)
+
+
+def test_speed_limit_constants_are_consistent():
+    assert units.SPEED_LIMIT_25_MPH > units.SPEED_LIMIT_15_MPH
+    assert units.SPEED_LIMIT_25_MPH / units.SPEED_LIMIT_15_MPH == pytest.approx(25.0 / 15.0)
+
+
+def test_kmh_round_trip():
+    assert units.kmh_to_mps(units.mps_to_kmh(12.3)) == pytest.approx(12.3)
+
+
+def test_minutes_seconds_round_trip():
+    assert units.seconds_to_minutes(units.minutes_to_seconds(7.5)) == pytest.approx(7.5)
+
+
+def test_minutes_to_seconds_value():
+    assert units.minutes_to_seconds(2.0) == 120.0
+
+
+def test_block_lengths_are_realistic():
+    # Manhattan blocks: short side < long side, both within city scale.
+    assert 50.0 < units.MANHATTAN_BLOCK_SHORT_M < 120.0
+    assert 200.0 < units.MANHATTAN_BLOCK_LONG_M < 350.0

@@ -1,0 +1,135 @@
+"""Wireless substrate: channels, exchange protocol, messages."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WirelessError
+from repro.wireless.channel import BernoulliLossChannel, PerfectChannel, RangeLimitedChannel
+from repro.wireless.exchange import ExchangeService
+from repro.wireless.messages import CounterReport, LabelToken, StatusDigest
+
+
+class TestChannels:
+    def test_perfect_channel_never_fails(self, rng):
+        ch = PerfectChannel()
+        assert all(ch.attempt_succeeds(rng) for _ in range(100))
+        assert ch.loss_probability == 0.0
+
+    def test_bernoulli_loss_rate(self):
+        ch = BernoulliLossChannel(0.3)
+        rng = np.random.default_rng(0)
+        n = 20_000
+        failures = sum(0 if ch.attempt_succeeds(rng) else 1 for _ in range(n))
+        assert failures / n == pytest.approx(0.3, abs=0.02)
+
+    def test_bernoulli_invalid_probability(self):
+        with pytest.raises(WirelessError):
+            BernoulliLossChannel(1.0)
+        with pytest.raises(WirelessError):
+            BernoulliLossChannel(-0.1)
+
+    def test_range_limited_cuts_off(self, rng):
+        ch = RangeLimitedChannel(loss_prob=0.0, range_m=100.0)
+        assert not ch.attempt_succeeds(rng, distance_m=150.0)
+        assert ch.attempt_succeeds(rng, distance_m=0.0)
+
+    def test_range_limited_degrades_with_distance(self):
+        ch = RangeLimitedChannel(loss_prob=0.0, range_m=100.0)
+        rng = np.random.default_rng(1)
+        near = sum(ch.attempt_succeeds(rng, 10.0) for _ in range(2000))
+        far = sum(ch.attempt_succeeds(rng, 90.0) for _ in range(2000))
+        assert near > far
+
+    def test_range_limited_validation(self):
+        with pytest.raises(WirelessError):
+            RangeLimitedChannel(range_m=0.0)
+
+
+class TestExchangeService:
+    def test_perfect_service_always_succeeds(self, rng):
+        svc = ExchangeService.perfect(rng)
+        out = svc.exchange()
+        assert out.success and out.attempts == 1 and not out.forced
+        assert bool(out) is True
+
+    def test_reliable_window_forces_success(self):
+        rng = np.random.default_rng(2)
+        svc = ExchangeService(
+            BernoulliLossChannel(0.9), rng, attempts_per_contact=2, reliable_within_window=True
+        )
+        outcomes = [svc.exchange() for _ in range(200)]
+        assert all(o.success for o in outcomes)
+        assert any(o.forced for o in outcomes)
+        assert svc.stats.hard_failures == 0
+        assert svc.stats.forced_successes > 0
+
+    def test_unreliable_window_can_fail(self):
+        rng = np.random.default_rng(3)
+        svc = ExchangeService(
+            BernoulliLossChannel(0.9), rng, attempts_per_contact=1, reliable_within_window=False
+        )
+        outcomes = [svc.exchange() for _ in range(200)]
+        assert any(not o.success for o in outcomes)
+        assert svc.stats.failure_rate > 0.5
+
+    def test_retry_statistics(self):
+        rng = np.random.default_rng(4)
+        svc = ExchangeService(BernoulliLossChannel(0.5), rng, attempts_per_contact=8)
+        for _ in range(500):
+            svc.exchange()
+        assert svc.stats.mean_attempts > 1.0
+        assert svc.stats.exchanges == 500
+
+    def test_single_attempt_loss_rate(self):
+        rng = np.random.default_rng(5)
+        svc = ExchangeService(BernoulliLossChannel(0.3), rng)
+        results = [svc.single_attempt() for _ in range(5000)]
+        assert np.mean(results) == pytest.approx(0.7, abs=0.03)
+
+    def test_invalid_attempts(self, rng):
+        with pytest.raises(WirelessError):
+            ExchangeService(PerfectChannel(), rng, attempts_per_contact=0)
+
+    def test_stats_as_dict_keys(self, rng):
+        svc = ExchangeService.perfect(rng)
+        svc.exchange()
+        d = svc.stats.as_dict()
+        assert d["exchanges"] == 1 and d["successes"] == 1
+
+
+class TestMessages:
+    def test_label_target(self):
+        lab = LabelToken(origin="u", segment=("u", "v"))
+        assert lab.target == "v"
+        assert lab.adjustment == 0
+
+    def test_report_relay_increments_hops(self):
+        rep = CounterReport(reporter="a", destination="b", value=5)
+        relayed = rep.relayed()
+        assert relayed.hops == 2 and relayed.value == 5
+
+    def test_digest_note_active_keeps_first_observation(self):
+        d = StatusDigest()
+        d.note_active("x", 10.0, parent="p", tree_id="t")
+        d.note_active("x", 20.0, parent="q", tree_id="s")
+        assert d.active["x"] == 10.0
+        assert d.parents["x"] == "p"
+        assert d.trees["x"] == "t"
+
+    def test_digest_report_ferrying(self):
+        d = StatusDigest()
+        rep = CounterReport(reporter="a", destination="b", value=3)
+        d.add_report(rep)
+        assert d.pop_reports_for("c") == ()
+        out = d.pop_reports_for("b")
+        assert out == (rep,)
+        assert d.pop_reports_for("b") == ()  # removed
+
+    def test_digest_merge(self):
+        d1, d2 = StatusDigest(), StatusDigest()
+        d1.note_active("x", 1.0, None)
+        d2.note_active("y", 2.0, "x")
+        d2.add_report(CounterReport(reporter="y", destination="x", value=7))
+        d1.merge(d2)
+        assert set(d1.active) == {"x", "y"}
+        assert d1.pop_reports_for("x")[0].value == 7
