@@ -16,18 +16,38 @@ call to :meth:`TrafficEngine.step` advances the world by ``dt`` seconds:
 
 Everything is deterministic given the RNG handed in, which is what makes the
 experiment sweeps reproducible.
+
+Hot path
+--------
+The default engine advances all vehicles with batch NumPy updates over a
+structure-of-arrays gathered from per-segment, per-lane vehicle lists that
+are maintained incrementally (sorted insertion on place/cross, no per-step
+rebuild).  Because each lane advances front to back against its leader's
+post-step state, the update is not a single elementwise pass; instead the
+step resolves, in order: lane heads and provably unconstrained/stopped
+followers in one vectorized pass (sound conservative bounds on the leader's
+outcome), then exact vectorized rounds for followers whose leader is already
+final, and finally a scalar tail for short chained runs at queue boundaries
+— producing results bit-for-bit identical to the per-vehicle engine.
+Overtakes are detected by checking each multilane segment's cached
+(position, vid) ranking for inversions instead of comparing all pairs, and
+intersections only consider the vehicles actually waiting at a stop line.
+``vectorized=False`` selects the original seed per-vehicle loops, kept
+verbatim as the reference implementation for the golden-trace equivalence
+tests and the throughput benchmark baseline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import MobilityError
 from ..roadnet.graph import DirectedSegment, RoadNetwork
-from ..roadnet.routing import RoutePlan, Router
+from ..roadnet.routing import Router
 from .car_following import LaneChangeModel, SimplifiedIDM
 from .demand import VehicleSpec
 from .events import CrossingEvent, EntryEvent, ExitEvent, OvertakeEvent, TrafficEvent
@@ -37,6 +57,15 @@ from .vehicle import Vehicle
 __all__ = ["EngineStats", "TrafficEngine"]
 
 _ARRIVAL_EPS_M = 0.5
+
+def _lane_order_key(vehicle: Vehicle) -> Tuple[float, int]:
+    """Front-to-back ordering within a lane: descending position, vid ties."""
+    return (-vehicle.pos_m, vehicle.vid)
+
+
+def _rank_key(vehicle: Vehicle) -> Tuple[float, int]:
+    """Segment-wide overtake ranking: ascending position, vid ties."""
+    return (vehicle.pos_m, vehicle.vid)
 
 
 @dataclass
@@ -79,6 +108,10 @@ class TrafficEngine:
     allow_overtaking:
         Master switch for lane changes.  ``False`` reproduces the paper's
         simple road model where traffic is strictly FIFO on every segment.
+    vectorized:
+        Use the batch NumPy hot path (default).  ``False`` selects the
+        original per-vehicle reference loops; both modes produce identical
+        event streams and state for the same RNG.
     """
 
     def __init__(
@@ -91,6 +124,7 @@ class TrafficEngine:
         car_following: Optional[SimplifiedIDM] = None,
         lane_change: Optional[LaneChangeModel] = None,
         allow_overtaking: bool = True,
+        vectorized: bool = True,
     ) -> None:
         if dt_s <= 0:
             raise MobilityError(f"dt_s must be positive, got {dt_s!r}")
@@ -103,15 +137,58 @@ class TrafficEngine:
         self.car_following = car_following if car_following is not None else SimplifiedIDM()
         self.lane_change = lane_change if lane_change is not None else LaneChangeModel()
         self.allow_overtaking = bool(allow_overtaking)
+        self.vectorized = bool(vectorized)
 
         self.time_s: float = 0.0
         self.vehicles: Dict[int, Vehicle] = {}
         self._departed: Dict[int, Vehicle] = {}
-        self._occupancy: Dict[Tuple[object, object], List[int]] = {
-            seg.key: [] for seg in net.segments()
-        }
+        # Flat per-segment occupancy in insertion order (the event-ordering
+        # reference), plus — for the vectorized engine — per-lane lists kept
+        # sorted front to back.  All per-edge dicts share the
+        # ``net.segments()`` iteration order, which fixes the
+        # RNG-consumption and event order of the step.
+        self._occupancy: Dict[Tuple[object, object], List[int]] = {}
+        self._segments: Dict[Tuple[object, object], DirectedSegment] = {}
+        self._lanes: Dict[Tuple[object, object], List[List[Vehicle]]] = {}
+        # Per-edge (segment, flat occupancy, per-lane lists, multilane?,
+        # length) for one-lookup, attribute-free iteration of the hot step;
+        # the lists are shared with the dicts above.  ``_ranked`` caches each
+        # multilane segment's vehicles in ascending (pos, vid) order — the
+        # overtake ranking — which advance leaves intact except on the rare
+        # steps that actually flip a pair.
+        # state tuple: (segment, flat occupancy, per-lane vehicle lists,
+        # multilane?, length, edge key, per-lane free-speed lists kept
+        # index-parallel to the lane lists)
+        self._state_by_index: List[Tuple] = []
+        self._ranked: Dict[Tuple[object, object], List[Vehicle]] = {}
+        self._edge_order: Dict[Tuple[object, object], int] = {}
+        # Sorted indices (into _state_by_index) of edges carrying vehicles,
+        # so the hot step never walks the empty part of the network.
+        self._occupied: List[int] = []
+        # Sparse: edges with vehicles waiting at the stop line, and those
+        # vehicles themselves (always their lane's head).
+        self._waiting: Dict[Tuple[object, object], List[Vehicle]] = {}
+        self._lane_free: Dict[Tuple[object, object], List[List[float]]] = {}
+        for i, seg in enumerate(net.segments()):
+            flat: List[int] = []
+            lanes: List[List[Vehicle]] = [[] for _ in range(seg.lanes)]
+            lane_free: List[List[float]] = [[] for _ in range(seg.lanes)]
+            self._occupancy[seg.key] = flat
+            self._segments[seg.key] = seg
+            self._lanes[seg.key] = lanes
+            self._lane_free[seg.key] = lane_free
+            self._state_by_index.append(
+                (seg, flat, lanes, seg.lanes > 1, seg.length_m, seg.key, lane_free)
+            )
+            if seg.lanes > 1:
+                self._ranked[seg.key] = []
+            self._edge_order[seg.key] = i
         self._policies: Dict[object, IntersectionPolicy] = {}
         self._next_vid = 0
+        self._inside_nonpatrol = 0
+        self._inside_patrol = 0
+        self._spawned_nonpatrol = 0
+        self._spawned_patrol = 0
         self.stats = EngineStats()
 
     # ----------------------------------------------------------- configure
@@ -192,6 +269,12 @@ class TrafficEngine:
         )
         self.vehicles[vid] = vehicle
         self.stats.spawned += 1
+        if spec.is_patrol:
+            self._spawned_patrol += 1
+            self._inside_patrol += 1
+        else:
+            self._spawned_nonpatrol += 1
+            self._inside_nonpatrol += 1
 
         if via_gate:
             self.stats.entries += 1
@@ -219,27 +302,68 @@ class TrafficEngine:
         return vehicle
 
     def _place(self, vehicle: Vehicle, tail: object, head: object, *, pos_m: float) -> None:
-        seg = self.net.segment(tail, head)
-        vehicle.edge = seg.key
+        seg = self._segments.get((tail, head))
+        if seg is None:
+            seg = self.net.segment(tail, head)  # raises MobilityError
+        key = seg.key
+        vehicle.edge = key
         vehicle.lane = int(self.rng.integers(seg.lanes))
         vehicle.pos_m = min(pos_m, seg.length_m)
-        vehicle.speed_mps = min(vehicle.desired_speed_mps, seg.speed_limit_mps) * 0.5
+        free = min(vehicle.desired_speed_mps, seg.speed_limit_mps)
+        vehicle.speed_mps = free * 0.5
         vehicle.previous_node = tail
         vehicle.waiting_since_s = None
-        self._occupancy[seg.key].append(vehicle.vid)
+        flat = self._occupancy[key]
+        flat.append(vehicle.vid)
+        if self.vectorized:
+            if len(flat) == 1:
+                insort(self._occupied, self._edge_order[key])
+            lane = vehicle.lane
+            lane_list = self._lanes[key][lane]
+            idx = bisect_left(lane_list, (-vehicle.pos_m, vehicle.vid), key=_lane_order_key)
+            lane_list.insert(idx, vehicle)
+            self._lane_free[key][lane].insert(idx, free)
+            if seg.lanes > 1:
+                insort(self._ranked[key], vehicle, key=_rank_key)
+
+    def _remove_from_edge(self, vehicle: Vehicle) -> None:
+        edge = vehicle.edge
+        flat = self._occupancy[edge]
+        flat.remove(vehicle.vid)
+        if self.vectorized:
+            if not flat:
+                order = self._edge_order[edge]
+                del self._occupied[bisect_left(self._occupied, order)]
+            lane = vehicle.lane
+            lane_list = self._lanes[edge][lane]
+            idx = lane_list.index(vehicle)
+            del lane_list[idx]
+            del self._lane_free[edge][lane][idx]
+            ranked = self._ranked.get(edge)
+            if ranked is not None:
+                ranked.remove(vehicle)
+            if vehicle.waiting_since_s is not None:
+                queue = self._waiting[edge]
+                queue.remove(vehicle)
+                if not queue:
+                    del self._waiting[edge]
 
     # --------------------------------------------------------------- queries
     def active_vehicles(self, *, include_patrol: bool = True) -> List[Vehicle]:
         """Vehicles currently inside the system."""
-        return [
-            v
-            for v in self.vehicles.values()
-            if include_patrol or not v.is_patrol
-        ]
+        if include_patrol:
+            return list(self.vehicles.values())
+        return [v for v in self.vehicles.values() if not v.is_patrol]
+
+    def active_count(self, *, include_patrol: bool = True) -> int:
+        """Number of vehicles currently inside (O(1), no list building)."""
+        if include_patrol:
+            return self._inside_nonpatrol + self._inside_patrol
+        return self._inside_nonpatrol
 
     def inside_count(self) -> int:
         """Ground truth: number of non-patrol vehicles currently inside."""
-        return sum(1 for v in self.vehicles.values() if not v.is_patrol)
+        return self._inside_nonpatrol
 
     def departed_vehicles(self) -> List[Vehicle]:
         """Vehicles that have left the open system."""
@@ -247,8 +371,9 @@ class TrafficEngine:
 
     def total_spawned(self, *, include_patrol: bool = False) -> int:
         """Number of vehicles ever inserted (excluding patrol by default)."""
-        pool = list(self.vehicles.values()) + list(self._departed.values())
-        return sum(1 for v in pool if include_patrol or not v.is_patrol)
+        if include_patrol:
+            return self._spawned_nonpatrol + self._spawned_patrol
+        return self._spawned_nonpatrol
 
     def occupancy(self, edge: Tuple[object, object]) -> List[Vehicle]:
         """Vehicles currently on ``edge`` (unspecified order)."""
@@ -258,8 +383,12 @@ class TrafficEngine:
     def step(self) -> List[TrafficEvent]:
         """Advance the world by one time step and return the events produced."""
         events: List[TrafficEvent] = []
-        self._advance_segments(events)
-        self._process_intersections(events)
+        if self.vectorized:
+            self._advance_segments_batch(events)
+            self._process_intersections_indexed(events)
+        else:
+            self._advance_segments(events)
+            self._process_intersections(events)
         self.time_s += self.dt_s
         self.stats.steps += 1
         return events
@@ -272,8 +401,306 @@ class TrafficEngine:
             out.extend(self.step())
         return out
 
-    # ----------------------------------------------------- segment dynamics
+    # ------------------------------------------- segment dynamics (batched)
+    def _advance_segments_batch(self, events: List[TrafficEvent]) -> None:
+        """Advance every occupied segment in one structure-of-arrays pass.
+
+        Gather: concatenate the incrementally maintained per-lane lists
+        (already in front-to-back order — no sorting) into flat columns; a
+        follower's leader is then simply the previous gather index.  Advance:
+        compute every vehicle's free-flow candidate vectorized, resolve the
+        provably unconstrained and provably stopped followers vectorized
+        (see :meth:`SimplifiedIDM.batch_classify`), settle remaining
+        followers whose leader is final in exact vectorized rounds, and run
+        the scalar front-to-back recurrence only for the short chained tail
+        at queue boundaries.  Scatter: bulk-write positions/speeds back and
+        flag newly waiting vehicles for the intersection index.
+        """
+        dt = self.dt_s
+        cf = self.car_following
+        allow_overtaking = self.allow_overtaking
+        lane_change = self.lane_change
+        blocked_m = lane_change.blocked_distance_m
+        gain_mps = lane_change.speed_gain_threshold_mps
+        rng = self.rng
+        gathered: List[Vehicle] = []
+        extend = gathered.extend
+        free_col: List[float] = []
+        edge_lengths: List[float] = []
+        edge_counts: List[int] = []
+        head_idx: List[int] = []
+        # (segment, edge key, gather start, gather end) of multilane segments
+        # whose position ranking must be checked after the advance.
+        watch: List[Tuple[DirectedSegment, Tuple[object, object], int, int]] = []
+
+        state_by_index = self._state_by_index
+        count = 0
+        for ei in self._occupied:
+            seg, flat, lanes, multilane, length_m, edge_key, lane_free = state_by_index[ei]
+            base = count
+            if allow_overtaking and multilane and len(flat) > 1:
+                # Lane-change pass, inlined.  Decisions read the pre-change
+                # occupancy (the reference engine's whole pass reads a stale
+                # snapshot) and must stay boolean-identical to
+                # LaneChangeModel.wants_to_change, so accepted moves are
+                # applied to the sorted lane lists only after the scan.
+                moves: Optional[List[Tuple[Vehicle, int]]] = None
+                for lane_list in lanes:
+                    if len(lane_list) > 1:
+                        leader = lane_list[0]
+                        for k in range(1, len(lane_list)):
+                            v = lane_list[k]
+                            if (
+                                leader.pos_m - v.pos_m <= blocked_m
+                                and v.desired_speed_mps - leader.speed_mps > gain_mps
+                            ):
+                                target = lane_change.target_lane(v, seg.lanes, lanes, rng)
+                                if target is not None:
+                                    if moves is None:
+                                        moves = []
+                                    moves.append((v, target))
+                            leader = v
+                if moves:
+                    for v, target in moves:
+                        source_list = lanes[v.lane]
+                        i = source_list.index(v)
+                        del source_list[i]
+                        fv = lane_free[v.lane].pop(i)
+                        v.lane = target
+                        target_list = lanes[target]
+                        i = bisect_left(
+                            target_list, (-v.pos_m, v.vid), key=_lane_order_key
+                        )
+                        target_list.insert(i, v)
+                        lane_free[target].insert(i, fv)
+                watch.append((seg, edge_key, base, base + len(flat)))
+            if multilane:
+                for lane, lane_list in enumerate(lanes):
+                    if lane_list:
+                        head_idx.append(count)
+                        extend(lane_list)
+                        free_col += lane_free[lane]
+                        count += len(lane_list)
+            else:
+                lane_list = lanes[0]
+                if lane_list:
+                    head_idx.append(count)
+                    extend(lane_list)
+                    free_col += lane_free[0]
+                    count += len(lane_list)
+            edge_lengths.append(length_m)
+            edge_counts.append(count - base)
+
+        n = len(gathered)
+        if n == 0:
+            return
+
+        pos = np.fromiter([v.pos_m for v in gathered], np.float64, n)
+        speed = np.fromiter([v.speed_mps for v in gathered], np.float64, n)
+        free = np.fromiter(free_col, np.float64, n)
+        length = np.repeat(np.array(edge_lengths), np.array(edge_counts))
+
+        vfree = cf.batch_free_speed(speed, free, dt)
+        cand_speed = np.maximum(0.0, vfree)
+        cand_raw = pos + cand_speed * dt
+        cand_pos = np.minimum(cand_raw, length)
+
+        # The vehicle at gather index i-1 is the in-lane leader of every
+        # non-head vehicle i, so plain shifted views bound its post-step
+        # position: below by its pre-step position, above by its candidate.
+        unconstrained_f, stopped_f = cf.batch_classify(
+            pos[1:], vfree[1:], cand_raw[1:], pos[:-1], cand_pos[:-1], dt
+        )
+        heads = np.array(head_idx)
+        stopped = np.zeros(n, dtype=bool)
+        stopped[1:] = stopped_f
+        stopped[heads] = False
+        resolved = np.empty(n, dtype=bool)
+        resolved[0] = False
+        resolved[1:] = unconstrained_f | stopped_f
+        resolved[heads] = True
+
+        new_pos = np.where(stopped, pos, cand_pos)
+        new_speed = np.where(stopped, 0.0, cand_speed)
+
+        residual = np.nonzero(~resolved)[0]
+        while residual.size > 24:
+            # Exact vectorized rounds: residual followers whose leader is
+            # already resolved see its final state, so their update is
+            # computable in one batch; every pass peels one chain depth and
+            # only short chained tails stay scalar.
+            ready = resolved[residual - 1]
+            if not ready.any():
+                break
+            idx = residual[ready]
+            lidx = idx - 1
+            new_pos[idx], new_speed[idx] = cf.batch_follow(
+                pos[idx], vfree[idx], new_pos[lidx], new_speed[lidx],
+                length[idx], dt,
+            )
+            resolved[idx] = True
+            residual = residual[~ready]
+
+        pos_out = new_pos.tolist()
+        speed_out = new_speed.tolist()
+
+        time_s = self.time_s
+        waiting = self._waiting
+        if residual.size:
+            # The residual set is a handful of queue-boundary vehicles, so
+            # scalar NumPy indexing beats materializing whole columns.
+            follow = cf.follow_scalar
+            for i in residual.tolist():
+                length_i = length[i]
+                p, s = follow(
+                    pos[i], vfree[i], pos_out[i - 1], speed_out[i - 1],
+                    length_i, dt,
+                )
+                pos_out[i] = p
+                speed_out[i] = s
+                v = gathered[i]
+                v.pos_m = p
+                v.speed_mps = s
+                if p >= length_i - _ARRIVAL_EPS_M and v.waiting_since_s is None:
+                    v.waiting_since_s = time_s
+                    waiting.setdefault(v.edge, []).append(v)
+
+        arrived = resolved & (new_pos >= length - _ARRIVAL_EPS_M)
+        if arrived.any():
+            for i in np.nonzero(arrived)[0].tolist():
+                v = gathered[i]
+                if v.waiting_since_s is None:
+                    v.waiting_since_s = time_s
+                    waiting.setdefault(v.edge, []).append(v)
+
+        # Scatter: free-flowing traffic moves everything, a jammed network
+        # barely anything.  Stopped vehicles keep their exact stored values
+        # (neither engine ever stores a negative zero), so bitwise-identical
+        # writes can be skipped wholesale when few vehicles moved; residual
+        # vehicles wrote themselves above.
+        moved = new_pos != pos
+        n_moved = int(moved.sum())
+        if n_moved * 2 >= n:
+            # Rewriting an unchanged value is bitwise harmless and cheaper
+            # than testing for it element by element.
+            for v, p, s in zip(gathered, pos_out, speed_out):
+                v.pos_m = p
+                v.speed_mps = s
+        else:
+            changed = resolved & (moved | (new_speed != speed))
+            for i, p, s in zip(
+                np.nonzero(changed)[0].tolist(),
+                new_pos[changed].tolist(),
+                new_speed[changed].tolist(),
+            ):
+                v = gathered[i]
+                v.pos_m = p
+                v.speed_mps = s
+
+        if watch:
+            self._detect_overtakes_batch(watch, moved, n_moved, events)
+
+    def _detect_overtakes_batch(
+        self,
+        watch: List[Tuple[DirectedSegment, Tuple[object, object], int, int]],
+        moved: np.ndarray,
+        n_moved: int,
+        events: List[TrafficEvent],
+    ) -> None:
+        """Check every watched segment's cached overtake ranking, post-step.
+
+        ``_ranked`` holds each multilane segment's vehicles in ascending
+        (position, vid) order; car following preserves in-lane order and
+        lane changes do not move vehicles longitudinally, so the cache stays
+        valid across steps and one vectorized monotonicity scan of the
+        post-step positions confirms it.  Segments where nothing moved this
+        step are filtered out wholesale first; only segments where the scan
+        finds an inversion — an actual overtake — enumerate their flipped
+        pairs (in the reference engine's insertion-order pair sequence) and
+        re-sort their cache.
+        """
+        if len(watch) > 1 and n_moved * 2 < moved.size:
+            # Mostly-jammed network: drop the watched segments where nothing
+            # moved at all (their ranking trivially cannot have changed).
+            csum = np.concatenate(([0], np.cumsum(moved)))
+            spans = np.array([(s, e) for _seg, _key, s, e in watch])
+            any_moved = csum[spans[:, 1]] > csum[spans[:, 0]]
+            if not any_moved.all():
+                watch = [w for w, m in zip(watch, any_moved.tolist()) if m]
+                if not watch:
+                    return
+        ranked = self._ranked
+        chains: List[List[Vehicle]] = [ranked[key] for _seg, key, _s, _e in watch]
+        lens = list(map(len, chains))
+        arr = np.fromiter(
+            [v.pos_m for chain in chains for v in chain], np.float64, sum(lens)
+        )
+        inverted = arr[1:] < arr[:-1]
+        bounds = np.cumsum(lens)
+        inverted[bounds[:-1] - 1] = False
+        flagged = set(np.searchsorted(bounds, np.nonzero(inverted)[0], side="right").tolist())
+        ties = arr[1:] == arr[:-1]
+        ties[bounds[:-1] - 1] = False
+        if ties.any():
+            # A positional tie is an inversion when the vid order disagrees.
+            offsets = np.concatenate(([0], bounds[:-1]))
+            for k in np.nonzero(ties)[0].tolist():
+                j = int(np.searchsorted(bounds, k, side="right"))
+                local = k - int(offsets[j])
+                chain = chains[j]
+                if chain[local].vid > chain[local + 1].vid:
+                    flagged.add(j)
+        if not flagged:
+            return
+        for j in sorted(flagged):
+            seg, key = watch[j][0], watch[j][1]
+            ranked[key] = self._emit_overtakes(seg, ranked[key], events)
+
+    def _emit_overtakes(
+        self,
+        seg: DirectedSegment,
+        chain_before: List[Vehicle],
+        events: List[TrafficEvent],
+    ) -> List[Vehicle]:
+        """Enumerate the flipped pairs of one segment whose ranking changed.
+
+        ``chain_before`` is the cached pre-step ranking; comparing each
+        vehicle's index in it with its index in the freshly sorted post-step
+        ranking is equivalent to the reference engine's (position, vid)
+        tuple comparisons, because both rankings are strict total orders.
+        Pairs are scanned in the flat insertion order the reference engine
+        used, so simultaneous events come out in the same sequence.
+        """
+        chain_after = sorted(chain_before, key=_rank_key)
+        rank_before = {v.vid: r for r, v in enumerate(chain_before)}
+        rank_after = {v.vid: r for r, v in enumerate(chain_after)}
+        order = [self.vehicles[vid] for vid in self._occupancy[seg.key]]
+        n = len(order)
+        vids = [v.vid for v in order]
+        for i in range(n):
+            rb_a = rank_before[vids[i]]
+            ra_a = rank_after[vids[i]]
+            for j in range(i + 1, n):
+                was_a_ahead = rb_a > rank_before[vids[j]]
+                now_a_ahead = ra_a > rank_after[vids[j]]
+                if was_a_ahead == now_a_ahead:
+                    continue
+                passer, passee = (order[i], order[j]) if now_a_ahead else (order[j], order[i])
+                self.stats.overtakes += 1
+                events.append(
+                    OvertakeEvent(time_s=self.time_s, edge=seg.key, passer=passer, passee=passee)
+                )
+        return chain_after
+
+    # --------------------------------------- segment dynamics (per vehicle)
     def _advance_segments(self, events: List[TrafficEvent]) -> None:
+        """Seed reference implementation, kept verbatim.
+
+        Per-vehicle loops with per-step lane rebuilds and sorting — the
+        pre-vectorization engine.  It is the baseline the golden-trace tests
+        and ``benchmarks/bench_engine_throughput.py`` compare against, so it
+        must not be optimized.
+        """
         for edge_key, vids in self._occupancy.items():
             if not vids:
                 continue
@@ -347,8 +774,44 @@ class TrafficEngine:
                 )
 
     # -------------------------------------------------- intersection crossing
+    def _process_intersections_indexed(self, events: List[TrafficEvent]) -> None:
+        """Admission control scanning only the vehicles actually waiting.
+
+        ``_waiting`` indexes the vehicles at a stop line per segment (each is
+        necessarily the head of its lane: followers are held at least a
+        vehicle length behind, and a vehicle at the stop line has no leader
+        to trigger a lane change), so admission never touches free-flowing
+        traffic.
+        """
+        candidates: Dict[object, List[Tuple[float, int, object]]] = {}
+        time_s = self.time_s
+        dt = self.dt_s
+        waiting = self._waiting
+        waiting_edges = (
+            # Candidate collection must follow the network's segment order
+            # (it fixes which edge first registers each node, and thereby
+            # the crossing-event order of the step).
+            sorted(waiting, key=self._edge_order.__getitem__)
+            if len(waiting) > 1
+            else list(waiting)
+        )
+        segments = self._segments
+        overrides = self._policies
+        default_delay = self.default_policy.crossing_delay_s
+        for edge_key in waiting_edges:
+            node = segments[edge_key].head
+            if overrides:
+                delay = overrides.get(node, self.default_policy).crossing_delay_s
+            else:
+                delay = default_delay
+            for v in waiting[edge_key]:
+                since = v.waiting_since_s
+                if time_s - since + dt >= delay:
+                    candidates.setdefault(node, []).append((since, v.vid, edge_key))
+        self._admit(candidates, events)
+
     def _process_intersections(self, events: List[TrafficEvent]) -> None:
-        # Gather the front-most waiting vehicle per (inbound edge, lane).
+        """Seed reference implementation: scan every occupied segment."""
         candidates: Dict[object, List[Tuple[float, int, object]]] = {}
         for edge_key, vids in self._occupancy.items():
             if not vids:
@@ -367,10 +830,18 @@ class TrafficEngine:
             for v in front_per_lane.values():
                 if self.time_s - v.waiting_since_s + self.dt_s >= policy.crossing_delay_s:
                     candidates.setdefault(node, []).append((v.waiting_since_s, v.vid, edge_key))
+        self._admit(candidates, events)
 
+    def _admit(
+        self,
+        candidates: Dict[object, List[Tuple[float, int, object]]],
+        events: List[TrafficEvent],
+    ) -> None:
         for node, waiting in candidates.items():
             policy = self.policy_for(node)
-            waiting.sort(key=lambda item: (item[0], item[1]))
+            # Plain tuple sort: identical order to sorting by (time, vid)
+            # because vids are unique, so the edge key is never compared.
+            waiting.sort()
             for _, vid, edge_key in waiting[: policy.admissions_per_step]:
                 vehicle = self.vehicles.get(vid)
                 if vehicle is None or vehicle.edge != edge_key:
@@ -380,7 +851,7 @@ class TrafficEngine:
     def _cross(self, vehicle: Vehicle, node: object, events: List[TrafficEvent]) -> None:
         assert vehicle.edge is not None
         tail = vehicle.edge[0]
-        self._occupancy[vehicle.edge].remove(vehicle.vid)
+        self._remove_from_edge(vehicle)
         vehicle.edge = None
         vehicle.waiting_since_s = None
 
@@ -390,6 +861,7 @@ class TrafficEngine:
             vehicle.exited_at_s = self.time_s
             del self.vehicles[vehicle.vid]
             self._departed[vehicle.vid] = vehicle
+            self._inside_nonpatrol -= 1
             self.stats.exits += 1
             events.append(
                 ExitEvent(time_s=self.time_s, vehicle=vehicle, gate_node=node, from_node=tail)

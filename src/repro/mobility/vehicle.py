@@ -34,9 +34,14 @@ VEHICLE_LENGTH_M: float = 4.5
 MIN_GAP_M: float = 2.0
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class Vehicle:
     """One vehicle in the simulation.
+
+    Identity semantics (``eq=False``): two vehicles are the same object or
+    different vehicles, never value-equal — which also keeps the engine's
+    lane-list removals at C pointer-comparison speed and makes vehicles
+    hashable for use in sets.
 
     Attributes
     ----------

@@ -132,6 +132,7 @@ class RoadNetwork:
         self._gates: Dict[object, Gate] = {}
         self._frozen = False
         self._nx_cache: Optional[nx.DiGraph] = None
+        self._adjacency_cache: Optional[Tuple[dict, dict]] = None
 
     # ------------------------------------------------------------------ build
     def add_intersection(self, node: object, pos: Optional[Tuple[float, float]] = None) -> None:
@@ -378,6 +379,29 @@ class RoadNetwork:
         if self._frozen:
             self._nx_cache = g
         return g
+
+    def travel_time_adjacency(self) -> Tuple[dict, dict]:
+        """Cached ``(successors, predecessors)`` adjacency lists.
+
+        Each maps ``node -> [(neighbor, travel_time_s), ...]`` in the exact
+        iteration order of :meth:`to_networkx`'s graph, which is what keeps
+        the fast shortest-path routine's heap tie-breaking — and therefore
+        its returned paths — identical to networkx's.
+        """
+        if self._frozen and self._adjacency_cache is not None:
+            return self._adjacency_cache
+        g = self.to_networkx()
+        succ = {
+            v: [(w, data["travel_time_s"]) for w, data in g.succ[v].items()]
+            for v in g
+        }
+        pred = {
+            v: [(w, data["travel_time_s"]) for w, data in g.pred[v].items()]
+            for v in g
+        }
+        if self._frozen:
+            self._adjacency_cache = (succ, pred)
+        return succ, pred
 
     # ------------------------------------------------------------ transforms
     def closed_copy(self, name: Optional[str] = None) -> "RoadNetwork":

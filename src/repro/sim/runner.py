@@ -7,12 +7,23 @@ elapsed times.  :class:`ExperimentRunner` reproduces that structure: for every
 (fresh RNG seeds, fresh random seed-checkpoint draws) and aggregates the
 results into a :class:`~repro.sim.results.SweepResult` that the figure
 generators and benchmarks consume.
+
+Sweep cells are mutually independent (every run builds a fresh network and
+derives its RNG seed deterministically from the cell coordinates), so the
+runner can fan them out over a :class:`concurrent.futures.ProcessPoolExecutor`
+with ``parallel=True`` — the results are identical to the serial order,
+cell for cell.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, List, Optional, Sequence
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 from ..roadnet.graph import RoadNetwork
@@ -76,6 +87,38 @@ def run_single(
     return sim.run()
 
 
+def _deserialization_canary(*_args: object) -> bool:
+    """No-op worker task proving the factory/config unpickle in a worker."""
+    return True
+
+
+def _run_cell_job(
+    network_factory: NetworkFactory,
+    base_config: ScenarioConfig,
+    volume_fraction: float,
+    num_seeds: int,
+    replications: int,
+) -> SweepCell:
+    """Run one (volume, seeds) cell — shared by the serial and parallel paths.
+
+    The per-replication RNG seed is derived purely from the base seed and
+    the cell coordinates (``hash`` of a numeric tuple is process-independent),
+    so the cell's result does not depend on which process — or in which
+    order — it runs.
+    """
+    runs: List[RunResult] = []
+    for rep in range(replications):
+        config = (
+            base_config.with_volume(volume_fraction)
+            .with_seeds(num_seeds)
+            .with_rng_seed(base_config.rng_seed + 7919 * rep + hash((volume_fraction, num_seeds)) % 1009)
+        )
+        runs.append(run_single(network_factory, config))
+    return SweepCell(
+        volume_fraction=volume_fraction, num_seeds=num_seeds, runs=tuple(runs)
+    )
+
+
 class ExperimentRunner:
     """Runs a (volume x seeds x replication) sweep of one base scenario.
 
@@ -83,10 +126,20 @@ class ExperimentRunner:
     ----------
     network_factory:
         Zero-argument callable building the road network.  It is called for
-        every run so that runs cannot leak state into each other.
+        every run so that runs cannot leak state into each other.  With
+        ``parallel=True`` it must be picklable (a module-level function or
+        functools.partial of one, not a lambda or closure).
     base_config:
         The scenario configuration shared by all cells; the runner only
         varies ``demand.volume_fraction``, ``num_seeds`` and ``rng_seed``.
+    parallel:
+        Fan the sweep's cells out over a process pool.  Cell results are
+        identical to serial execution; only the wall clock changes.  Falls
+        back to serial (with a warning) when the factory or config cannot
+        be pickled or no process pool can be started.
+    max_workers:
+        Pool size cap for ``parallel=True``; defaults to
+        ``min(#cells, os.cpu_count())``.
     """
 
     def __init__(
@@ -95,31 +148,85 @@ class ExperimentRunner:
         base_config: ScenarioConfig,
         *,
         name: Optional[str] = None,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
     ) -> None:
         self.network_factory = network_factory
         self.base_config = base_config
         self.name = name or base_config.name
+        self.parallel = bool(parallel)
+        self.max_workers = max_workers
 
     def run_cell(
         self, volume_fraction: float, num_seeds: int, replications: int
     ) -> SweepCell:
         """Run all replications of one (volume, seeds) cell."""
-        runs: List[RunResult] = []
-        for rep in range(replications):
-            config = (
-                self.base_config.with_volume(volume_fraction)
-                .with_seeds(num_seeds)
-                .with_rng_seed(self.base_config.rng_seed + 7919 * rep + hash((volume_fraction, num_seeds)) % 1009)
-            )
-            runs.append(run_single(self.network_factory, config))
-        return SweepCell(
-            volume_fraction=volume_fraction, num_seeds=num_seeds, runs=tuple(runs)
+        return _run_cell_job(
+            self.network_factory, self.base_config,
+            volume_fraction, num_seeds, replications,
         )
 
     def run_sweep(self, spec: SweepSpec) -> SweepResult:
-        """Run the full sweep and return the aggregated result."""
+        """Run the full sweep and return the aggregated result.
+
+        Cells appear in volume-major order regardless of execution mode.
+        """
+        cells_axes = [
+            (volume, seeds) for volume in spec.volumes for seeds in spec.seed_counts
+        ]
         result = SweepResult(name=self.name)
-        for volume in spec.volumes:
-            for seeds in spec.seed_counts:
-                result.cells.append(self.run_cell(volume, seeds, spec.replications))
+        if self.parallel and len(cells_axes) > 1:
+            cells = self._run_cells_parallel(cells_axes, spec.replications)
+        else:
+            cells = [
+                self.run_cell(volume, seeds, spec.replications)
+                for volume, seeds in cells_axes
+            ]
+        result.cells.extend(cells)
         return result
+
+    def _run_cells_parallel(
+        self, cells_axes: List[Tuple[float, int]], replications: int
+    ) -> List[SweepCell]:
+        try:
+            pickle.dumps((self.network_factory, self.base_config))
+        except Exception as exc:  # lambdas, closures, open handles, ...
+            warnings.warn(
+                f"parallel sweep disabled: factory/config not picklable ({exc}); "
+                "running serially",
+                stacklevel=3,
+            )
+            return [self.run_cell(v, s, replications) for v, s in cells_axes]
+        workers = self.max_workers or min(len(cells_axes), os.cpu_count() or 1)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                try:
+                    # A factory that pickles by reference locally can still
+                    # fail to unpickle inside a worker (e.g. defined in
+                    # __main__ under the spawn start method).  Prove the
+                    # round trip with a no-op task first, so that a genuine
+                    # error raised by a real cell later is never mistaken
+                    # for a transport problem.
+                    pool.submit(
+                        _deserialization_canary, self.network_factory, self.base_config
+                    ).result()
+                except Exception as exc:
+                    warnings.warn(
+                        f"parallel sweep disabled: factory/config does not survive "
+                        f"the worker round trip ({exc}); running serially",
+                        stacklevel=3,
+                    )
+                    return [self.run_cell(v, s, replications) for v, s in cells_axes]
+                futures = [
+                    pool.submit(
+                        _run_cell_job, self.network_factory, self.base_config,
+                        volume, seeds, replications,
+                    )
+                    for volume, seeds in cells_axes
+                ]
+                return [f.result() for f in futures]
+        except (BrokenProcessPool, OSError, pickle.PicklingError) as exc:
+            warnings.warn(
+                f"parallel sweep failed ({exc}); rerunning serially", stacklevel=3
+            )
+            return [self.run_cell(v, s, replications) for v, s in cells_axes]

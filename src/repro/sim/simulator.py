@@ -214,6 +214,11 @@ class Simulation:
         invariant of Definition 1 / Corollary 2.
         """
         target = self.config.protocol.count_target
+        if target is None or target.is_wildcard:
+            # O(1): the engine tracks these populations incrementally.
+            if self.config.open_system:
+                return self.engine.inside_count()
+            return self.engine.total_spawned()
         if self.config.open_system:
             pool = [v for v in self.engine.vehicles.values() if not v.is_patrol]
         else:
@@ -222,8 +227,6 @@ class Simulation:
                 for v in list(self.engine.vehicles.values()) + self.engine.departed_vehicles()
                 if not v.is_patrol
             ]
-        if target is None or target.is_wildcard:
-            return len(pool)
         return sum(1 for v in pool if target.matches(v.signature))
 
     def result(self) -> RunResult:

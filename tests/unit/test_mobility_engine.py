@@ -181,6 +181,33 @@ class TestIntersectionPolicies:
             eng.set_intersection_policy("nope", extended_policy())
 
 
+class TestCounters:
+    def test_counts_stay_consistent_with_populations(self, gated_grid, rng):
+        eng = make_engine(gated_grid)
+        dm = DemandModel(gated_grid, DemandConfig(volume_fraction=0.6), rng)
+        eng.spawn_initial(dm.initial_fleet(open_system=True))
+        for spec in dm.border_arrivals(200.0):
+            eng.spawn(spec)
+        eng.run(300.0)
+        inside = [v for v in eng.vehicles.values() if not v.is_patrol]
+        assert eng.inside_count() == len(inside)
+        assert eng.active_count() == len(eng.vehicles)
+        assert eng.active_count(include_patrol=False) == len(inside)
+        assert eng.total_spawned() == len(inside) + len(eng.departed_vehicles())
+
+    def test_counts_exclude_patrol(self, small_grid, rng):
+        from repro.core.patrol import CyclePatrolRouter, build_patrol_cycle
+
+        eng = make_engine(small_grid)
+        cycle = build_patrol_cycle(small_grid)
+        eng.spawn_patrol(CyclePatrolRouter(small_grid, rng, cycle), cycle[0])
+        assert eng.inside_count() == 0
+        assert eng.total_spawned() == 0
+        assert eng.total_spawned(include_patrol=True) == 1
+        assert eng.active_count() == 1
+        assert eng.active_count(include_patrol=False) == 0
+
+
 class TestDeterminism:
     def test_same_seed_same_trajectories(self, small_grid):
         def run(seed):
@@ -196,3 +223,21 @@ class TestDeterminism:
 
         assert run(11) == run(11)
         assert run(11) != run(12)
+
+    def test_vectorized_matches_reference_engine(self, two_lane_grid):
+        def run(vectorized):
+            eng = TrafficEngine(
+                two_lane_grid, np.random.default_rng(21), vectorized=vectorized
+            )
+            dm = DemandModel(
+                two_lane_grid, DemandConfig(volume_fraction=1.0), np.random.default_rng(21)
+            )
+            eng.spawn_initial(dm.initial_fleet())
+            events = eng.run(150.0)
+            return (
+                [(type(e).__name__, e.time_s) for e in events],
+                sorted((v.vid, v.pos_m, v.speed_mps, v.lane) for v in eng.vehicles.values()),
+                eng.stats.as_dict(),
+            )
+
+        assert run(True) == run(False)

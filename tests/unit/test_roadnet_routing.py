@@ -124,3 +124,25 @@ class TestOneWayRouting:
             nxt = router.next_hop(node, plan, previous=None)
             assert nxt == (node + 1) % 6  # only one legal direction
             node = nxt
+
+
+class TestFastShortestPath:
+    def test_matches_networkx_paths_exactly(self):
+        """The fast bidirectional Dijkstra must reproduce networkx's paths
+        bit for bit, tie-breaking included — the golden traces depend on it."""
+        import networkx as nx
+
+        from repro.roadnet.manhattan import build_midtown_grid
+
+        for net in (build_midtown_grid(scale=0.25), grid_network(4, 4, lanes=2)):
+            g = net.to_networkx()
+            nodes = list(g.nodes)
+            for a in nodes[::2]:
+                for b in nodes[1::2]:
+                    expected = nx.shortest_path(g, a, b, weight="travel_time_s")
+                    assert shortest_path(net, a, b) == expected
+
+    def test_no_route_raises(self):
+        net = ring_network(4, one_way=True)
+        with pytest.raises(RoutingError):
+            shortest_path(net, 0, "nowhere")

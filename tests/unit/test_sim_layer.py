@@ -16,6 +16,11 @@ from repro.sim.runner import ExperimentRunner, SweepSpec, run_single
 from repro.sim.simulator import Simulation
 
 
+def _grid_factory():
+    """Module-level (hence picklable) factory for parallel-sweep tests."""
+    return grid_network(3, 3, lanes=1)
+
+
 class TestRngFactory:
     def test_streams_are_independent_but_reproducible(self):
         f1, f2 = RngFactory(7), RngFactory(7)
@@ -196,3 +201,22 @@ class TestRunner:
         assert len(sweep.cells) == 2
         assert sweep.all_exact
         assert sweep.volumes == [0.5] and sweep.seed_counts == [1, 2]
+
+    def test_parallel_sweep_identical_to_serial(self, simple_model_config):
+        spec = SweepSpec(volumes=(0.4, 0.8), seed_counts=(1,), replications=2)
+        serial = ExperimentRunner(_grid_factory, simple_model_config).run_sweep(spec)
+        parallel = ExperimentRunner(
+            _grid_factory, simple_model_config, parallel=True, max_workers=2
+        ).run_sweep(spec)
+        # Bitwise-identical aggregates: every cell, every run, every stat.
+        assert parallel.cells == serial.cells
+        assert parallel.name == serial.name
+
+    def test_parallel_sweep_falls_back_on_unpicklable_factory(self, simple_model_config):
+        factory = lambda: grid_network(3, 3, lanes=1)  # lambdas cannot pickle
+        runner = ExperimentRunner(factory, simple_model_config, parallel=True)
+        spec = SweepSpec(volumes=(0.5,), seed_counts=(1, 2), replications=1)
+        with pytest.warns(UserWarning, match="parallel sweep disabled"):
+            sweep = runner.run_sweep(spec)
+        assert len(sweep.cells) == 2
+        assert sweep.all_exact
