@@ -120,6 +120,16 @@ class Checkpoint:
         self.direction_state: Dict[object, DirectionState] = {
             v: DirectionState.IDLE for v in self.inbound
         }
+        #: directions currently in the COUNTING state, in activation order —
+        #: maintained incrementally so :attr:`stable` and
+        #: :meth:`counting_directions` are O(1)/O(k) instead of scanning the
+        #: state dict (the per-step convergence checks touch every
+        #: checkpoint, so these used to dominate large-network steps).
+        self._counting: List[object] = []
+        #: bumped on every state change that can affect collection readiness
+        #: (activation, stops, parent knowledge); lets the collection
+        #: manager cache its readiness verdict between protocol batches.
+        self._rev: int = 0
         self.counters: Dict[object, int] = {v: 0 for v in self.inbound}
         self.adjustments: int = 0
         self.stopped_at: Dict[object, float] = {}
@@ -171,11 +181,13 @@ class Checkpoint:
         self.active = True
         self.activated_at = time_s
         self.predecessor = predecessor
+        self._rev += 1
         for v in self.inbound:
             if predecessor is not None and v == predecessor:
                 self.direction_state[v] = DirectionState.EXEMPT
             else:
                 self.direction_state[v] = DirectionState.COUNTING
+                self._counting.append(v)
         # Phase 2: the first vehicle joining *every* outbound traffic flow
         # must be labelled (activation for inactive neighbours, backwash/stop
         # for active ones — including the predecessor).
@@ -201,7 +213,9 @@ class Checkpoint:
         """
         # The label always teaches us who the origin's predecessor is (used
         # for spanning-tree child discovery, DESIGN.md note 2).
-        self.known_parents.setdefault(origin, origin_parent)
+        if origin not in self.known_parents:
+            self.known_parents[origin] = origin_parent
+            self._rev += 1
         if adjustment:
             self.adjustments += adjustment
         if not self.active:
@@ -243,6 +257,8 @@ class Checkpoint:
             )
         if state is DirectionState.COUNTING:
             self.direction_state[origin] = DirectionState.STOPPED
+            self._counting.remove(origin)
+            self._rev += 1
             self.stopped_at[origin] = time_s
             self.refresh_stability(time_s)
             return "stopped"
@@ -312,14 +328,11 @@ class Checkpoint:
         """Phase 6: every activated inbound counting has ended.
 
         Interaction counting (Alg. 5) intentionally never ends and is not
-        part of this condition.
+        part of this condition.  (After activation every direction is either
+        COUNTING, STOPPED or EXEMPT, so "all ended" is exactly "the
+        incrementally maintained COUNTING list is empty".)
         """
-        if not self.active:
-            return False
-        return all(
-            state in (DirectionState.STOPPED, DirectionState.EXEMPT)
-            for state in self.direction_state.values()
-        )
+        return self.active and not self._counting
 
     def refresh_stability(self, time_s: float) -> None:
         """Record the stabilization time the first time :attr:`stable` holds."""
@@ -327,10 +340,13 @@ class Checkpoint:
             self.stabilized_at = time_s
 
     def counting_directions(self) -> List[object]:
-        """Inbound directions whose counting is still in progress."""
-        return [
-            v for v, s in self.direction_state.items() if s is DirectionState.COUNTING
-        ]
+        """Inbound directions whose counting is still in progress.
+
+        Same contents and order as scanning ``direction_state`` for COUNTING
+        entries: ``_counting`` is appended in inbound order at activation and
+        only ever shrinks.
+        """
+        return list(self._counting)
 
     # ---------------------------------------------------------------- counts
     def snapshot(self) -> CheckpointCounters:
@@ -355,7 +371,9 @@ class Checkpoint:
     # ----------------------------------------------------- spanning-tree info
     def note_parent_of(self, neighbor: object, parent: Optional[object]) -> None:
         """Record (from a patrol digest) the predecessor of a neighbour."""
-        self.known_parents.setdefault(neighbor, parent)
+        if neighbor not in self.known_parents:
+            self.known_parents[neighbor] = parent
+            self._rev += 1
 
     def children(self) -> List[object]:
         """Outbound neighbours known to have chosen this checkpoint as predecessor."""

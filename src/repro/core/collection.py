@@ -92,6 +92,10 @@ class CollectionManager:
         self.report_sent: Dict[object, bool] = {node: False for node in checkpoints}
         #: seed -> simulation time at which its subtree total became complete
         self.seed_completed_at: Dict[object, float] = {}
+        #: node -> (verdict, checkpoint revision, #child reports, sent flag)
+        #: memo for :meth:`ready_to_report_cached`; an entry is valid only
+        #: while all three dependency fingerprints still match.
+        self._ready_cache: Dict[object, tuple] = {}
 
     # -------------------------------------------------------------- queries
     def children_of(self, node: object) -> List[object]:
@@ -114,6 +118,31 @@ class CollectionManager:
         if cp.is_seed or not cp.active or cp.predecessor is None:
             return False
         return not self.report_sent[node] and self.collection_complete(node)
+
+    def ready_to_report_cached(self, node: object) -> bool:
+        """:meth:`ready_to_report` behind a dependency-fingerprint memo.
+
+        Readiness is a pure function of the checkpoint's protocol state
+        (tracked by its ``_rev`` revision counter), the number of child
+        reports received here, and the sent flag; the memo is consulted on
+        every crossing by the batched pipeline and recomputed only when one
+        of those fingerprints moved.  Always agrees with
+        :meth:`ready_to_report`.
+        """
+        entry = self._ready_cache.get(node)
+        cp_rev = self.checkpoints[node]._rev
+        n_reports = len(self.child_reports[node])
+        sent = self.report_sent[node]
+        if (
+            entry is not None
+            and entry[1] == cp_rev
+            and entry[2] == n_reports
+            and entry[3] == sent
+        ):
+            return entry[0]
+        verdict = self.ready_to_report(node)
+        self._ready_cache[node] = (verdict, cp_rev, n_reports, sent)
+        return verdict
 
     def subtree_value(self, node: object) -> int:
         """``c(u) + sum of the successors' reported values`` (Alg. 2 phase 2)."""

@@ -63,6 +63,10 @@ class ConvergenceMonitor:
             self._all_active_at = time_s
         if self._all_stable_at is None and self.protocol.all_stable():
             self._all_stable_at = time_s
+        if self._all_stable_at is not None:
+            # Stability is monotone: once every checkpoint stabilized there
+            # are no counting segments left to record, so skip the scan.
+            return
         for origin, node in self.protocol.counting_in_progress():
             self._counting_since.setdefault((origin, node), time_s)
 

@@ -21,6 +21,18 @@ mirrors what physically happens as a vehicle rolls through an intersection:
 Entry / exit events at border gates additionally drive the Alg. 5 interaction
 counters.
 
+Two pipelines
+-------------
+The protocol consumes an engine step's event list through one of two
+bit-for-bit equivalent entry points: :meth:`CountingProtocol.handle_events`,
+the scalar per-event reference path, and
+:meth:`CountingProtocol.process_batch`, the batched per-step pipeline
+(buffered plain crossings, vectorized wireless/recognition draws — see the
+method docstring and DESIGN.md "Protocol batch pipeline").  Equivalence —
+counts, adjustments, stabilization times, exchange statistics and RNG
+stream positions — is pinned by ``tests/fixtures/golden_protocol_traces.json``
+and randomized property tests.
+
 Adjustment modes
 ----------------
 ``"exact"`` (default)
@@ -59,10 +71,10 @@ from ..mobility.vehicle import Vehicle
 from ..roadnet.graph import RoadNetwork
 from ..surveillance.attributes import ExteriorSignature
 from ..surveillance.camera import IntersectionCamera
-from ..surveillance.recognition import Recognizer
+from ..surveillance.recognition import Recognizer, observe_many
 from ..wireless.exchange import ExchangeService
 from ..wireless.messages import LabelToken
-from .checkpoint import Checkpoint
+from .checkpoint import Checkpoint, DirectionState
 from .collection import CollectionManager
 
 __all__ = ["AdjustmentMode", "ProtocolConfig", "ProtocolStats", "CountingProtocol"]
@@ -212,6 +224,27 @@ class CountingProtocol:
             enabled=self.config.collection_enabled,
         )
 
+        # Precomputed invariants of the batched pipeline ----------------------
+        self._exact = self.config.adjustment_mode == AdjustmentMode.EXACT
+        target = self.config.count_target
+        #: wildcard target with noise-free cameras: every observation is a
+        #: match and the recognizers never touch their RNG, so the batched
+        #: pipeline can tally observations per checkpoint instead of running
+        #: the recognizer per vehicle.
+        self._recognition_trivial = (
+            (target is None or target.is_wildcard)
+            and self.config.recognition_false_negative == 0.0
+            and self.config.recognition_false_positive == 0.0
+        )
+        #: the batched pipeline block-draws the wireless stream ahead of
+        #: consumption; if the exchange service was wired to the *same*
+        #: generator as the recognizers (and recognition actually draws),
+        #: those pre-draws would interleave with recognition draws and
+        #: diverge from the scalar order, so process_batch must fall back.
+        self._batched_unsafe = (
+            self.exchange.rng is rng and not self._recognition_trivial
+        )
+
     # ------------------------------------------------------------------ main
     def handle_events(self, events: Iterable[TrafficEvent]) -> None:
         """Process a batch of engine events in order."""
@@ -230,6 +263,187 @@ class CountingProtocol:
             last_time = event.time_s
         if last_time is not None:
             self.collection.update(last_time)
+
+    # ----------------------------------------------------- batched pipeline
+    def process_batch(self, events: Sequence[TrafficEvent]) -> None:
+        """Process one step's event list through the batched pipeline.
+
+        Bit-for-bit equivalent to :meth:`handle_events` — same counts,
+        adjustments, stabilization times, exchange and recognition
+        statistics, and the same RNG stream positions — but engineered for
+        throughput:
+
+        * the step's wireless exchanges are resolved from vectorized
+          Bernoulli block draws (:meth:`ExchangeService.batched_draws`) that
+          consume the named RNG stream in exactly the reference per-event,
+          per-attempt order;
+        * *plain* crossings — no carried labels or reports, no pending
+          phase-2 label for the chosen outbound direction, no report ready
+          to attach — are accumulated into a structure-of-arrays buffer and
+          settled in one flush: grouped camera tallies, one vectorized
+          recognizer pass (:func:`observe_many`), and a tight counting loop
+          over the snapshot of per-direction states;
+        * everything else (label handling, collection transport, patrol
+          sync, border events, overtakes) is a *flush barrier*: the buffer
+          is applied first, then the event runs through the scalar handlers
+          verbatim, so all state an irregular event can read or write is
+          exactly as the scalar path would have left it.
+
+        Plainness is sound because plain crossings mutate only counters,
+        adjustments and their own vehicle's counted bit — never direction
+        states, pending labels or collection readiness — so the per-event
+        snapshots taken while buffering stay valid until the flush, and
+        events are never reordered across a barrier.
+
+        One wiring cannot be batched: an exchange service sharing its
+        generator object with the recognizers (possible only by constructing
+        the :class:`ExchangeService` manually) while recognition noise is
+        enabled — the wireless block pre-draws would interleave with
+        recognition draws on the shared stream.  That case falls back to the
+        scalar path, keeping the equivalence guarantee unconditional.
+        """
+        if self._batched_unsafe:
+            return self.handle_events(events)
+        checkpoints = self.checkpoints
+        collection = self.collection
+        coll_enabled = collection.enabled
+        ready_cached = collection.ready_to_report_cached
+        counting_state = DirectionState.COUNTING
+        # structure-of-arrays buffer of plain crossings awaiting a flush
+        b_cp: List[Checkpoint] = []
+        b_veh: List[Vehicle] = []
+        b_from: List[Optional[object]] = []
+        b_counting: List[bool] = []
+        b_active: List[bool] = []
+        b_time: List[float] = []
+        buffers = (b_cp, b_veh, b_from, b_counting, b_active, b_time)
+        last_time = None
+        with self.exchange.batched_draws():
+            for event in events:
+                cls = event.__class__
+                if cls is CrossingEvent:
+                    vehicle = event.vehicle
+                    node = event.node
+                    cp = checkpoints[node]
+                    to_node = event.to_node
+                    if (
+                        not vehicle.is_patrol
+                        and not vehicle.labels
+                        and not vehicle.reports
+                        and not (cp.active and cp.pending_labels.get(to_node, False))
+                        and not (
+                            coll_enabled
+                            and to_node == cp.predecessor
+                            and ready_cached(node)
+                        )
+                    ):
+                        from_node = event.from_node
+                        b_cp.append(cp)
+                        b_veh.append(vehicle)
+                        b_from.append(from_node)
+                        b_counting.append(
+                            cp.active
+                            and from_node is not None
+                            and cp.direction_state.get(from_node) is counting_state
+                        )
+                        b_active.append(cp.active)
+                        b_time.append(event.time_s)
+                        last_time = event.time_s
+                        continue
+                # Every non-plain event is a flush barrier: settle the
+                # buffered crossings before it can observe or mutate state.
+                if b_cp:
+                    self._flush_plain(*buffers)
+                    for buf in buffers:
+                        del buf[:]
+                if cls is CrossingEvent:
+                    self.on_crossing(event)
+                elif cls is OvertakeEvent:
+                    self.on_overtake(event)
+                elif cls is EntryEvent:
+                    self.on_entry(event)
+                elif cls is ExitEvent:
+                    self.on_exit(event)
+                else:
+                    raise ProtocolError(f"unknown traffic event {event!r}")
+                last_time = event.time_s
+            if b_cp:
+                self._flush_plain(*buffers)
+        if last_time is not None:
+            self.collection.update(last_time)
+
+    def _flush_plain(
+        self,
+        cps: List[Checkpoint],
+        vehicles: List[Vehicle],
+        from_nodes: List[Optional[object]],
+        countings: List[bool],
+        actives: List[bool],
+        times: List[float],
+    ) -> None:
+        """Settle a buffer of plain crossings (see :meth:`process_batch`)."""
+        n = len(cps)
+        self.stats.crossings_processed += n
+        # Phase-5 camera observations happen only for actual arrivals (a
+        # crossing with from_node=None is an injection, never observed).
+        arrivals = [i for i in range(n) if from_nodes[i] is not None]
+        if not arrivals:
+            return
+        cameras = self.cameras
+        t0 = times[0]
+        uniform_time = all(t == t0 for t in times)
+        counts: Dict[object, int] = {}
+        if uniform_time:
+            for i in arrivals:
+                node = cps[i].node
+                counts[node] = counts.get(node, 0) + 1
+            for node, cnt in counts.items():
+                cameras[node].note_crossings(cnt, t0)
+        else:  # pragma: no cover - engine steps are single-instant
+            for i in arrivals:
+                cameras[cps[i].node].note_crossings(1, times[i])
+        if self._recognition_trivial:
+            is_target: Optional[List[bool]] = None
+            if uniform_time:
+                for node, cnt in counts.items():
+                    stats = cameras[node].recognizer.stats
+                    stats.observations += cnt
+                    stats.matches += cnt
+            else:  # pragma: no cover - engine steps are single-instant
+                for i in arrivals:
+                    stats = cameras[cps[i].node].recognizer.stats
+                    stats.observations += 1
+                    stats.matches += 1
+        else:
+            is_target = observe_many(
+                [cameras[cps[i].node].recognizer for i in arrivals],
+                [vehicles[i].signature for i in arrivals],
+            )
+        exact = self._exact
+        plus = minus = 0
+        for j, i in enumerate(arrivals):
+            if is_target is not None and not is_target[j]:
+                continue
+            vehicle = vehicles[i]
+            cp = cps[i]
+            if countings[i]:
+                cp.counters[from_nodes[i]] += 1
+                if exact and vehicle.counted:
+                    # Already counted upstream: cancel the double count
+                    # (Alg. 3 line 8 / lossy compensation).
+                    cp.adjustments -= 1
+                    minus += 1
+                else:
+                    vehicle.counted = True
+            elif exact and actives[i] and not vehicle.counted:
+                # Safety net mirroring Alg. 3 line 7 (see _count_arrival).
+                cp.adjustments += 1
+                plus += 1
+                vehicle.counted = True
+        if plus:
+            self.stats.corrections_plus += plus
+        if minus:
+            self.stats.corrections_minus += minus
 
     # ------------------------------------------------------------- crossings
     def on_crossing(self, event: CrossingEvent) -> None:

@@ -38,12 +38,19 @@ class WirelessConfig:
 
 @dataclass(frozen=True)
 class MobilityConfig:
-    """Traffic engine settings."""
+    """Traffic engine settings.
+
+    ``vectorized`` selects the engine's batch NumPy hot path (default); the
+    scalar per-vehicle reference engine (``vectorized=False``) produces a
+    bit-for-bit identical event stream and is kept as the equivalence
+    baseline exercised by the dual-engine test matrix.
+    """
 
     dt_s: float = 0.5
     allow_overtaking: bool = True
     admissions_per_step: int = 4
     crossing_delay_s: float = 0.5
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.dt_s <= 0:
@@ -71,6 +78,14 @@ class ScenarioConfig:
     open_system:
         Whether border gates are active (Alg. 5).  The network must declare
         gates for this to have an effect.
+    batched:
+        Whether the counting protocol consumes each step's event list through
+        the batched pipeline (:meth:`CountingProtocol.process_batch`,
+        default) or the scalar per-event reference path
+        (:meth:`CountingProtocol.handle_events`).  Both paths are bit-for-bit
+        identical — counts, adjustments, stabilization times and exchange
+        statistics — which the protocol golden-trace tests pin; the scalar
+        path is retained as the equivalence baseline.
     max_duration_s:
         Hard simulation horizon.
     settle_extra_s:
@@ -89,6 +104,7 @@ class ScenarioConfig:
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
     patrol: PatrolPlan = field(default_factory=PatrolPlan)
     open_system: bool = False
+    batched: bool = True
     max_duration_s: float = minutes_to_seconds(120.0)
     settle_extra_s: float = 0.0
 

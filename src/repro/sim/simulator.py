@@ -47,7 +47,11 @@ class Simulation:
     net:
         The road network.  For open-system scenarios it must declare gates.
     config:
-        The scenario configuration.
+        The scenario configuration.  ``config.mobility.vectorized`` selects
+        the engine hot path and ``config.batched`` selects the protocol
+        pipeline (batched per-step event processing vs. the scalar per-event
+        reference); every combination is bit-for-bit equivalent and pinned by
+        the golden-trace suites.
     seeds:
         Explicit seed checkpoints; when omitted they are selected according
         to ``config.num_seeds`` / ``config.seed_strategy``.
@@ -105,6 +109,7 @@ class Simulation:
                 name="scenario",
             ),
             allow_overtaking=mobility.allow_overtaking,
+            vectorized=mobility.vectorized,
         )
 
         # --- demand ----------------------------------------------------------
@@ -149,7 +154,16 @@ class Simulation:
 
     # ------------------------------------------------------------------ loop
     def step(self) -> None:
-        """Advance the scenario by one engine time step."""
+        """Advance the scenario by one engine time step.
+
+        The step's whole event list is handed to the counting protocol in one
+        call: through the batched pipeline
+        (:meth:`~repro.core.protocol.CountingProtocol.process_batch`) when
+        ``config.batched`` is set (the default), or through the scalar
+        per-event reference path
+        (:meth:`~repro.core.protocol.CountingProtocol.handle_events`)
+        otherwise.  The two are bit-for-bit equivalent.
+        """
         if not self._populated:
             self.populate()
         injected = []
@@ -161,7 +175,10 @@ class Simulation:
         for event in events:
             if isinstance(event, CrossingEvent):
                 self.monitor.note_traffic(event.from_node, event.node, event.time_s)
-        self.protocol.handle_events(events)
+        if self.config.batched:
+            self.protocol.process_batch(events)
+        else:
+            self.protocol.handle_events(events)
         self.monitor.observe(self.engine.time_s)
 
     def run(self, *, raise_on_timeout: bool = False) -> RunResult:

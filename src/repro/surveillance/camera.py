@@ -96,5 +96,24 @@ class IntersectionCamera:
             signature=signature,
         )
 
+    def note_crossings(self, count: int, time_s: float) -> None:
+        """Batch bookkeeping for ``count`` same-instant crossings.
+
+        Updates the observation counter and the simultaneous-crossing peak
+        exactly as ``count`` consecutive :meth:`observe_crossing` calls at
+        ``time_s`` would, without materializing :class:`Observation` objects
+        or invoking the recognizer — the batched protocol pipeline runs the
+        recognizer separately as one vectorized pass.
+        """
+        if count <= 0:
+            return
+        if self._last_step_time == time_s:
+            self._pending_this_step += count
+        else:
+            self._last_step_time = time_s
+            self._pending_this_step = count
+        self.simultaneous_peak = max(self.simultaneous_peak, self._pending_this_step)
+        self.observed += count
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"IntersectionCamera(node={self.node!r}, observed={self.observed})"

@@ -7,7 +7,7 @@ control protocol of reference [6].
 """
 
 from .channel import BernoulliLossChannel, ChannelModel, PerfectChannel, RangeLimitedChannel
-from .exchange import ExchangeOutcome, ExchangeService, ExchangeStats
+from .exchange import ExchangeOutcome, ExchangeService, ExchangeStats, UniformBlock
 from .messages import CounterReport, LabelToken, StatusDigest
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "ExchangeOutcome",
     "ExchangeService",
     "ExchangeStats",
+    "UniformBlock",
     "CounterReport",
     "LabelToken",
     "StatusDigest",

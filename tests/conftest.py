@@ -16,6 +16,20 @@ def rng():
     return np.random.default_rng(12345)
 
 
+@pytest.fixture(params=[True, False], ids=["vec-engine", "ref-engine"])
+def engine_vectorized(request):
+    """Dual-engine matrix: every test using the scenario-config fixtures runs
+    under both the vectorized engine hot path and the per-vehicle reference
+    engine, so the equivalence baselines are exercised on every CI run (not
+    only in the golden-trace tests).  The reference engine runs with the
+    scalar protocol pipeline (``batched=False``) so the matrix covers both
+    full pipelines end to end: production (vectorized engine + batched
+    protocol) and reference (per-vehicle engine + per-event protocol).  All
+    combinations are bit-for-bit identical, so assertions need no per-mode
+    cases."""
+    return request.param
+
+
 @pytest.fixture
 def triangle():
     """The 3-intersection closed system of the paper's Fig. 1."""
@@ -47,7 +61,7 @@ def oneway_ring():
 
 
 @pytest.fixture
-def simple_model_config():
+def simple_model_config(engine_vectorized):
     """The paper's simple road model: FIFO, lossless, one admission per step."""
     return ScenarioConfig(
         name="simple-model",
@@ -56,13 +70,17 @@ def simple_model_config():
         demand=DemandConfig(volume_fraction=0.6),
         wireless=WirelessConfig(loss_probability=0.0, attempts_per_contact=1),
         mobility=MobilityConfig(
-            allow_overtaking=False, admissions_per_step=1, crossing_delay_s=1.0
+            allow_overtaking=False,
+            admissions_per_step=1,
+            crossing_delay_s=1.0,
+            vectorized=engine_vectorized,
         ),
+        batched=engine_vectorized,
     )
 
 
 @pytest.fixture
-def extended_model_config():
+def extended_model_config(engine_vectorized):
     """The paper's extended model: 30% lossy wireless, overtaking, multi-admission."""
     return ScenarioConfig(
         name="extended-model",
@@ -70,5 +88,8 @@ def extended_model_config():
         num_seeds=1,
         demand=DemandConfig(volume_fraction=0.8),
         wireless=WirelessConfig(loss_probability=0.3),
-        mobility=MobilityConfig(allow_overtaking=True, admissions_per_step=4),
+        mobility=MobilityConfig(
+            allow_overtaking=True, admissions_per_step=4, vectorized=engine_vectorized
+        ),
+        batched=engine_vectorized,
     )

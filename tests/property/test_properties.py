@@ -1,14 +1,22 @@
 """Property-based tests (hypothesis) on the core invariants.
 
-Three families:
+Five families:
 
 * the Chandy–Lamport reference implementation records a consistent snapshot
   (total conserved) for *any* interleaving of transfers and marker deliveries,
 * random road networks produced by the builders always satisfy the structural
   assumptions the protocol needs,
 * the full counting stack is exact on randomly generated small scenarios
-  (topology, traffic volume, seeds, wireless loss all drawn by hypothesis).
+  (topology, traffic volume, seeds, wireless loss all drawn by hypothesis),
+* the batched protocol pipeline is bit-for-bit equivalent to the scalar
+  per-event reference on random scenarios, and FIFO lossless runs under
+  ``adjustment="exact"`` never invoke a correction rule,
+* the parallel :class:`ExperimentRunner` reproduces the serial sweep
+  cell-for-cell on randomly drawn sweep axes.
 """
+
+from dataclasses import replace
+from functools import partial
 
 import numpy as np
 import pytest
@@ -19,6 +27,7 @@ from repro.core.snapshot import MessageSystem
 from repro.mobility.demand import DemandConfig
 from repro.roadnet.builders import grid_network, random_planar_network, ring_network
 from repro.sim.config import MobilityConfig, ScenarioConfig, WirelessConfig
+from repro.sim.runner import ExperimentRunner, SweepSpec
 from repro.sim.simulator import Simulation
 
 # A relaxed profile: the scenarios below run a full simulation per example.
@@ -143,6 +152,139 @@ def test_closed_counting_exact_on_random_scenarios(
     assert result.converged, "closed scenario failed to converge within an hour of traffic"
     assert result.is_exact
     assert result.collected_count == result.ground_truth
+
+
+def _pipeline_trace(sim) -> dict:
+    """Everything the protocol layer computed, in exactly comparable form."""
+    exchange_stats = sim.exchange.stats.as_dict()
+    return {
+        "counters": {
+            repr(node): (dict(cp.counters), cp.adjustments, cp.stabilized_at)
+            for node, cp in sim.protocol.checkpoints.items()
+        },
+        "protocol_stats": sim.protocol.stats.as_dict(),
+        "exchange_stats": exchange_stats,
+        "collection_stats": sim.protocol.collection.stats.as_dict(),
+        "global_count": sim.protocol.global_count(),
+        "adjustments": sim.protocol.total_adjustments(),
+        "seed_completed_at": dict(sim.protocol.collection.seed_completed_at),
+    }
+
+
+# ------------------------------------------------------- pipeline equivalence
+@SLOW
+@given(
+    rows=st.integers(min_value=3, max_value=4),
+    cols=st.integers(min_value=3, max_value=4),
+    lanes=st.integers(min_value=1, max_value=2),
+    volume=st.floats(min_value=0.3, max_value=1.0),
+    loss=st.sampled_from([0.0, 0.3, 0.5]),
+    num_seeds=st.integers(min_value=1, max_value=3),
+    rng_seed=st.integers(min_value=0, max_value=2**16),
+    adjustment=st.sampled_from(["exact", "paper"]),
+    fn_rate=st.sampled_from([0.0, 0.1]),
+)
+def test_batched_pipeline_equals_scalar_on_random_scenarios(
+    rows, cols, lanes, volume, loss, num_seeds, rng_seed, adjustment, fn_rate
+):
+    """``batched=True`` must be bit-for-bit the scalar protocol path on any
+    scenario — every counter, adjustment, stabilization time and exchange
+    statistic — including noisy recognition and the literal "paper"
+    adjustment mode."""
+    from repro.core.protocol import ProtocolConfig
+
+    config = ScenarioConfig(
+        name="prop-pipeline",
+        rng_seed=rng_seed,
+        num_seeds=num_seeds,
+        demand=DemandConfig(volume_fraction=volume),
+        wireless=WirelessConfig(loss_probability=loss),
+        mobility=MobilityConfig(allow_overtaking=lanes > 1),
+        protocol=ProtocolConfig(
+            adjustment_mode=adjustment, recognition_false_negative=fn_rate
+        ),
+    )
+    traces = {}
+    for batched in (False, True):
+        net = grid_network(rows, cols, lanes=lanes)
+        sim = Simulation(net, replace(config, batched=batched))
+        sim.run_for(300.0)
+        traces[batched] = _pipeline_trace(sim)
+    assert traces[True] == traces[False]
+
+
+@SLOW
+@given(
+    shape=st.sampled_from(["ring", "grid"]),
+    size=st.integers(min_value=3, max_value=6),
+    volume=st.floats(min_value=0.2, max_value=0.9),
+    num_seeds=st.integers(min_value=1, max_value=2),
+    rng_seed=st.integers(min_value=0, max_value=2**16),
+    batched=st.booleans(),
+)
+def test_fifo_lossless_exact_mode_never_adjusts(
+    shape, size, volume, num_seeds, rng_seed, batched
+):
+    """Theorem 1's mechanism alone suffices in the simple road model: under
+    ``adjustment="exact"`` a FIFO, lossless run never fires a correction rule
+    on any random topology, and the converged count is exact."""
+    if shape == "ring":
+        net = ring_network(size + 2)
+    else:
+        net = grid_network(3, size, lanes=1)
+    config = ScenarioConfig(
+        name="prop-fifo-lossless",
+        rng_seed=rng_seed,
+        num_seeds=num_seeds,
+        demand=DemandConfig(volume_fraction=volume),
+        wireless=WirelessConfig(loss_probability=0.0, attempts_per_contact=1),
+        mobility=MobilityConfig(
+            allow_overtaking=False, admissions_per_step=1, crossing_delay_s=1.0
+        ),
+        batched=batched,
+        max_duration_s=3600.0,
+    )
+    sim = Simulation(net, config)
+    result = sim.run()
+    assert result.converged
+    assert result.is_exact
+    assert result.adjustments == 0
+    assert result.protocol_stats["corrections_plus"] == 0
+    assert result.protocol_stats["corrections_minus"] == 0
+    assert result.protocol_stats["labeling_failures"] == 0
+    assert result.exchange_stats["hard_failures"] == 0
+
+
+# ------------------------------------------------------------ runner sweeps
+def _sweep_network(rows, cols):
+    return grid_network(rows, cols, lanes=1)
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    volumes=st.lists(
+        st.sampled_from([0.3, 0.5, 0.8]), min_size=1, max_size=2, unique=True
+    ),
+    seed_counts=st.lists(st.integers(1, 2), min_size=1, max_size=2, unique=True),
+    rng_seed=st.integers(min_value=0, max_value=2**10),
+)
+def test_parallel_runner_equals_serial_on_random_sweep(volumes, seed_counts, rng_seed):
+    """Fanning a sweep over a process pool must not change a single number
+    in any cell, whatever the axes drawn."""
+    config = ScenarioConfig(
+        name="prop-sweep", rng_seed=rng_seed, max_duration_s=240.0
+    )
+    factory = partial(_sweep_network, 3, 3)
+    spec = SweepSpec(
+        volumes=tuple(volumes), seed_counts=tuple(seed_counts), replications=1
+    )
+    serial = ExperimentRunner(factory, config).run_sweep(spec)
+    parallel = ExperimentRunner(factory, config, parallel=True).run_sweep(spec)
+    assert parallel.cells == serial.cells
 
 
 @SLOW

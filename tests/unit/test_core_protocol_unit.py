@@ -316,3 +316,82 @@ class TestQueries:
         assert not proto.all_active()
         assert not proto.all_stable()
         assert proto.complete_status_time() is None
+
+
+class TestBatchedPipelineFallback:
+    """process_batch must keep the equivalence guarantee unconditional."""
+
+    @staticmethod
+    def _run(batched, *, shared_rng, fn_rate):
+        from repro.mobility.demand import DemandConfig, DemandModel
+        from repro.mobility.engine import TrafficEngine
+        from repro.wireless.channel import BernoulliLossChannel
+
+        net = grid_network(3, 3, lanes=1)
+        rng = np.random.default_rng(42)
+        exchange = ExchangeService(
+            BernoulliLossChannel(0.3),
+            rng if shared_rng else np.random.default_rng(43),
+        )
+        proto = CountingProtocol(
+            net,
+            [(0, 0)],
+            rng,
+            exchange=exchange,
+            config=ProtocolConfig(recognition_false_negative=fn_rate),
+        )
+        engine = TrafficEngine(net, np.random.default_rng(7))
+        demand = DemandModel(
+            net, DemandConfig(volume_fraction=0.7), np.random.default_rng(7)
+        )
+        engine.spawn_initial(demand.initial_fleet())
+        for _ in range(240):
+            events = engine.step()
+            if batched:
+                proto.process_batch(events)
+            else:
+                proto.handle_events(events)
+        return {
+            "counters": {
+                repr(n): (dict(cp.counters), cp.adjustments, cp.stabilized_at)
+                for n, cp in proto.checkpoints.items()
+            },
+            "stats": proto.stats.as_dict(),
+            "exchange": exchange.stats.as_dict(),
+            "recognition": [
+                proto.cameras[n].recognizer.stats.as_dict()
+                for n in sorted(proto.cameras, key=repr)
+            ],
+        }
+
+    @pytest.mark.parametrize("shared_rng", [True, False])
+    def test_batched_equals_scalar_even_with_shared_generator(self, shared_rng):
+        # Wiring the exchange service to the *same* generator as the
+        # recognizers (only possible by constructing it manually) would
+        # interleave the wireless block pre-draws with recognition draws;
+        # process_batch must detect this and fall back to the scalar path
+        # rather than silently diverge.
+        scalar = self._run(False, shared_rng=shared_rng, fn_rate=0.1)
+        batched = self._run(True, shared_rng=shared_rng, fn_rate=0.1)
+        assert batched == scalar
+
+    def test_separate_streams_use_the_batched_path(self):
+        # Sanity: the guard only fires for the shared-generator wiring.
+        net = grid_network(3, 3, lanes=1)
+        rng = np.random.default_rng(1)
+        proto = CountingProtocol(
+            net,
+            [(0, 0)],
+            rng,
+            exchange=ExchangeService(rng=np.random.default_rng(2)),
+            config=ProtocolConfig(recognition_false_negative=0.1),
+        )
+        assert not proto._batched_unsafe
+        shared = CountingProtocol(
+            net,
+            [(0, 0)],
+            rng,
+            exchange=ExchangeService(rng=rng),
+            config=ProtocolConfig(recognition_false_negative=0.1),
+        )
+        assert shared._batched_unsafe

@@ -10,7 +10,7 @@ from repro.surveillance.attributes import (
     random_signature,
 )
 from repro.surveillance.camera import IntersectionCamera
-from repro.surveillance.recognition import Recognizer
+from repro.surveillance.recognition import Recognizer, observe_many
 
 
 class TestSignatures:
@@ -73,6 +73,67 @@ class TestRecognizer:
             Recognizer(false_positive_rate=-0.2)
 
 
+class TestBatchedRecognition:
+    """observe_batch / observe_many must equal per-signature scalar calls."""
+
+    @staticmethod
+    def _signatures(rng, n=64):
+        return [random_signature(rng) for _ in range(n)]
+
+    @pytest.mark.parametrize("fn,fp", [(0.0, 0.0), (0.3, 0.0), (0.0, 0.2), (0.3, 0.2)])
+    def test_observe_batch_matches_scalar(self, fn, fp):
+        sigs = self._signatures(np.random.default_rng(4))
+        scalar = Recognizer(
+            WHITE_VAN, false_negative_rate=fn, false_positive_rate=fp,
+            rng=np.random.default_rng(11),
+        )
+        batch = Recognizer(
+            WHITE_VAN, false_negative_rate=fn, false_positive_rate=fp,
+            rng=np.random.default_rng(11),
+        )
+        expected = [scalar.observe(s) for s in sigs]
+        assert batch.observe_batch(sigs) == expected
+        assert batch.stats.as_dict() == scalar.stats.as_dict()
+        # identical residual stream: the batch drew exactly the same uniforms
+        assert batch.rng.random() == scalar.rng.random()
+
+    def test_observe_many_interleaves_recognizers_in_event_order(self):
+        # The protocol feeds one recognizer per checkpoint from a single
+        # named RNG stream; the batched pass must draw the interleaved
+        # sequence exactly as scalar event-order processing would.
+        sigs = self._signatures(np.random.default_rng(6), n=40)
+
+        def build(seed):
+            shared = np.random.default_rng(seed)
+            recs = [
+                Recognizer(false_negative_rate=0.4, rng=shared) for _ in range(3)
+            ]
+            return [recs[i % 3] for i in range(len(sigs))]
+
+        scalar_recs = build(21)
+        expected = [r.observe(s) for r, s in zip(scalar_recs, sigs)]
+        batch_recs = build(21)
+        assert observe_many(batch_recs, sigs) == expected
+        for a, b in zip(scalar_recs[:3], batch_recs[:3]):
+            assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_observe_many_empty(self, rng):
+        assert observe_many([], []) == []
+
+    def test_observe_many_heterogeneous_streams_fall_back(self):
+        sigs = self._signatures(np.random.default_rng(8), n=10)
+        recs = [
+            Recognizer(false_negative_rate=0.5, rng=np.random.default_rng(i))
+            for i in range(10)
+        ]
+        reference = [
+            Recognizer(false_negative_rate=0.5, rng=np.random.default_rng(i))
+            for i in range(10)
+        ]
+        expected = [r.observe(s) for r, s in zip(reference, sigs)]
+        assert observe_many(recs, sigs) == expected
+
+
 class TestCamera:
     def test_observation_fields(self, rng):
         cam = IntersectionCamera("x", Recognizer(rng=rng))
@@ -89,3 +150,22 @@ class TestCamera:
         cam.observe_crossing(9, random_signature(rng), "a", "b", 6.0)
         assert cam.simultaneous_peak == 3
         assert cam.observed == 4
+
+    def test_note_crossings_matches_repeated_observations(self, rng):
+        scalar = IntersectionCamera("x", Recognizer(rng=np.random.default_rng(3)))
+        batched = IntersectionCamera("x", Recognizer(rng=np.random.default_rng(3)))
+        schedule = [(5.0, 3), (6.0, 1), (6.0, 2), (7.5, 4)]
+        for time_s, count in schedule:
+            for vid in range(count):
+                scalar.observe_crossing(vid, random_signature(rng), "a", "b", time_s)
+            batched.note_crossings(count, time_s)
+        assert batched.observed == scalar.observed
+        assert batched.simultaneous_peak == scalar.simultaneous_peak
+        assert batched._pending_this_step == scalar._pending_this_step
+        assert batched._last_step_time == scalar._last_step_time
+
+    def test_note_crossings_ignores_non_positive_counts(self, rng):
+        cam = IntersectionCamera("x", Recognizer(rng=rng))
+        cam.note_crossings(0, 5.0)
+        cam.note_crossings(-2, 5.0)
+        assert cam.observed == 0 and cam.simultaneous_peak == 0

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import WirelessError
 from repro.wireless.channel import BernoulliLossChannel, PerfectChannel, RangeLimitedChannel
-from repro.wireless.exchange import ExchangeService
+from repro.wireless.exchange import ExchangeService, UniformBlock
 from repro.wireless.messages import CounterReport, LabelToken, StatusDigest
 
 
@@ -95,6 +95,177 @@ class TestExchangeService:
         svc.exchange()
         d = svc.stats.as_dict()
         assert d["exchanges"] == 1 and d["successes"] == 1
+
+
+class TestContactWindowBoundary:
+    """Regression: the contact-window edge cases of the exchange protocol."""
+
+    def test_retries_exhausted_in_range_forces_success(self):
+        # A vehicle sitting exactly at the communication range: every raw
+        # attempt fails (the range-limited channel drops the frame without
+        # even drawing), but the vehicle is still *within the contact
+        # window*, so the ACK protocol's reliability guarantee forces the
+        # exchange through on the last attempt.
+        svc = ExchangeService(
+            RangeLimitedChannel(loss_prob=0.3, range_m=50.0),
+            np.random.default_rng(0),
+            attempts_per_contact=3,
+            reliable_within_window=True,
+        )
+        out = svc.exchange(distance_m=50.0)
+        assert out.success and out.forced
+        assert out.attempts == 3  # every retry was burned first
+        assert svc.stats.forced_successes == 1
+        assert svc.stats.successes == 1
+        assert svc.stats.hard_failures == 0
+        assert svc.stats.total_attempts == 3
+
+    def test_retries_exhausted_without_window_guarantee_fails(self):
+        svc = ExchangeService(
+            RangeLimitedChannel(loss_prob=0.3, range_m=50.0),
+            np.random.default_rng(0),
+            attempts_per_contact=3,
+            reliable_within_window=False,
+        )
+        out = svc.exchange(distance_m=50.0)
+        assert not out.success and not out.forced
+        assert out.attempts == 3
+        assert svc.stats.hard_failures == 1
+        assert svc.stats.forced_successes == 0
+
+    def test_bernoulli_all_attempts_lost_forces_success(self):
+        # Same boundary through the lossy Bernoulli channel: seed 0's first
+        # four uniforms are all below 0.99, so every attempt fails and the
+        # reliable window converts the exhausted retries into a forced
+        # success with full retry statistics.
+        svc = ExchangeService(
+            BernoulliLossChannel(0.99),
+            np.random.default_rng(0),
+            attempts_per_contact=4,
+            reliable_within_window=True,
+        )
+        out = svc.exchange()
+        assert out.success and out.forced and out.attempts == 4
+        assert svc.stats.forced_successes == 1
+
+    def test_range_limited_at_exact_range_limit(self, rng):
+        # Attenuation boundary: at exactly range_m the success probability
+        # has decayed to zero — no draw is consumed and the attempt fails —
+        # while epsilon inside the range a frame still costs one draw.
+        ch = RangeLimitedChannel(loss_prob=0.0, range_m=150.0)
+        assert ch.draws_per_attempt(150.0) == 0
+        assert ch.attempt_succeeds_from(None, 150.0) is False
+        state = rng.bit_generator.state
+        assert ch.attempt_succeeds(rng, 150.0) is False
+        assert rng.bit_generator.state == state  # no uniform consumed
+        assert ch.draws_per_attempt(149.999) == 1
+        assert ch.draws_per_attempt(151.0) == 0
+
+    def test_range_limited_just_inside_range_is_nearly_hopeless(self):
+        ch = RangeLimitedChannel(loss_prob=0.0, range_m=100.0)
+        rng = np.random.default_rng(1)
+        successes = sum(ch.attempt_succeeds(rng, 99.9) for _ in range(2000))
+        # success probability at d -> range is (1 - (d/r)^2) -> 0
+        assert successes < 25
+
+
+class TestBatchDrawContract:
+    """The channel/exchange batch API must mirror the scalar draws exactly."""
+
+    @pytest.mark.parametrize(
+        "channel, distance",
+        [
+            (PerfectChannel(), 0.0),
+            (BernoulliLossChannel(0.3), 0.0),
+            (RangeLimitedChannel(0.3, range_m=150.0), 40.0),
+            (RangeLimitedChannel(0.3, range_m=150.0), 150.0),
+        ],
+    )
+    def test_attempt_succeeds_from_matches_scalar(self, channel, distance):
+        scalar_rng = np.random.default_rng(77)
+        batch_rng = np.random.default_rng(77)
+        for _ in range(200):
+            expected = channel.attempt_succeeds(scalar_rng, distance)
+            u = batch_rng.random() if channel.draws_per_attempt(distance) else None
+            assert channel.attempt_succeeds_from(u, distance) == expected
+        # Both generators consumed the stream identically.
+        assert scalar_rng.random() == batch_rng.random()
+
+    def test_uniform_block_vends_the_scalar_stream(self):
+        reference = np.random.default_rng(5)
+        rng = np.random.default_rng(5)
+        block = UniformBlock(rng, block_size=4)  # force several refills
+        vended = [block.draw() for _ in range(11)]
+        block.close()
+        assert vended == [reference.random() for _ in range(11)]
+        # After close() the generator sits exactly where scalar use left it.
+        assert rng.random() == reference.random()
+
+    def test_uniform_block_unused_leaves_state_untouched(self):
+        rng = np.random.default_rng(9)
+        state = rng.bit_generator.state
+        UniformBlock(rng).close()
+        assert rng.bit_generator.state == state
+
+    def test_batched_draws_reproduces_scalar_exchanges(self):
+        def run(batched):
+            svc = ExchangeService(
+                BernoulliLossChannel(0.4),
+                np.random.default_rng(123),
+                attempts_per_contact=4,
+                reliable_within_window=False,
+            )
+            outcomes = []
+
+            def interact():
+                for i in range(60):
+                    if i % 3 == 0:
+                        outcomes.append(svc.single_attempt())
+                    else:
+                        out = svc.exchange()
+                        outcomes.append((out.success, out.attempts, out.forced))
+
+            if batched:
+                with svc.batched_draws():
+                    interact()
+            else:
+                interact()
+            return outcomes, svc.stats.as_dict(), svc.rng.random()
+
+        assert run(False) == run(True)
+
+    def test_legacy_channel_without_batch_contract_still_works(self):
+        # A channel written against the pre-batch interface (only
+        # attempt_succeeds) must keep working inside batched_draws() —
+        # the service detects the missing contract and stays on scalar
+        # draws instead of raising NotImplementedError mid-run.
+        from repro.wireless.channel import ChannelModel
+
+        class LegacyChannel(ChannelModel):
+            def attempt_succeeds(self, rng, distance_m=0.0):
+                return bool(rng.random() >= 0.5)
+
+            @property
+            def loss_probability(self):
+                return 0.5
+
+        def run(batched):
+            svc = ExchangeService(LegacyChannel(), np.random.default_rng(3))
+            if batched:
+                with svc.batched_draws():
+                    outcomes = [svc.exchange().attempts for _ in range(30)]
+            else:
+                outcomes = [svc.exchange().attempts for _ in range(30)]
+            return outcomes, svc.stats.as_dict(), svc.rng.random()
+
+        assert run(True) == run(False)
+
+    def test_batched_draws_does_not_nest(self, rng):
+        svc = ExchangeService.perfect(rng)
+        with svc.batched_draws():
+            with pytest.raises(WirelessError):
+                with svc.batched_draws():
+                    pass  # pragma: no cover
 
 
 class TestMessages:
