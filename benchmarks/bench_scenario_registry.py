@@ -1,0 +1,55 @@
+"""Scenario-registry sweep: correctness and runtime of every named workload.
+
+Runs each scenario of :mod:`repro.scenarios` at its registered configuration
+(default engine: vectorized + batched), asserts the count is exact, and
+records per-scenario wall-clock and simulated-seconds-per-wall-second to
+``BENCH_engine.json`` under the ``"scenarios"`` key, so growing the registry
+shows up on the perf trajectory like every other workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import correctness_summary
+from repro.bench import record
+from repro.scenarios import iter_scenarios
+
+
+def run_registry():
+    rows = []
+    for defn in iter_scenarios():
+        start = time.perf_counter()
+        result = defn.simulation().run()
+        wall_s = time.perf_counter() - start
+        rows.append((defn.name, result, wall_s))
+    return rows
+
+
+def test_scenario_registry_battery(benchmark):
+    rows = benchmark.pedantic(run_registry, rounds=1, iterations=1)
+    print()
+    width = max(len(name) for name, _r, _w in rows)
+    for name, result, wall_s in rows:
+        rate = result.simulated_s / wall_s if wall_s > 0 else float("inf")
+        print(
+            f"{name:<{width}} : truth={result.ground_truth:<4d} "
+            f"counted={result.protocol_count:<4d} error={result.miscount_error:+d} "
+            f"wall={wall_s:6.2f}s ({rate:7.0f} sim-s/s) "
+            f"{'converged' if result.converged else 'NOT CONVERGED'}"
+        )
+    print(correctness_summary([r for _n, r, _w in rows]))
+    assert all(result.converged for _n, result, _w in rows)
+    assert all(result.is_exact for _n, result, _w in rows)
+
+    record(
+        "scenarios",
+        {
+            name: {
+                "wall_s": round(wall_s, 3),
+                "simulated_s": round(result.simulated_s, 1),
+                "exact": result.is_exact,
+            }
+            for name, result, wall_s in rows
+        },
+    )

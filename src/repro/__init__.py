@@ -31,6 +31,7 @@ from .core import (
 )
 from .mobility import DemandConfig, TrafficEngine
 from .roadnet import RoadNetwork, build_midtown_grid, grid_network, triangle_network
+from .scenarios import ScenarioDef, get_scenario, scenario_names
 from .sim import (
     AccuracyReport,
     ExperimentRunner,
@@ -58,6 +59,9 @@ __all__ = [
     "build_midtown_grid",
     "grid_network",
     "triangle_network",
+    "ScenarioDef",
+    "get_scenario",
+    "scenario_names",
     "AccuracyReport",
     "ExperimentRunner",
     "MobilityConfig",

@@ -1,10 +1,17 @@
 """Command line interface.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 ``run``
-    Run a single counting experiment (closed or open, any traffic volume /
-    seed count) and print its timing and accuracy summary.
+    Run a single counting experiment and print its timing and accuracy
+    summary.  Without ``--scenario`` the experiment runs on the midtown
+    network (closed or open, any traffic volume / seed count); with
+    ``--scenario NAME`` it runs a named entry of the scenario registry
+    (``repro.scenarios``), optionally overriding volume / seeds / RNG seed.
+
+``list-scenarios``
+    Print the scenario registry: every named workload ``run --scenario``
+    and the ``validate`` battery accept.
 
 ``figure``
     Regenerate one of the paper's figures (2–5) as ASCII tables.  The
@@ -12,18 +19,21 @@ Three subcommands cover the common workflows:
     the full 10x10 grid of the paper is run (slow).
 
 ``validate``
-    Run a battery of correctness checks (closed, open, lossy, overtaking,
-    one-way) and report whether every configuration counted exactly —
-    the executable form of the paper's observation 1.
+    Run a battery of correctness checks — the four classic configurations
+    (closed, open, lossy, one-way) plus every scenario in the registry —
+    and report whether each counted exactly: the executable form of the
+    paper's observation 1.  ``--registry-only`` restricts the battery to
+    the registry sweep (the CI smoke step).
 
 Examples
 --------
 ::
 
     repro-count run --volume 0.6 --seeds 2 --scale 0.3
-    repro-count run --open --volume 1.0
+    repro-count run --scenario rush-hour
+    repro-count list-scenarios
     repro-count figure 2 --quick
-    repro-count validate
+    repro-count validate --registry-only
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from .analysis.figures import figure2, figure3, figure4, figure5, midtown_scenar
 from .analysis.report import correctness_summary, describe_run
 from .core.patrol import PatrolPlan
 from .mobility.demand import DemandConfig
+from .scenarios import get_scenario, iter_scenarios
 from .sim.config import ScenarioConfig
 from .sim.runner import SweepSpec
 from .sim.simulator import Simulation
@@ -54,15 +65,41 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run one counting experiment on the midtown network")
-    run.add_argument("--volume", type=float, default=0.6, help="traffic volume fraction (0-1]")
-    run.add_argument("--seeds", type=int, default=1, help="number of seed checkpoints")
-    run.add_argument("--scale", type=float, default=0.3, help="midtown region scale (0-1]")
+    run = sub.add_parser("run", help="run one counting experiment")
+    run.add_argument(
+        "--scenario",
+        default=None,
+        help="named scenario from the registry (see list-scenarios); "
+        "omits the midtown-specific flags below",
+    )
+    run.add_argument(
+        "--volume", type=float, default=None,
+        help="traffic volume fraction in (0, 1.5] (default: 0.6, or the scenario's own)",
+    )
+    run.add_argument(
+        "--seeds", type=int, default=None,
+        help="number of seed checkpoints (default: 1, or the scenario's own)",
+    )
+    run.add_argument(
+        "--scale", type=float, default=None,
+        help="midtown region scale (0-1] (default: 0.3; midtown runs only)",
+    )
     run.add_argument("--open", action="store_true", help="open system (border interaction traffic)")
     run.add_argument("--speed25", action="store_true", help="lift the speed limit to 25 mph")
-    run.add_argument("--rng-seed", type=int, default=2014, help="root random seed")
-    run.add_argument("--patrol", type=int, default=2, help="number of patrol cars")
-    run.add_argument("--max-minutes", type=float, default=240.0, help="simulation horizon (minutes)")
+    run.add_argument(
+        "--rng-seed", type=int, default=None,
+        help="root random seed (default: 2014, or the scenario's own)",
+    )
+    run.add_argument(
+        "--patrol", type=int, default=None,
+        help="number of patrol cars (default: 2; midtown runs only)",
+    )
+    run.add_argument(
+        "--max-minutes", type=float, default=None,
+        help="simulation horizon in minutes (default: 240; midtown runs only)",
+    )
+
+    sub.add_parser("list-scenarios", help="list the named scenarios of the registry")
 
     fig = sub.add_parser("figure", help="regenerate one of the paper's figures")
     fig.add_argument("number", type=int, choices=(2, 3, 4, 5), help="figure number")
@@ -71,27 +108,86 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--replications", type=int, default=2, help="runs per sweep cell")
 
     val = sub.add_parser("validate", help="run the correctness battery (observation 1)")
-    val.add_argument("--rng-seed", type=int, default=7, help="root random seed")
+    val.add_argument(
+        "--rng-seed", type=int, default=7,
+        help="root random seed of the classic battery (registry scenarios "
+        "always use their own registered seeds)",
+    )
+    val.add_argument(
+        "--registry-only",
+        action="store_true",
+        help="only sweep the scenario registry (skip the classic battery)",
+    )
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    speed = SPEED_LIMIT_25_MPH if args.speed25 else SPEED_LIMIT_15_MPH
-    factory = midtown_network_factory(scale=args.scale, speed_limit_mps=speed, open_border=args.open)
-    base = midtown_scenario(
-        name="cli-run",
-        open_system=args.open,
-        collection=True,
-        speed_limit_mps=speed,
-        rng_seed=args.rng_seed,
-        patrol_cars=args.patrol,
-        max_duration_min=args.max_minutes,
-    )
-    config = base.with_volume(args.volume).with_seeds(args.seeds)
-    sim = Simulation(factory(), config)
+    if args.scenario is not None:
+        # The midtown-specific knobs have no meaning for a registry scenario
+        # (its network and horizon are part of the definition) — reject them
+        # loudly rather than silently running a different experiment.
+        rejected = [
+            flag
+            for flag, given in (
+                ("--scale", args.scale is not None),
+                ("--open", args.open),
+                ("--speed25", args.speed25),
+                ("--patrol", args.patrol is not None),
+                ("--max-minutes", args.max_minutes is not None),
+            )
+            if given
+        ]
+        if rejected:
+            print(
+                f"--scenario is incompatible with {', '.join(rejected)} "
+                "(only --volume, --seeds and --rng-seed can override a "
+                "registry scenario)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            defn = get_scenario(args.scenario)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        config = defn.config
+        if args.volume is not None:
+            config = config.with_volume(args.volume)
+        if args.seeds is not None:
+            config = config.with_seeds(args.seeds)
+        if args.rng_seed is not None:
+            config = config.with_rng_seed(args.rng_seed)
+        sim = defn.simulation(config)
+    else:
+        speed = SPEED_LIMIT_25_MPH if args.speed25 else SPEED_LIMIT_15_MPH
+        scale = args.scale if args.scale is not None else 0.3
+        factory = midtown_network_factory(scale=scale, speed_limit_mps=speed, open_border=args.open)
+        base = midtown_scenario(
+            name="cli-run",
+            open_system=args.open,
+            collection=True,
+            speed_limit_mps=speed,
+            rng_seed=args.rng_seed if args.rng_seed is not None else 2014,
+            patrol_cars=args.patrol if args.patrol is not None else 2,
+            max_duration_min=args.max_minutes if args.max_minutes is not None else 240.0,
+        )
+        config = base.with_volume(
+            args.volume if args.volume is not None else 0.6
+        ).with_seeds(args.seeds if args.seeds is not None else 1)
+        sim = Simulation(factory(), config)
     result = sim.run()
     print(describe_run(result))
     return 0 if result.is_exact else 1
+
+
+def _cmd_list_scenarios(_args: argparse.Namespace) -> int:
+    defs = iter_scenarios()
+    width = max(len(d.name) for d in defs)
+    for d in defs:
+        kind = "open" if d.config.open_system else "closed"
+        profile = type(d.config.demand.profile).__name__
+        print(f"{d.name:<{width}}  [{kind:>6}]  {d.description} (demand: {profile})")
+    return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -111,48 +207,53 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
     checks = []
 
-    # 1. The paper's simple road model (FIFO, lossless).
-    net = grid_network(4, 4, lanes=1)
-    cfg = ScenarioConfig(
-        name="simple-model",
-        rng_seed=args.rng_seed,
-        demand=DemandConfig(volume_fraction=0.6),
-        wireless=WirelessConfig(loss_probability=0.0, attempts_per_contact=1),
-        mobility=MobilityConfig(allow_overtaking=False, admissions_per_step=1, crossing_delay_s=1.0),
-    )
-    checks.append(("closed / simple model", Simulation(net, cfg).run()))
+    if not args.registry_only:
+        # 1. The paper's simple road model (FIFO, lossless).
+        net = grid_network(4, 4, lanes=1)
+        cfg = ScenarioConfig(
+            name="simple-model",
+            rng_seed=args.rng_seed,
+            demand=DemandConfig(volume_fraction=0.6),
+            wireless=WirelessConfig(loss_probability=0.0, attempts_per_contact=1),
+            mobility=MobilityConfig(allow_overtaking=False, admissions_per_step=1, crossing_delay_s=1.0),
+        )
+        checks.append(("closed / simple model", Simulation(net, cfg).run()))
 
-    # 2. Extended model: lossy wireless, overtaking, multiple seeds.
-    net = grid_network(4, 4, lanes=2)
-    cfg = ScenarioConfig(
-        name="extended-model",
-        rng_seed=args.rng_seed + 1,
-        num_seeds=3,
-        demand=DemandConfig(volume_fraction=0.8),
-    )
-    checks.append(("closed / lossy + overtaking", Simulation(net, cfg).run()))
+        # 2. Extended model: lossy wireless, overtaking, multiple seeds.
+        net = grid_network(4, 4, lanes=2)
+        cfg = ScenarioConfig(
+            name="extended-model",
+            rng_seed=args.rng_seed + 1,
+            num_seeds=3,
+            demand=DemandConfig(volume_fraction=0.8),
+        )
+        checks.append(("closed / lossy + overtaking", Simulation(net, cfg).run()))
 
-    # 3. One-way ring with patrol support.
-    net = ring_network(8, one_way=True)
-    cfg = ScenarioConfig(
-        name="one-way-ring",
-        rng_seed=args.rng_seed + 2,
-        demand=DemandConfig(volume_fraction=0.8),
-        patrol=PatrolPlan(num_cars=1),
-    )
-    checks.append(("closed / one-way ring + patrol", Simulation(net, cfg).run()))
+        # 3. One-way ring with patrol support.
+        net = ring_network(8, one_way=True)
+        cfg = ScenarioConfig(
+            name="one-way-ring",
+            rng_seed=args.rng_seed + 2,
+            demand=DemandConfig(volume_fraction=0.8),
+            patrol=PatrolPlan(num_cars=1),
+        )
+        checks.append(("closed / one-way ring + patrol", Simulation(net, cfg).run()))
 
-    # 4. Open system with border interaction traffic.
-    net = grid_network(4, 4, lanes=2, gates_on_border=True)
-    cfg = ScenarioConfig(
-        name="open-grid",
-        rng_seed=args.rng_seed + 3,
-        num_seeds=2,
-        open_system=True,
-        demand=DemandConfig(volume_fraction=0.8),
-        settle_extra_s=120.0,
-    )
-    checks.append(("open / border interaction", Simulation(net, cfg).run()))
+        # 4. Open system with border interaction traffic.
+        net = grid_network(4, 4, lanes=2, gates_on_border=True)
+        cfg = ScenarioConfig(
+            name="open-grid",
+            rng_seed=args.rng_seed + 3,
+            num_seeds=2,
+            open_system=True,
+            demand=DemandConfig(volume_fraction=0.8),
+            settle_extra_s=120.0,
+        )
+        checks.append(("open / border interaction", Simulation(net, cfg).run()))
+
+    # The whole scenario registry, at each scenario's own configuration.
+    for defn in iter_scenarios():
+        checks.append((f"registry / {defn.name}", defn.simulation().run()))
 
     width = max(len(name) for name, _ in checks)
     failures = 0
@@ -173,6 +274,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "list-scenarios":
+        return _cmd_list_scenarios(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "validate":

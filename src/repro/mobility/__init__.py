@@ -6,7 +6,16 @@ overtakes and open-system entries/exits.
 """
 
 from .car_following import LaneChangeModel, SimplifiedIDM
-from .demand import DemandConfig, DemandModel, VehicleSpec
+from .demand import (
+    ConstantProfile,
+    DemandConfig,
+    DemandModel,
+    DemandProfile,
+    MarkovModulatedProfile,
+    PiecewiseProfile,
+    SinusoidalProfile,
+    VehicleSpec,
+)
 from .engine import EngineStats, TrafficEngine
 from .events import CrossingEvent, EntryEvent, ExitEvent, OvertakeEvent, TrafficEvent
 from .intersections import IntersectionPolicy, extended_policy, roundabout_policy, simple_policy
@@ -16,8 +25,13 @@ from .vehicle import MIN_GAP_M, VEHICLE_LENGTH_M, Vehicle
 __all__ = [
     "LaneChangeModel",
     "SimplifiedIDM",
+    "ConstantProfile",
     "DemandConfig",
     "DemandModel",
+    "DemandProfile",
+    "MarkovModulatedProfile",
+    "PiecewiseProfile",
+    "SinusoidalProfile",
     "VehicleSpec",
     "EngineStats",
     "TrafficEngine",

@@ -13,13 +13,23 @@ average [daily traffic]".  Demand here has two parts:
   fraction of them *through traffic* that exits at another gate (the paper's
   observation 3 calls out New York's heavy through traffic).
 
-Both are driven by :class:`DemandModel`, which only produces *specifications*
-(how many vehicles, where, with which router); the engine owns actual
-insertion so that entry events are properly ordered with everything else.
+Open-system arrivals are shaped by a :class:`DemandProfile`: a time-varying
+multiplier on the Poisson rate plus optional per-gate arrival weights.  The
+default :class:`ConstantProfile` reproduces the historical constant-rate,
+uniform-gate behaviour draw for draw; :class:`PiecewiseProfile` (rush hour),
+:class:`SinusoidalProfile` (diurnal) and :class:`MarkovModulatedProfile`
+(bursty) provide the scenario registry's time-varying workloads.
+
+Both parts are driven by :class:`DemandModel`, which only produces
+*specifications* (how many vehicles, where, with which router); the engine
+owns actual insertion so that entry events are properly ordered with
+everything else.
 """
 
 from __future__ import annotations
 
+import bisect
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -30,7 +40,232 @@ from ..roadnet.graph import RoadNetwork
 from ..roadnet.routing import FixedTripRouter, RandomTurnRouter, RandomWaypointRouter, Router
 from ..surveillance.attributes import ExteriorSignature, random_signature
 
-__all__ = ["DemandConfig", "VehicleSpec", "DemandModel"]
+__all__ = [
+    "DemandProfile",
+    "ConstantProfile",
+    "PiecewiseProfile",
+    "SinusoidalProfile",
+    "MarkovModulatedProfile",
+    "DemandConfig",
+    "VehicleSpec",
+    "DemandModel",
+]
+
+
+# --------------------------------------------------------------------------- demand profiles
+@dataclass(frozen=True)
+class DemandProfile:
+    """Shape of the open-system arrival process.
+
+    A profile contributes two things to :class:`DemandModel`:
+
+    * :meth:`rate_multiplier` — a dimensionless factor applied to the base
+      Poisson entry rate at simulated time ``t_s`` (the base rate is
+      ``entry_rate_veh_per_s_at_full * volume_fraction``);
+    * ``gate_weights`` — optional relative arrival weights per inbound gate,
+      as a tuple of ``(gate_node, weight)`` pairs.  Gates not listed default
+      to weight ``1.0``; entries for gates absent from the network are
+      ignored so one profile can be shared across topologies.  ``None``
+      keeps the historical uniform gate choice (bit-for-bit identical RNG
+      consumption).
+
+    Profiles are frozen dataclasses so scenario configurations stay
+    immutable and picklable (parallel sweeps ship them to worker
+    processes).  Profiles whose multiplier needs mutable state (the
+    Markov-modulated chain) expose it through :meth:`make_state`.
+    """
+
+    gate_weights: Optional[Tuple[Tuple[object, float], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.gate_weights is not None:
+            for entry in self.gate_weights:
+                if len(entry) != 2:
+                    raise ConfigurationError(
+                        f"gate_weights entries must be (gate, weight) pairs, got {entry!r}"
+                    )
+                _gate, weight = entry
+                if weight < 0.0:
+                    raise ConfigurationError(
+                        f"gate weights cannot be negative, got {weight!r}"
+                    )
+
+    def rate_multiplier(self, t_s: float) -> float:
+        """The rate factor at simulated time ``t_s`` (stateless profiles)."""
+        return 1.0
+
+    def make_state(self) -> "_ProfileState":
+        """Per-:class:`DemandModel` evaluation state for this profile."""
+        return _ProfileState(self)
+
+
+class _ProfileState:
+    """Evaluates a stateless profile (delegates to :meth:`rate_multiplier`)."""
+
+    def __init__(self, profile: DemandProfile) -> None:
+        self.profile = profile
+
+    def multiplier(self, t_s: float) -> float:
+        return self.profile.rate_multiplier(t_s)
+
+
+@dataclass(frozen=True)
+class ConstantProfile(DemandProfile):
+    """Constant arrivals — the historical default behaviour (multiplier 1)."""
+
+
+@dataclass(frozen=True)
+class PiecewiseProfile(DemandProfile):
+    """Piecewise-constant multiplier, e.g. a rush-hour surge.
+
+    ``breakpoints`` is a sorted tuple of ``(start_s, multiplier)`` steps; the
+    multiplier of the last step applies until ``period_s`` (when set, time
+    wraps modulo the period, giving a repeating daily pattern) or forever.
+    Times before the first breakpoint use the first step's multiplier.
+    """
+
+    breakpoints: Tuple[Tuple[float, float], ...] = ((0.0, 1.0),)
+    period_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.breakpoints:
+            raise ConfigurationError("PiecewiseProfile needs at least one breakpoint")
+        starts = [float(t) for t, _m in self.breakpoints]
+        if starts != sorted(starts):
+            raise ConfigurationError("PiecewiseProfile breakpoints must be sorted by time")
+        if len(set(starts)) != len(starts):
+            raise ConfigurationError("PiecewiseProfile breakpoints must have distinct times")
+        for _t, mult in self.breakpoints:
+            if mult < 0.0:
+                raise ConfigurationError("PiecewiseProfile multipliers cannot be negative")
+        if self.period_s is not None:
+            if self.period_s <= 0.0:
+                raise ConfigurationError("PiecewiseProfile period_s must be positive")
+            if starts[-1] >= self.period_s:
+                raise ConfigurationError(
+                    "PiecewiseProfile breakpoints must fall within one period"
+                )
+        # Frozen dataclass: cache the bisection key (queried every step).
+        object.__setattr__(self, "_starts", tuple(starts))
+
+    @classmethod
+    def rush_hour(
+        cls,
+        *,
+        quiet: float = 0.4,
+        peak: float = 2.0,
+        ramp_start_s: float = 300.0,
+        peak_end_s: float = 1500.0,
+        period_s: Optional[float] = 3600.0,
+        gate_weights: Optional[Tuple[Tuple[object, float], ...]] = None,
+    ) -> "PiecewiseProfile":
+        """A compressed rush-hour pattern: quiet -> surge -> quiet.
+
+        The defaults compress a morning rush into one simulated hour so
+        convergence-bounded scenarios actually traverse the surge.
+        """
+        return cls(
+            breakpoints=((0.0, quiet), (ramp_start_s, peak), (peak_end_s, quiet)),
+            period_s=period_s,
+            gate_weights=gate_weights,
+        )
+
+    def rate_multiplier(self, t_s: float) -> float:
+        t = float(t_s)
+        if self.period_s is not None:
+            t = math.fmod(t, self.period_s)
+            if t < 0.0:
+                t += self.period_s
+        idx = bisect.bisect_right(self._starts, t) - 1
+        if idx < 0:
+            idx = 0
+        return float(self.breakpoints[idx][1])
+
+
+@dataclass(frozen=True)
+class SinusoidalProfile(DemandProfile):
+    """Smooth diurnal demand: ``1 + amplitude * sin(2*pi*(t + phase)/period)``.
+
+    The multiplier is clipped from below at ``floor`` so an amplitude above
+    1 cannot produce a negative arrival rate.
+    """
+
+    period_s: float = 3600.0
+    amplitude: float = 0.5
+    phase_s: float = 0.0
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period_s <= 0.0:
+            raise ConfigurationError("SinusoidalProfile period_s must be positive")
+        if self.amplitude < 0.0:
+            raise ConfigurationError("SinusoidalProfile amplitude cannot be negative")
+        if self.floor < 0.0:
+            raise ConfigurationError("SinusoidalProfile floor cannot be negative")
+
+    def rate_multiplier(self, t_s: float) -> float:
+        value = 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (float(t_s) + self.phase_s) / self.period_s
+        )
+        return max(self.floor, value)
+
+
+@dataclass(frozen=True)
+class MarkovModulatedProfile(DemandProfile):
+    """Bursty arrivals: a two-state Markov chain modulates the rate.
+
+    The chain alternates between state 0 and state 1, dwelling in state ``i``
+    for an exponential time with mean ``mean_dwell_s[i]`` and scaling the
+    base rate by ``multipliers[i]`` while there.  The dwell sequence is drawn
+    from a dedicated generator seeded with ``chain_seed``, so the burst
+    pattern is a pure function of the profile (independent of the scenario's
+    demand stream, and identical across engine/pipeline variants).
+    """
+
+    multipliers: Tuple[float, float] = (0.25, 3.0)
+    mean_dwell_s: Tuple[float, float] = (300.0, 90.0)
+    chain_seed: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.multipliers) != 2 or len(self.mean_dwell_s) != 2:
+            raise ConfigurationError(
+                "MarkovModulatedProfile needs exactly two states (multipliers, dwells)"
+            )
+        if any(m < 0.0 for m in self.multipliers):
+            raise ConfigurationError("MarkovModulatedProfile multipliers cannot be negative")
+        if any(d <= 0.0 for d in self.mean_dwell_s):
+            raise ConfigurationError("MarkovModulatedProfile mean dwells must be positive")
+
+    def make_state(self) -> "_MarkovProfileState":
+        return _MarkovProfileState(self)
+
+
+class _MarkovProfileState(_ProfileState):
+    """Lazily materializes the modulating chain's dwell boundaries.
+
+    Boundaries are only ever appended, so queries are deterministic in any
+    time order (the property tests replay scenarios out of step order).
+    """
+
+    def __init__(self, profile: MarkovModulatedProfile) -> None:
+        super().__init__(profile)
+        self._rng = np.random.default_rng(profile.chain_seed)
+        self._bounds: List[float] = [0.0]
+
+    def multiplier(self, t_s: float) -> float:
+        profile: MarkovModulatedProfile = self.profile  # type: ignore[assignment]
+        t = float(t_s)
+        while self._bounds[-1] <= t:
+            state = (len(self._bounds) - 1) % 2
+            dwell = float(self._rng.exponential(profile.mean_dwell_s[state]))
+            self._bounds.append(self._bounds[-1] + max(dwell, 1e-9))
+        idx = bisect.bisect_right(self._bounds, t) - 1
+        if idx < 0:
+            idx = 0
+        return float(profile.multipliers[idx % 2])
 
 
 @dataclass(frozen=True)
@@ -81,6 +316,10 @@ class DemandConfig:
     interior_fleet_fraction:
         Open systems: initial interior fleet, as a fraction of the closed
         fleet size for the same volume.
+    profile:
+        Open systems: the :class:`DemandProfile` shaping border arrivals over
+        time and across gates.  The default :class:`ConstantProfile`
+        reproduces the historical constant-rate, uniform-gate behaviour.
     """
 
     volume_fraction: float = 1.0
@@ -91,6 +330,7 @@ class DemandConfig:
     entry_rate_veh_per_s_at_full: float = 0.2
     through_traffic_fraction: float = 0.5
     interior_fleet_fraction: float = 0.7
+    profile: DemandProfile = field(default_factory=ConstantProfile)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.volume_fraction <= 1.5:
@@ -112,6 +352,10 @@ class DemandConfig:
             raise ConfigurationError("entry_rate_veh_per_s_at_full cannot be negative")
         if self.min_fleet < 1:
             raise ConfigurationError("min_fleet must be at least 1")
+        if not isinstance(self.profile, DemandProfile):
+            raise ConfigurationError(
+                f"profile must be a DemandProfile, got {type(self.profile).__name__}"
+            )
 
 
 class DemandModel:
@@ -129,6 +373,22 @@ class DemandModel:
         self._nodes = list(net.nodes)
         self._inbound_gates = [g.node for g in net.gates.values() if g.inbound]
         self._outbound_gates = [g.node for g in net.gates.values() if g.outbound]
+        self._profile_state = config.profile.make_state()
+        # Per-gate arrival probabilities; ``None`` keeps the historical
+        # uniform ``rng.integers`` gate draw (bit-identical RNG stream).
+        self._gate_probs: Optional[np.ndarray] = None
+        if config.profile.gate_weights is not None and self._inbound_gates:
+            weight_map = {gate: float(w) for gate, w in config.profile.gate_weights}
+            weights = np.array(
+                [weight_map.get(gate, 1.0) for gate in self._inbound_gates], dtype=float
+            )
+            total = weights.sum()
+            if total <= 0.0:
+                raise ConfigurationError(
+                    "profile gate_weights assign zero total weight to this "
+                    "network's inbound gates"
+                )
+            self._gate_probs = weights / total
 
     # ----------------------------------------------------------- fleet size
     def closed_fleet_size(self) -> int:
@@ -144,11 +404,17 @@ class DemandModel:
             int(round(self.closed_fleet_size() * self.config.interior_fleet_fraction)),
         )
 
-    def entry_rate_veh_per_s(self) -> float:
-        """Total Poisson border-arrival rate at the configured volume."""
+    def entry_rate_veh_per_s(self, t_s: float = 0.0) -> float:
+        """Total Poisson border-arrival rate at time ``t_s``.
+
+        The base rate (``entry_rate_veh_per_s_at_full * volume_fraction``) is
+        scaled by the demand profile's multiplier at ``t_s``; the default
+        :class:`ConstantProfile` multiplier is exactly 1.
+        """
         if not self._inbound_gates:
             return 0.0
-        return self.config.entry_rate_veh_per_s_at_full * self.config.volume_fraction
+        base = self.config.entry_rate_veh_per_s_at_full * self.config.volume_fraction
+        return base * self._profile_state.multiplier(t_s)
 
     # --------------------------------------------------------------- routers
     def _make_router(self) -> Router:
@@ -183,28 +449,34 @@ class DemandModel:
             )
         return specs
 
-    def border_arrivals(self, dt: float) -> List[VehicleSpec]:
+    def border_arrivals(self, dt: float, t_s: float = 0.0) -> List[VehicleSpec]:
         """Vehicle specs entering through gates during a step of length ``dt``.
 
-        The number of arrivals is Poisson with mean ``rate * dt``; each
-        arrival picks a uniformly random inbound gate.  Through-traffic
-        vehicles get a :class:`FixedTripRouter` toward a random *other*
-        outbound gate and exit there; the rest circulate like interior
-        vehicles.
+        The number of arrivals is Poisson with mean ``rate(t_s) * dt``; each
+        arrival picks an inbound gate (uniformly, or by the profile's gate
+        weights).  Through-traffic vehicles get a :class:`FixedTripRouter`
+        toward a random outbound gate *other than their entry gate* and exit
+        there; the rest circulate like interior vehicles.
         """
-        rate = self.entry_rate_veh_per_s()
+        rate = self.entry_rate_veh_per_s(t_s)
         if rate <= 0.0 or not self._inbound_gates:
             return []
         n = int(self.rng.poisson(rate * dt))
         specs: List[VehicleSpec] = []
         for _ in range(n):
-            gate = self._inbound_gates[int(self.rng.integers(len(self._inbound_gates)))]
-            through = (
-                self.rng.random() < self.config.through_traffic_fraction
-                and len(self._outbound_gates) > 1
-            )
-            if through:
-                choices = [g for g in self._outbound_gates if g != gate]
+            if self._gate_probs is None:
+                gate = self._inbound_gates[int(self.rng.integers(len(self._inbound_gates)))]
+            else:
+                gate = self._inbound_gates[
+                    int(self.rng.choice(len(self._inbound_gates), p=self._gate_probs))
+                ]
+            # The uniform is drawn unconditionally (as the scalar reference
+            # always did); through traffic additionally needs an outbound
+            # gate other than the entry gate to exist.  A single outbound
+            # gate is fine when the entry gate is inbound-only.
+            through_draw = self.rng.random() < self.config.through_traffic_fraction
+            choices = [g for g in self._outbound_gates if g != gate]
+            if through_draw and choices:
                 dest = choices[int(self.rng.integers(len(choices)))]
                 router: Router = FixedTripRouter(self.net, self.rng, dest, exit_on_arrival=True)
             else:

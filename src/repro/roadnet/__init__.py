@@ -9,12 +9,14 @@ reproduce the paper's evaluation.
 
 from .graph import DirectedSegment, Gate, RoadNetwork
 from .builders import (
+    arterial_network,
     grid_network,
     line_network,
     random_planar_network,
     ring_network,
     star_network,
     triangle_network,
+    two_district_network,
 )
 from .manhattan import MidtownSpec, build_midtown_grid, midtown_landmarks
 from .routing import (
@@ -31,12 +33,14 @@ __all__ = [
     "DirectedSegment",
     "Gate",
     "RoadNetwork",
+    "arterial_network",
     "grid_network",
     "line_network",
     "random_planar_network",
     "ring_network",
     "star_network",
     "triangle_network",
+    "two_district_network",
     "MidtownSpec",
     "build_midtown_grid",
     "midtown_landmarks",

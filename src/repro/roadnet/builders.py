@@ -9,6 +9,10 @@ benchmarks:
 * :func:`grid_network` — rectangular bidirectional grid,
 * :func:`ring_network` — a simple cycle (optionally one-way),
 * :func:`star_network` — a hub with spokes,
+* :func:`arterial_network` — fast multi-lane avenues crossed by slow
+  single-lane side streets (heterogeneous per-segment speeds and lanes),
+* :func:`two_district_network` — two grid districts joined by a single
+  bridge bottleneck,
 * :func:`random_planar_network` — a random connected road graph built from a
   geometric graph, for property-based tests.
 """
@@ -21,7 +25,7 @@ import numpy as np
 import networkx as nx
 
 from ..errors import RoadNetworkError
-from ..units import SPEED_LIMIT_15_MPH
+from ..units import SPEED_LIMIT_15_MPH, SPEED_LIMIT_25_MPH
 from .graph import Gate, RoadNetwork
 
 __all__ = [
@@ -30,6 +34,8 @@ __all__ = [
     "ring_network",
     "star_network",
     "line_network",
+    "arterial_network",
+    "two_district_network",
     "random_planar_network",
 ]
 
@@ -155,11 +161,12 @@ def star_network(
     lanes: int = 1,
     speed_limit_mps: float = SPEED_LIMIT_15_MPH,
 ) -> RoadNetwork:
-    """A hub intersection ``0`` with ``spokes`` leaf pairs.
+    """A hub intersection ``"hub"`` with ``spokes`` leaf intersections.
 
-    Every spoke is a short two-intersection stub connected back to the hub so
-    that leaves still satisfy the in/out-degree validation (traffic can turn
-    around at the outer intersection via a small loop of two nodes).
+    Each spoke is a single bidirectional segment joining the hub to one leaf,
+    so every leaf has exactly one inbound and one outbound segment (traffic
+    turns around by driving back toward the hub) and the in/out-degree
+    validation holds without any extra nodes.
     """
     if spokes < 2:
         raise RoadNetworkError("a star needs at least 2 spokes")
@@ -170,6 +177,115 @@ def star_network(
         outer = f"leaf-{k}"
         net.add_intersection(outer, (length_m * np.cos(angle), length_m * np.sin(angle)))
         net.add_bidirectional("hub", outer, length_m, lanes=lanes, speed_limit_mps=speed_limit_mps)
+    return net.freeze()
+
+
+def arterial_network(
+    n_arterials: int = 3,
+    n_cross: int = 6,
+    *,
+    arterial_block_m: float = 250.0,
+    cross_block_m: float = 120.0,
+    arterial_lanes: int = 3,
+    cross_lanes: int = 1,
+    arterial_speed_mps: float = SPEED_LIMIT_25_MPH,
+    cross_speed_mps: float = SPEED_LIMIT_15_MPH,
+    gates_at_ends: bool = False,
+) -> RoadNetwork:
+    """Fast multi-lane arterials crossed by slow single-lane side streets.
+
+    ``n_arterials`` east-west avenues (rows) carry ``arterial_lanes`` lanes
+    at ``arterial_speed_mps``; the ``n_cross`` north-south connectors between
+    them are ``cross_lanes`` wide at ``cross_speed_mps``.  All segments are
+    bidirectional, so the network is strongly connected; the speed and lane
+    heterogeneity is what makes this topology interesting — overtakes happen
+    on the avenues and queues form where fast traffic turns into a slow
+    connector.
+
+    Nodes are ``(row, col)`` tuples.  With ``gates_at_ends`` every arterial
+    end point (first and last column) becomes a two-way gate, modelling the
+    avenues continuing beyond the region.
+    """
+    if n_arterials < 2 or n_cross < 2:
+        raise RoadNetworkError("arterial networks need at least 2 arterials and 2 cross streets")
+    net = RoadNetwork(name=f"arterial-{n_arterials}x{n_cross}")
+    for r in range(n_arterials):
+        for c in range(n_cross):
+            net.add_intersection((r, c), (c * arterial_block_m, r * cross_block_m))
+    for r in range(n_arterials):
+        for c in range(n_cross - 1):
+            net.add_bidirectional(
+                (r, c), (r, c + 1), arterial_block_m,
+                lanes=arterial_lanes, speed_limit_mps=arterial_speed_mps,
+            )
+    for r in range(n_arterials - 1):
+        for c in range(n_cross):
+            net.add_bidirectional(
+                (r, c), (r + 1, c), cross_block_m,
+                lanes=cross_lanes, speed_limit_mps=cross_speed_mps,
+            )
+    if gates_at_ends:
+        for r in range(n_arterials):
+            net.add_gate(Gate(node=(r, 0)))
+            net.add_gate(Gate(node=(r, n_cross - 1)))
+    return net.freeze()
+
+
+def two_district_network(
+    rows: int = 3,
+    cols: int = 3,
+    *,
+    block_m: float = 150.0,
+    bridge_length_m: float = 500.0,
+    bridge_lanes: int = 1,
+    bridge_speed_mps: Optional[float] = None,
+    district_lanes: int = 2,
+    speed_limit_mps: float = SPEED_LIMIT_15_MPH,
+    gates_on_far_edges: bool = False,
+) -> RoadNetwork:
+    """Two ``rows x cols`` grid districts joined by one bridge bottleneck.
+
+    Nodes are ``("w", r, c)`` / ``("e", r, c)`` tuples.  The single
+    bidirectional bridge joins the middle of the west district's east edge
+    to the middle of the east district's west edge — every trip between the
+    districts funnels through it, so congestion (and, with gates, all
+    west-to-east through traffic) concentrates on one long, narrow segment.
+
+    With ``gates_on_far_edges`` the outer column of each district becomes
+    two-way gates, making the bridge the only path for through traffic.
+    """
+    if rows < 2 or cols < 2:
+        raise RoadNetworkError("district grids need at least 2 rows and 2 columns")
+    if bridge_length_m <= 0:
+        raise RoadNetworkError("bridge length must be positive")
+    speed = speed_limit_mps if bridge_speed_mps is None else bridge_speed_mps
+    net = RoadNetwork(name=f"two-district-{rows}x{cols}")
+    east_offset = (cols - 1) * block_m + bridge_length_m
+    for side, x0 in (("w", 0.0), ("e", east_offset)):
+        for r in range(rows):
+            for c in range(cols):
+                net.add_intersection((side, r, c), (x0 + c * block_m, r * block_m))
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    net.add_bidirectional(
+                        (side, r, c), (side, r, c + 1), block_m,
+                        lanes=district_lanes, speed_limit_mps=speed_limit_mps,
+                    )
+                if r + 1 < rows:
+                    net.add_bidirectional(
+                        (side, r, c), (side, r + 1, c), block_m,
+                        lanes=district_lanes, speed_limit_mps=speed_limit_mps,
+                    )
+    mid = rows // 2
+    net.add_bidirectional(
+        ("w", mid, cols - 1), ("e", mid, 0), bridge_length_m,
+        lanes=bridge_lanes, speed_limit_mps=speed,
+    )
+    if gates_on_far_edges:
+        for r in range(rows):
+            net.add_gate(Gate(node=("w", r, 0)))
+            net.add_gate(Gate(node=("e", r, cols - 1)))
     return net.freeze()
 
 

@@ -1,0 +1,24 @@
+"""Scenario library: named, validated counting workloads.
+
+The registry (:mod:`repro.scenarios.registry`) maps scenario names to
+``(network_factory, ScenarioConfig)`` pairs covering the diversity axes of
+the ROADMAP — heterogeneous road geometry, lossy wireless, one-way extremes
+and time-varying open-system demand — each of which counts exactly under
+every engine x pipeline combination.
+"""
+
+from .registry import (
+    ScenarioDef,
+    get_scenario,
+    iter_scenarios,
+    register,
+    scenario_names,
+)
+
+__all__ = [
+    "ScenarioDef",
+    "get_scenario",
+    "iter_scenarios",
+    "register",
+    "scenario_names",
+]

@@ -32,13 +32,13 @@ def summarize_run(sim: "Simulation") -> RunResult:
     protocol = sim.protocol
     stabilization = [t for t in protocol.stabilization_times().values()]
     all_stable = all(t is not None for t in stabilization)
-    constitution_time = max(stabilization) if all_stable and stabilization else None
-    constitution_min = (
-        min(t for t in stabilization if t is not None)
-        if any(t is not None for t in stabilization)
-        else None
-    )
     known = [t for t in stabilization if t is not None]
+    # All three constitution statistics require *full* convergence: a
+    # partially-converged run reports None for max, min and average alike
+    # (the minimum over only-the-stabilized checkpoints would silently
+    # understate the metric the paper's Fig. 2(b) plots).
+    constitution_time = max(known) if all_stable and known else None
+    constitution_min = min(known) if all_stable and known else None
     constitution_avg = (sum(known) / len(known)) if all_stable and known else None
 
     collection = protocol.collection

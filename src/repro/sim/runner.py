@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import struct
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -31,7 +32,7 @@ from .config import ScenarioConfig
 from .results import RunResult, SweepCell, SweepResult
 from .simulator import Simulation
 
-__all__ = ["SweepSpec", "ExperimentRunner", "run_single"]
+__all__ = ["SweepSpec", "ExperimentRunner", "run_single", "replication_seed"]
 
 NetworkFactory = Callable[[], RoadNetwork]
 
@@ -92,6 +93,35 @@ def _deserialization_canary(*_args: object) -> bool:
     return True
 
 
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One round of the SplitMix64 avalanche mix (a 64-bit bijection)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def replication_seed(
+    base_seed: int, volume_fraction: float, num_seeds: int, replication: int
+) -> int:
+    """The root RNG seed of one ``(volume, seeds, replication)`` sweep run.
+
+    The seed is derived by chaining a 64-bit avalanche mix over the cell
+    coordinates — the volume enters through its exact IEEE-754 bit pattern,
+    so the derivation is platform-stable (unlike ``hash``) and collision-free
+    in practice (unlike the previous ``hash(...) % 1009``, which folded every
+    cell into 1009 buckets and could hand two cells the same seed).
+    """
+    volume_bits = int.from_bytes(struct.pack("<d", float(volume_fraction)), "little")
+    mixed = _splitmix64(volume_bits)
+    mixed = _splitmix64(mixed ^ (int(num_seeds) & _MASK64))
+    mixed = _splitmix64(mixed ^ (int(replication) & _MASK64))
+    return int(base_seed) + mixed
+
+
 def _run_cell_job(
     network_factory: NetworkFactory,
     base_config: ScenarioConfig,
@@ -102,16 +132,18 @@ def _run_cell_job(
     """Run one (volume, seeds) cell — shared by the serial and parallel paths.
 
     The per-replication RNG seed is derived purely from the base seed and
-    the cell coordinates (``hash`` of a numeric tuple is process-independent),
-    so the cell's result does not depend on which process — or in which
-    order — it runs.
+    the cell coordinates (:func:`replication_seed` is platform-stable), so
+    the cell's result does not depend on which process — or in which order —
+    it runs.
     """
     runs: List[RunResult] = []
     for rep in range(replications):
         config = (
             base_config.with_volume(volume_fraction)
             .with_seeds(num_seeds)
-            .with_rng_seed(base_config.rng_seed + 7919 * rep + hash((volume_fraction, num_seeds)) % 1009)
+            .with_rng_seed(
+                replication_seed(base_config.rng_seed, volume_fraction, num_seeds, rep)
+            )
         )
         runs.append(run_single(network_factory, config))
     return SweepCell(

@@ -168,7 +168,7 @@ class Simulation:
             self.populate()
         injected = []
         if self.config.open_system:
-            for spec in self.demand.border_arrivals(self.engine.dt_s):
+            for spec in self.demand.border_arrivals(self.engine.dt_s, t_s=self.engine.time_s):
                 _vehicle, events = self.engine.spawn(spec)
                 injected.extend(events)
         events = injected + self.engine.step()

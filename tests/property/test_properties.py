@@ -24,7 +24,13 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.checkpoint import Checkpoint, DirectionState
 from repro.core.snapshot import MessageSystem
-from repro.mobility.demand import DemandConfig
+from repro.mobility.demand import (
+    ConstantProfile,
+    DemandConfig,
+    MarkovModulatedProfile,
+    PiecewiseProfile,
+    SinusoidalProfile,
+)
 from repro.roadnet.builders import grid_network, random_planar_network, ring_network
 from repro.sim.config import MobilityConfig, ScenarioConfig, WirelessConfig
 from repro.sim.runner import ExperimentRunner, SweepSpec
@@ -285,6 +291,94 @@ def test_parallel_runner_equals_serial_on_random_sweep(volumes, seed_counts, rng
     serial = ExperimentRunner(factory, config).run_sweep(spec)
     parallel = ExperimentRunner(factory, config, parallel=True).run_sweep(spec)
     assert parallel.cells == serial.cells
+
+
+# ------------------------------------------------------------ demand profiles
+def _profiles() -> st.SearchStrategy:
+    """Any demand profile, with parameters drawn by hypothesis."""
+    constant = st.just(ConstantProfile())
+    piecewise = st.builds(
+        lambda quiet, peak: PiecewiseProfile.rush_hour(quiet=quiet, peak=peak),
+        quiet=st.floats(min_value=0.1, max_value=1.0),
+        peak=st.floats(min_value=1.0, max_value=3.0),
+    )
+    sinusoidal = st.builds(
+        SinusoidalProfile,
+        period_s=st.floats(min_value=300.0, max_value=3600.0),
+        amplitude=st.floats(min_value=0.0, max_value=1.0),
+    )
+    markov = st.builds(
+        MarkovModulatedProfile,
+        multipliers=st.tuples(
+            st.floats(min_value=0.0, max_value=0.5),
+            st.floats(min_value=1.0, max_value=3.0),
+        ),
+        mean_dwell_s=st.tuples(
+            st.floats(min_value=60.0, max_value=600.0),
+            st.floats(min_value=30.0, max_value=300.0),
+        ),
+        chain_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    return st.one_of(constant, piecewise, sinusoidal, markov)
+
+
+@SLOW
+@given(
+    profile=_profiles(),
+    volume=st.floats(min_value=0.3, max_value=1.0),
+    num_seeds=st.integers(min_value=1, max_value=2),
+    rng_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_closed_counting_exact_with_any_profile(profile, volume, num_seeds, rng_seed):
+    """A demand profile only shapes open-system arrivals, so any profile on a
+    closed system must leave the count exact (and identical convergence)."""
+    net = grid_network(3, 3, lanes=1)
+    config = ScenarioConfig(
+        name="prop-profile-closed",
+        rng_seed=rng_seed,
+        num_seeds=num_seeds,
+        demand=DemandConfig(volume_fraction=volume, profile=profile),
+        max_duration_s=3600.0,
+    )
+    result = Simulation(net, config).run()
+    assert result.converged
+    assert result.is_exact
+    assert result.collected_count == result.ground_truth
+
+
+@SLOW
+@given(
+    profile=_profiles(),
+    volume=st.floats(min_value=0.3, max_value=1.0),
+    loss=st.sampled_from([0.0, 0.3]),
+    rng_seed=st.integers(min_value=0, max_value=2**16),
+    through=st.floats(min_value=0.2, max_value=0.9),
+)
+def test_batched_equals_scalar_with_time_varying_arrivals(
+    profile, volume, loss, rng_seed, through
+):
+    """The batched pipeline must stay bit-for-bit the scalar reference when
+    the open-system arrival rate varies over time (rush-hour, diurnal,
+    bursty) — the profile feeds both paths through the same demand stream."""
+    config = ScenarioConfig(
+        name="prop-profile-pipeline",
+        rng_seed=rng_seed,
+        num_seeds=2,
+        open_system=True,
+        demand=DemandConfig(
+            volume_fraction=volume,
+            through_traffic_fraction=through,
+            profile=profile,
+        ),
+        wireless=WirelessConfig(loss_probability=loss),
+    )
+    traces = {}
+    for batched in (False, True):
+        net = grid_network(4, 4, lanes=2, gates_on_border=True)
+        sim = Simulation(net, replace(config, batched=batched))
+        sim.run_for(300.0)
+        traces[batched] = _pipeline_trace(sim)
+    assert traces[True] == traces[False]
 
 
 @SLOW

@@ -117,6 +117,53 @@ class TestCli:
         args = parser.parse_args(["validate"])
         assert args.command == "validate"
 
+    def test_parser_scenario_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--scenario", "rush-hour"])
+        assert args.scenario == "rush-hour"
+        assert args.volume is None and args.seeds is None and args.rng_seed is None
+        args = parser.parse_args(["list-scenarios"])
+        assert args.command == "list-scenarios"
+        args = parser.parse_args(["validate", "--registry-only"])
+        assert args.registry_only
+
+    def test_volume_help_matches_accepted_range(self):
+        """Regression: the help string claimed (0-1] while DemandConfig
+        accepts (0, 1.5]."""
+        import argparse as ap
+
+        parser = build_parser()
+        sub = next(a for a in parser._actions if isinstance(a, ap._SubParsersAction))
+        run_parser = sub.choices["run"]
+        volume_action = next(a for a in run_parser._actions if "--volume" in a.option_strings)
+        assert "(0, 1.5]" in volume_action.help
+
+    def test_list_scenarios_prints_registry(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_run_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["run", "--scenario", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_scenario_rejects_midtown_flags(self, capsys):
+        assert main(["run", "--scenario", "lossy-grid", "--patrol", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "--patrol" in err and "incompatible" in err
+        assert main(["run", "--scenario", "lossy-grid", "--open", "--scale", "0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "--open" in err and "--scale" in err
+
+    def test_run_named_scenario_end_to_end(self, capsys):
+        exit_code = main(["run", "--scenario", "lossy-grid"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "lossy-grid" in out and "error +0" in out
+
     def test_parser_rejects_bad_figure(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "9"])

@@ -1,0 +1,200 @@
+"""Demand profiles: time-varying rate multipliers and per-gate weights."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.demand import (
+    ConstantProfile,
+    DemandConfig,
+    DemandModel,
+    MarkovModulatedProfile,
+    PiecewiseProfile,
+    SinusoidalProfile,
+)
+from repro.roadnet.builders import grid_network
+from repro.roadnet.graph import Gate
+
+
+class TestConstantProfile:
+    def test_multiplier_is_exactly_one(self):
+        profile = ConstantProfile()
+        state = profile.make_state()
+        for t in (0.0, 17.5, 1e6):
+            assert state.multiplier(t) == 1.0
+
+    def test_is_the_default_and_preserves_entry_rate(self, gated_grid, rng):
+        cfg = DemandConfig(volume_fraction=0.7)
+        assert isinstance(cfg.profile, ConstantProfile)
+        dm = DemandModel(gated_grid, cfg, rng)
+        base = cfg.entry_rate_veh_per_s_at_full * cfg.volume_fraction
+        assert dm.entry_rate_veh_per_s() == base
+        assert dm.entry_rate_veh_per_s(12345.0) == base
+
+
+class TestPiecewiseProfile:
+    def test_step_values(self):
+        profile = PiecewiseProfile(breakpoints=((0.0, 0.5), (100.0, 2.0), (200.0, 1.0)))
+        assert profile.rate_multiplier(0.0) == 0.5
+        assert profile.rate_multiplier(99.9) == 0.5
+        assert profile.rate_multiplier(100.0) == 2.0
+        assert profile.rate_multiplier(150.0) == 2.0
+        assert profile.rate_multiplier(5000.0) == 1.0
+
+    def test_period_wraps(self):
+        profile = PiecewiseProfile(
+            breakpoints=((0.0, 1.0), (60.0, 3.0)), period_s=120.0
+        )
+        assert profile.rate_multiplier(30.0) == 1.0
+        assert profile.rate_multiplier(90.0) == 3.0
+        assert profile.rate_multiplier(120.0 + 30.0) == 1.0
+        assert profile.rate_multiplier(120.0 + 90.0) == 3.0
+
+    def test_rush_hour_shape(self):
+        profile = PiecewiseProfile.rush_hour(quiet=0.4, peak=2.0)
+        assert profile.rate_multiplier(0.0) == 0.4
+        assert profile.rate_multiplier(600.0) == 2.0
+        assert profile.rate_multiplier(2000.0) == 0.4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseProfile(breakpoints=())
+        with pytest.raises(ConfigurationError):
+            PiecewiseProfile(breakpoints=((10.0, 1.0), (0.0, 2.0)))  # unsorted
+        with pytest.raises(ConfigurationError):
+            PiecewiseProfile(breakpoints=((0.0, 1.0), (0.0, 2.0)))  # duplicate time
+        with pytest.raises(ConfigurationError):
+            PiecewiseProfile(breakpoints=((0.0, -1.0),))
+        with pytest.raises(ConfigurationError):
+            PiecewiseProfile(breakpoints=((0.0, 1.0), (50.0, 2.0)), period_s=40.0)
+
+
+class TestSinusoidalProfile:
+    def test_oscillates_around_one(self):
+        profile = SinusoidalProfile(period_s=100.0, amplitude=0.5)
+        assert profile.rate_multiplier(0.0) == pytest.approx(1.0)
+        assert profile.rate_multiplier(25.0) == pytest.approx(1.5)
+        assert profile.rate_multiplier(75.0) == pytest.approx(0.5)
+
+    def test_floor_clips_negative_rates(self):
+        profile = SinusoidalProfile(period_s=100.0, amplitude=2.0, floor=0.0)
+        assert profile.rate_multiplier(75.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidalProfile(period_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SinusoidalProfile(amplitude=-0.1)
+        with pytest.raises(ConfigurationError):
+            SinusoidalProfile(floor=-1.0)
+
+
+class TestMarkovModulatedProfile:
+    def test_multipliers_come_from_the_two_states(self):
+        profile = MarkovModulatedProfile(
+            multipliers=(0.2, 3.0), mean_dwell_s=(100.0, 50.0), chain_seed=1
+        )
+        state = profile.make_state()
+        values = {state.multiplier(float(t)) for t in range(0, 2000, 10)}
+        assert values == {0.2, 3.0}
+
+    def test_same_seed_same_burst_pattern(self):
+        profile = MarkovModulatedProfile(chain_seed=5)
+        a = profile.make_state()
+        b = profile.make_state()
+        times = [float(t) for t in range(0, 3000, 7)]
+        assert [a.multiplier(t) for t in times] == [b.multiplier(t) for t in times]
+
+    def test_query_order_does_not_matter(self):
+        profile = MarkovModulatedProfile(chain_seed=9)
+        fwd = profile.make_state()
+        rev = profile.make_state()
+        times = [float(t) for t in range(0, 1500, 13)]
+        forward = [fwd.multiplier(t) for t in times]
+        backward = [rev.multiplier(t) for t in reversed(times)]
+        assert forward == list(reversed(backward))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MarkovModulatedProfile(multipliers=(1.0,))
+        with pytest.raises(ConfigurationError):
+            MarkovModulatedProfile(multipliers=(-1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            MarkovModulatedProfile(mean_dwell_s=(0.0, 10.0))
+
+
+class TestProfileThreading:
+    def test_entry_rate_follows_the_profile(self, gated_grid, rng):
+        profile = PiecewiseProfile(breakpoints=((0.0, 0.5), (100.0, 2.0)))
+        cfg = DemandConfig(volume_fraction=1.0, profile=profile)
+        dm = DemandModel(gated_grid, cfg, rng)
+        base = cfg.entry_rate_veh_per_s_at_full
+        assert dm.entry_rate_veh_per_s(0.0) == pytest.approx(0.5 * base)
+        assert dm.entry_rate_veh_per_s(150.0) == pytest.approx(2.0 * base)
+
+    def test_zero_multiplier_produces_no_arrivals(self, gated_grid, rng):
+        profile = PiecewiseProfile(breakpoints=((0.0, 0.0),))
+        dm = DemandModel(gated_grid, DemandConfig(profile=profile), rng)
+        assert dm.border_arrivals(60.0, t_s=0.0) == []
+
+    def test_border_arrival_volume_tracks_multiplier(self, gated_grid):
+        profile = PiecewiseProfile(breakpoints=((0.0, 0.2), (600.0, 3.0)))
+        quiet_rng = np.random.default_rng(0)
+        busy_rng = np.random.default_rng(0)
+        quiet = DemandModel(gated_grid, DemandConfig(profile=profile), quiet_rng)
+        busy = DemandModel(gated_grid, DemandConfig(profile=profile), busy_rng)
+        n_quiet = sum(len(quiet.border_arrivals(1.0, t_s=10.0)) for _ in range(400))
+        n_busy = sum(len(busy.border_arrivals(1.0, t_s=700.0)) for _ in range(400))
+        assert n_busy > n_quiet * 5
+
+    def test_profile_type_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            DemandConfig(profile="rush-hour")
+
+
+class TestGateWeights:
+    def _weighted_origins(self, net, weights, draws=500):
+        profile = ConstantProfile(gate_weights=weights)
+        dm = DemandModel(
+            net,
+            DemandConfig(volume_fraction=1.0, profile=profile),
+            np.random.default_rng(3),
+        )
+        origins = []
+        for _ in range(draws):
+            origins.extend(spec.origin for spec in dm.border_arrivals(1.0))
+        return origins
+
+    def test_zero_weight_gate_never_chosen(self, gated_grid):
+        victim = gated_grid.border_nodes()[0]
+        origins = self._weighted_origins(gated_grid, ((victim, 0.0),))
+        assert origins
+        assert victim not in origins
+
+    def test_heavy_gate_dominates(self, gated_grid):
+        favored = gated_grid.border_nodes()[0]
+        origins = self._weighted_origins(gated_grid, ((favored, 100.0),))
+        share = origins.count(favored) / len(origins)
+        assert share > 0.75
+
+    def test_unknown_gates_are_ignored(self, gated_grid):
+        origins = self._weighted_origins(gated_grid, (("no-such-gate", 50.0),))
+        assert origins  # uniform fallback weights for the real gates
+
+    def test_all_zero_weights_rejected(self):
+        net = grid_network(3, 3).open_copy([Gate(node=(0, 0))])
+        profile = ConstantProfile(gate_weights=(((0, 0), 0.0),))
+        with pytest.raises(ConfigurationError):
+            DemandModel(
+                net,
+                DemandConfig(profile=profile),
+                np.random.default_rng(0),
+            )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantProfile(gate_weights=((("a",), -1.0),))
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantProfile(gate_weights=(("only-a-gate",),))

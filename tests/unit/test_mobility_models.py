@@ -169,6 +169,51 @@ class TestDemand:
         assert all(spec.via_gate for spec in specs)
         assert all(gated_grid.is_border(spec.origin) for spec in specs)
 
+    def test_through_traffic_with_single_outbound_gate(self):
+        """Regression: one inbound-only entry gate plus one outbound gate
+        must still produce through traffic (the old gating required *two*
+        outbound gates and silently disabled it)."""
+        from repro.roadnet.builders import grid_network as make_grid
+        from repro.roadnet.graph import Gate
+        from repro.roadnet.routing import FixedTripRouter
+
+        net = make_grid(3, 3).open_copy(
+            [Gate(node=(0, 0), inbound=True, outbound=False),
+             Gate(node=(2, 2), inbound=False, outbound=True)]
+        )
+        rng = np.random.default_rng(5)
+        dm = DemandModel(
+            net,
+            DemandConfig(volume_fraction=1.0, through_traffic_fraction=1.0),
+            rng,
+        )
+        specs = []
+        for _ in range(100):
+            specs.extend(dm.border_arrivals(1.0))
+        assert specs
+        assert all(isinstance(spec.router, FixedTripRouter) for spec in specs)
+        assert all(spec.origin == (0, 0) for spec in specs)
+
+    def test_through_traffic_never_targets_the_entry_gate(self):
+        """With a single two-way gate there is no *other* outbound gate, so
+        arrivals must circulate instead of becoming through traffic."""
+        from repro.roadnet.builders import grid_network as make_grid
+        from repro.roadnet.graph import Gate
+        from repro.roadnet.routing import FixedTripRouter
+
+        net = make_grid(3, 3).open_copy([Gate(node=(0, 0))])
+        rng = np.random.default_rng(5)
+        dm = DemandModel(
+            net,
+            DemandConfig(volume_fraction=1.0, through_traffic_fraction=1.0),
+            rng,
+        )
+        specs = []
+        for _ in range(100):
+            specs.extend(dm.border_arrivals(1.0))
+        assert specs
+        assert not any(isinstance(spec.router, FixedTripRouter) for spec in specs)
+
 
 class TestIntersectionPolicyValidation:
     def test_invalid_admissions(self):

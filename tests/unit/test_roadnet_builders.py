@@ -5,12 +5,14 @@ import pytest
 
 from repro.errors import RoadNetworkError
 from repro.roadnet.builders import (
+    arterial_network,
     grid_network,
     line_network,
     random_planar_network,
     ring_network,
     star_network,
     triangle_network,
+    two_district_network,
 )
 
 
@@ -87,6 +89,61 @@ class TestStar:
     def test_star_minimum(self):
         with pytest.raises(RoadNetworkError):
             star_network(1)
+
+
+class TestArterial:
+    def test_heterogeneous_speeds_and_lanes(self):
+        net = arterial_network(3, 5, arterial_lanes=3, cross_lanes=1)
+        avenue = net.segment((0, 0), (0, 1))
+        connector = net.segment((0, 0), (1, 0))
+        assert avenue.lanes == 3 and connector.lanes == 1
+        assert avenue.speed_limit_mps > connector.speed_limit_mps
+
+    def test_strongly_connected(self):
+        assert nx.is_strongly_connected(arterial_network(3, 5).to_networkx())
+
+    def test_gates_at_arterial_ends(self):
+        net = arterial_network(3, 5, gates_at_ends=True)
+        assert net.is_open_system
+        assert set(net.border_nodes()) == {(r, c) for r in range(3) for c in (0, 4)}
+
+    def test_minimum_size(self):
+        with pytest.raises(RoadNetworkError):
+            arterial_network(1, 5)
+
+
+class TestTwoDistrict:
+    def test_bridge_is_the_only_connection(self):
+        net = two_district_network(3, 3, bridge_lanes=1)
+        west = [n for n in net.nodes if n[0] == "w"]
+        east = [n for n in net.nodes if n[0] == "e"]
+        assert len(west) == len(east) == 9
+        crossing = [
+            s for s in net.segments()
+            if {s.tail[0], s.head[0]} == {"w", "e"}
+        ]
+        assert len(crossing) == 2  # one bidirectional bridge
+        assert all(s.lanes == 1 for s in crossing)
+        assert nx.is_strongly_connected(net.to_networkx())
+
+    def test_bridge_bottleneck_geometry(self):
+        net = two_district_network(3, 3, bridge_length_m=700.0, district_lanes=2)
+        bridge = net.segment(("w", 1, 2), ("e", 1, 0))
+        assert bridge.length_m == 700.0
+        assert bridge.lanes < net.segment(("w", 0, 0), ("w", 0, 1)).lanes
+
+    def test_gates_on_far_edges(self):
+        net = two_district_network(2, 2, gates_on_far_edges=True)
+        assert net.is_open_system
+        assert set(net.border_nodes()) == {
+            ("w", 0, 0), ("w", 1, 0), ("e", 0, 1), ("e", 1, 1)
+        }
+
+    def test_validation(self):
+        with pytest.raises(RoadNetworkError):
+            two_district_network(1, 3)
+        with pytest.raises(RoadNetworkError):
+            two_district_network(3, 3, bridge_length_m=0.0)
 
 
 class TestRandomPlanar:

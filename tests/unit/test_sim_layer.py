@@ -12,7 +12,7 @@ from repro.sim.config import MobilityConfig, ScenarioConfig, WirelessConfig
 from repro.sim.metrics import AccuracyReport
 from repro.sim.results import AggregateStat, RunResult, SweepCell, SweepResult
 from repro.sim.rng import RngFactory
-from repro.sim.runner import ExperimentRunner, SweepSpec, run_single
+from repro.sim.runner import ExperimentRunner, SweepSpec, replication_seed, run_single
 from repro.sim.simulator import Simulation
 
 
@@ -176,6 +176,68 @@ class TestResults:
         assert "EXACT" in rep.describe()
         rep2 = AccuracyReport.from_result(self._result(protocol_count=39, converged=False))
         assert "OFF BY -1" in rep2.describe()
+
+
+class TestReplicationSeed:
+    @staticmethod
+    def _paper_full_seeds(base_seed=2014, replications=3):
+        spec = SweepSpec.paper_full(replications=replications)
+        return [
+            replication_seed(base_seed, volume, seeds, rep)
+            for volume in spec.volumes
+            for seeds in spec.seed_counts
+            for rep in range(spec.replications)
+        ]
+
+    def test_paper_full_seeds_all_distinct(self):
+        """Regression: ``hash((volume, seeds)) % 1009`` folded the 10x10x3
+        paper grid into 1009 buckets, so distinct (cell, replication) pairs
+        could collide; the mix-based derivation must keep all 300 distinct."""
+        seeds = self._paper_full_seeds()
+        assert len(seeds) == 300
+        assert len(set(seeds)) == 300
+
+    def test_derivation_is_deterministic(self):
+        assert self._paper_full_seeds() == self._paper_full_seeds()
+
+    def test_known_values_are_platform_stable(self):
+        """The derivation goes through the volume's IEEE-754 bit pattern and
+        a fixed 64-bit mix — no ``hash`` — so these values must never change
+        on any platform or Python version."""
+        assert replication_seed(0, 0.5, 1, 0) == 13043317973076582493
+        assert replication_seed(2014, 1.0, 10, 2) == 11234569143416778289
+
+    def test_axes_change_the_seed(self):
+        base = replication_seed(7, 0.5, 2, 1)
+        assert replication_seed(8, 0.5, 2, 1) != base
+        assert replication_seed(7, 0.6, 2, 1) != base
+        assert replication_seed(7, 0.5, 3, 1) != base
+        assert replication_seed(7, 0.5, 2, 2) != base
+
+
+class TestSummarizeRunConsistency:
+    def test_partially_converged_run_reports_no_constitution_stats(self, small_grid):
+        """Regression: ``constitution_min_s`` used to be reported from
+        partially-converged runs while max/avg required full convergence;
+        all three must now agree (None until every checkpoint stabilized)."""
+        sim = Simulation(small_grid, ScenarioConfig(rng_seed=1))
+        sim.run_for(5.0)
+        sim.protocol.stabilization_times = lambda: {"a": 10.0, "b": None}
+        result = sim.result()
+        assert not result.converged
+        assert result.constitution_time_s is None
+        assert result.constitution_min_s is None
+        assert result.constitution_avg_s is None
+
+    def test_fully_converged_run_reports_all_three(self, small_grid):
+        sim = Simulation(small_grid, ScenarioConfig(rng_seed=1))
+        sim.run_for(5.0)
+        sim.protocol.stabilization_times = lambda: {"a": 10.0, "b": 30.0}
+        result = sim.result()
+        assert result.converged
+        assert result.constitution_time_s == 30.0
+        assert result.constitution_min_s == 10.0
+        assert result.constitution_avg_s == 20.0
 
 
 class TestRunner:
