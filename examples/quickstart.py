@@ -1,14 +1,18 @@
 #!/usr/bin/env python
-"""Quickstart: count every vehicle in a small closed road system.
+"""Quickstart: the declarative experiment API at the smallest useful scale.
 
-This walks through the library's public API at the smallest useful scale:
+An experiment here is *data*: an :class:`ExperimentSpec` bundling a network
+description, a scenario configuration and (optionally) a sweep grid.  Because
+the spec is plain serializable data it can be saved to a file, shipped to a
+worker, persisted with provenance and replayed bit for bit.  This example:
 
-1. build a road network (a 4x4 bidirectional grid),
-2. describe the scenario (traffic volume, wireless loss, seeds),
-3. run the simulation until the counting converges and the seed collected
-   the global view,
-4. check the paper's headline claim: the count equals the ground truth with
-   no mis- or double-counting.
+1. describes the experiment declaratively (a 4x4 two-lane grid, 60 % traffic
+   volume, the paper's 30 % lossy wireless, one seed checkpoint),
+2. saves the spec as JSON and loads it back (the file is the experiment),
+3. runs it with a progress observer, persisting the result into a store,
+4. replays the store and checks the paper's headline claim twice over: the
+   count equals the ground truth, and the re-run reproduces the stored
+   result bit for bit.
 
 Run with::
 
@@ -17,45 +21,63 @@ Run with::
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 from repro import (
     DemandConfig,
+    ExperimentSpec,
+    NetworkSpec,
+    ProgressObserver,
     ScenarioConfig,
-    Simulation,
     WirelessConfig,
-    grid_network,
+    replay,
 )
 from repro.analysis import describe_run
 from repro.sim import AccuracyReport
 
 
 def main() -> int:
-    # 1. The road system: 16 intersections, two lanes everywhere so faster
-    #    drivers can overtake (the paper's extended, non-FIFO road model).
-    net = grid_network(4, 4, lanes=2)
-
-    # 2. The scenario: 60% of the "daily average" traffic volume, the paper's
-    #    30% lossy wireless links, a single seed checkpoint that doubles as
-    #    the data sink.
-    config = ScenarioConfig(
-        name="quickstart",
-        rng_seed=42,
-        num_seeds=1,
-        demand=DemandConfig(volume_fraction=0.6),
-        wireless=WirelessConfig(loss_probability=0.3),
+    # 1. The experiment as data.  "grid" is resolved against the builder
+    #    registry in repro.roadnet; two lanes let faster drivers overtake
+    #    (the paper's extended, non-FIFO road model).
+    spec = ExperimentSpec(
+        network=NetworkSpec("grid", args=(4, 4), kwargs={"lanes": 2}),
+        config=ScenarioConfig(
+            name="quickstart",
+            rng_seed=42,
+            num_seeds=1,
+            demand=DemandConfig(volume_fraction=0.6),
+            wireless=WirelessConfig(loss_probability=0.3),
+        ),
     )
 
-    # 3. Run until the constitution (Alg. 3) and the collection (Alg. 2)
-    #    have both converged.
-    sim = Simulation(net, config)
-    result = sim.run()
+    with tempfile.TemporaryDirectory() as tmp:
+        # 2. The spec round-trips through a file: this JSON *is* the
+        #    experiment, ready to check into a repo or hand to a worker.
+        spec_file = Path(tmp) / "quickstart.json"
+        spec.save(spec_file)
+        spec = ExperimentSpec.load(spec_file)
 
-    # 4. Report.
-    print(describe_run(result))
-    print()
-    print(AccuracyReport.from_result(result).describe())
+        # 3. Run until the constitution (Alg. 3) and the collection (Alg. 2)
+        #    have both converged, persisting the result with provenance.
+        store = Path(tmp) / "store"
+        result = spec.run(observers=[ProgressObserver()], store=store)
+
+        print()
+        print(describe_run(result))
+        print()
+        print(AccuracyReport.from_result(result).describe())
+
+        # 4. Replay: re-run the stored spec and verify bit-for-bit
+        #    reproduction (counts, timings, RNG-derived statistics).
+        report = replay(store)
+        print()
+        print(report.describe())
 
     # The exit code doubles as a correctness check when run under CI.
-    return 0 if result.is_exact and result.converged else 1
+    ok = result.is_exact and result.converged and report.matches
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

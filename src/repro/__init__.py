@@ -20,6 +20,14 @@ the full system inventory.
 """
 
 from ._version import __version__
+from .experiments import (
+    EarlyStopObserver,
+    ExperimentSpec,
+    Observer,
+    ProgressObserver,
+    ResultStore,
+    replay,
+)
 from .core import (
     AdjustmentMode,
     Checkpoint,
@@ -30,7 +38,13 @@ from .core import (
     select_seeds,
 )
 from .mobility import DemandConfig, TrafficEngine
-from .roadnet import RoadNetwork, build_midtown_grid, grid_network, triangle_network
+from .roadnet import (
+    NetworkSpec,
+    RoadNetwork,
+    build_midtown_grid,
+    grid_network,
+    triangle_network,
+)
 from .scenarios import ScenarioDef, get_scenario, scenario_names
 from .sim import (
     AccuracyReport,
@@ -46,6 +60,13 @@ from .surveillance import WHITE_VAN, ExteriorSignature
 
 __all__ = [
     "__version__",
+    "EarlyStopObserver",
+    "ExperimentSpec",
+    "NetworkSpec",
+    "Observer",
+    "ProgressObserver",
+    "ResultStore",
+    "replay",
     "AdjustmentMode",
     "Checkpoint",
     "CollectionManager",

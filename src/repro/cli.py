@@ -1,13 +1,31 @@
 """Command line interface.
 
-Four subcommands cover the common workflows:
+The CLI is a thin shell over the declarative experiment API
+(:mod:`repro.experiments`): every workflow builds an
+:class:`~repro.experiments.ExperimentSpec` and runs it through the same
+facade, so anything the CLI can run can also be saved as a spec file,
+persisted to a result store and replayed bit for bit.
 
 ``run``
     Run a single counting experiment and print its timing and accuracy
-    summary.  Without ``--scenario`` the experiment runs on the midtown
-    network (closed or open, any traffic volume / seed count); with
-    ``--scenario NAME`` it runs a named entry of the scenario registry
-    (``repro.scenarios``), optionally overriding volume / seeds / RNG seed.
+    summary.  The experiment comes from ``--config FILE`` (a spec file),
+    ``--scenario NAME`` (the registry), or the midtown flags (default).
+    ``--save [DIR]`` persists the result (with provenance) into a result
+    store, ``--json`` prints the machine-readable record, ``--resume``
+    returns the stored result when the store already holds one.
+
+``sweep``
+    Run (or resume) a volume x seeds sweep described by a spec file with a
+    ``sweep`` section: ``sweep --spec FILE --out DIR --resume``.  Interrupted
+    sweeps resume cell-for-cell identical to an uninterrupted run.
+
+``replay``
+    Re-run the experiment stored in a result-store directory and verify the
+    fresh results reproduce the stored ones bit for bit.
+
+``export-spec``
+    Write a registry scenario as an experiment-spec file (the serializable
+    form of ``run --scenario``).
 
 ``list-scenarios``
     Print the scenario registry: every named workload ``run --scenario``
@@ -30,8 +48,11 @@ Examples
 ::
 
     repro-count run --volume 0.6 --seeds 2 --scale 0.3
-    repro-count run --scenario rush-hour
-    repro-count list-scenarios
+    repro-count run --scenario rush-hour --save runs/rush-hour
+    repro-count run --config examples/spec_midtown.json --save
+    repro-count replay runs/spec-midtown
+    repro-count sweep --spec my_sweep.json --out runs/my-sweep --resume
+    repro-count export-spec lossy-grid --out lossy.json
     repro-count figure 2 --quick
     repro-count validate --registry-only
 """
@@ -39,21 +60,34 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from .analysis.figures import figure2, figure3, figure4, figure5, midtown_scenario, midtown_network_factory
-from .analysis.report import correctness_summary, describe_run
+from .analysis.figures import figure2, figure3, figure4, figure5, midtown_scenario
+from .analysis.report import correctness_summary, describe_run, describe_sweep
 from .core.patrol import PatrolPlan
+from .errors import ReproError
+from .experiments import (
+    ExperimentSpec,
+    NetworkSpec,
+    ProgressObserver,
+    ResultStore,
+    replay,
+)
 from .mobility.demand import DemandConfig
 from .scenarios import get_scenario, iter_scenarios
 from .sim.config import ScenarioConfig
+from .sim.results import RunResult
 from .sim.runner import SweepSpec
-from .sim.simulator import Simulation
 from .units import SPEED_LIMIT_15_MPH, SPEED_LIMIT_25_MPH
 from ._version import __version__
 
 __all__ = ["main", "build_parser"]
+
+#: Sentinel for ``--save`` given without a directory: derive one from the
+#: experiment name (``runs/<name>``).
+_AUTO_SAVE = "@auto"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one counting experiment")
+    run.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="experiment-spec file (see export-spec); "
+        "omits the midtown-specific flags below",
+    )
     run.add_argument(
         "--scenario",
         default=None,
@@ -98,6 +139,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-minutes", type=float, default=None,
         help="simulation horizon in minutes (default: 240; midtown runs only)",
     )
+    run.add_argument(
+        "--save", nargs="?", const=_AUTO_SAVE, default=None, metavar="DIR",
+        help="persist the result (with provenance manifest) into a result "
+        "store; without DIR the store goes to runs/<experiment-name>",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="with --save: return the stored result if one already exists",
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable result record instead of the summary",
+    )
+    run.add_argument(
+        "--progress", action="store_true",
+        help="report progress to stderr while the experiment runs",
+    )
+
+    swp = sub.add_parser("sweep", help="run (or resume) a sweep from a spec file")
+    swp.add_argument("--spec", required=True, metavar="FILE",
+                     help="experiment-spec file with a 'sweep' section")
+    swp.add_argument("--out", default=None, metavar="DIR",
+                     help="result-store directory (default: runs/<experiment-name>)")
+    swp.add_argument("--resume", action="store_true",
+                     help="skip cells already recorded in the store")
+    swp.add_argument("--parallel", action="store_true",
+                     help="fan cells out over a process pool (identical results)")
+    swp.add_argument("--json", action="store_true",
+                     help="print the machine-readable sweep record")
+    swp.add_argument("--progress", action="store_true",
+                     help="report per-cell progress to stderr")
+
+    rep = sub.add_parser(
+        "replay", help="re-run a stored experiment and verify bit-for-bit reproduction"
+    )
+    rep.add_argument("store", metavar="DIR", help="result-store directory")
+
+    exp = sub.add_parser("export-spec", help="write a registry scenario as a spec file")
+    exp.add_argument("scenario", help="scenario name (see list-scenarios)")
+    exp.add_argument("--out", default=None, metavar="FILE",
+                     help="output file (default: stdout)")
 
     sub.add_parser("list-scenarios", help="list the named scenarios of the registry")
 
@@ -121,63 +203,188 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _reject_midtown_flags(args: argparse.Namespace, because: str) -> Optional[str]:
+    """The midtown knobs have no meaning when the experiment comes from a
+    spec file or the registry (network and horizon are part of the
+    definition) — reject them loudly rather than silently running a
+    different experiment."""
+    rejected = [
+        flag
+        for flag, given in (
+            ("--scale", args.scale is not None),
+            ("--open", args.open),
+            ("--speed25", args.speed25),
+            ("--patrol", args.patrol is not None),
+            ("--max-minutes", args.max_minutes is not None),
+        )
+        if given
+    ]
+    if rejected:
+        return (
+            f"{because} is incompatible with {', '.join(rejected)} "
+            "(only --volume, --seeds and --rng-seed can override "
+            f"an experiment defined by {because})"
+        )
+    return None
+
+
+def _apply_overrides(config: ScenarioConfig, args: argparse.Namespace) -> ScenarioConfig:
+    if args.volume is not None:
+        config = config.with_volume(args.volume)
+    if args.seeds is not None:
+        config = config.with_seeds(args.seeds)
+    if args.rng_seed is not None:
+        config = config.with_rng_seed(args.rng_seed)
+    return config
+
+
+def _build_run_spec(args: argparse.Namespace) -> ExperimentSpec:
+    """The experiment spec the ``run`` verb was asked for."""
+    if args.config is not None and args.scenario is not None:
+        raise ReproError("--config and --scenario are mutually exclusive")
+    if args.config is not None:
+        error = _reject_midtown_flags(args, "--config")
+        if error:
+            raise ReproError(error)
+        spec = ExperimentSpec.load(args.config)
+        return spec.with_config(_apply_overrides(spec.config, args))
     if args.scenario is not None:
-        # The midtown-specific knobs have no meaning for a registry scenario
-        # (its network and horizon are part of the definition) — reject them
-        # loudly rather than silently running a different experiment.
-        rejected = [
-            flag
-            for flag, given in (
-                ("--scale", args.scale is not None),
-                ("--open", args.open),
-                ("--speed25", args.speed25),
-                ("--patrol", args.patrol is not None),
-                ("--max-minutes", args.max_minutes is not None),
-            )
-            if given
-        ]
-        if rejected:
-            print(
-                f"--scenario is incompatible with {', '.join(rejected)} "
-                "(only --volume, --seeds and --rng-seed can override a "
-                "registry scenario)",
-                file=sys.stderr,
-            )
-            return 2
+        error = _reject_midtown_flags(args, "--scenario")
+        if error:
+            raise ReproError(error)
         try:
             defn = get_scenario(args.scenario)
         except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
-        config = defn.config
-        if args.volume is not None:
-            config = config.with_volume(args.volume)
-        if args.seeds is not None:
-            config = config.with_seeds(args.seeds)
-        if args.rng_seed is not None:
-            config = config.with_rng_seed(args.rng_seed)
-        sim = defn.simulation(config)
-    else:
-        speed = SPEED_LIMIT_25_MPH if args.speed25 else SPEED_LIMIT_15_MPH
-        scale = args.scale if args.scale is not None else 0.3
-        factory = midtown_network_factory(scale=scale, speed_limit_mps=speed, open_border=args.open)
-        base = midtown_scenario(
-            name="cli-run",
-            open_system=args.open,
-            collection=True,
-            speed_limit_mps=speed,
-            rng_seed=args.rng_seed if args.rng_seed is not None else 2014,
-            patrol_cars=args.patrol if args.patrol is not None else 2,
-            max_duration_min=args.max_minutes if args.max_minutes is not None else 240.0,
+            raise ReproError(exc.args[0]) from None
+        return defn.to_spec().with_config(_apply_overrides(defn.config, args))
+    # Default: the paper's midtown workload, declaratively.
+    speed = SPEED_LIMIT_25_MPH if args.speed25 else SPEED_LIMIT_15_MPH
+    scale = args.scale if args.scale is not None else 0.3
+    network = NetworkSpec(
+        "midtown",
+        kwargs={"scale": scale, "speed_limit_mps": speed, "open_border": args.open},
+    )
+    base = midtown_scenario(
+        name="cli-run",
+        open_system=args.open,
+        collection=True,
+        speed_limit_mps=speed,
+        rng_seed=args.rng_seed if args.rng_seed is not None else 2014,
+        patrol_cars=args.patrol if args.patrol is not None else 2,
+        max_duration_min=args.max_minutes if args.max_minutes is not None else 240.0,
+    )
+    config = base.with_volume(
+        args.volume if args.volume is not None else 0.6
+    ).with_seeds(args.seeds if args.seeds is not None else 1)
+    return ExperimentSpec(network=network, config=config)
+
+
+def _store_for(spec: ExperimentSpec, save: Optional[str]) -> Optional[ResultStore]:
+    if save is None:
+        return None
+    path = f"runs/{spec.name}" if save == _AUTO_SAVE else save
+    return ResultStore(path)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _build_run_spec(args)
+        store = _store_for(spec, args.save)
+        observers = [ProgressObserver()] if args.progress else []
+        result = spec.run(
+            observers=observers,
+            store=store,
+            resume=args.resume and store is not None,
         )
-        config = base.with_volume(
-            args.volume if args.volume is not None else 0.6
-        ).with_seeds(args.seeds if args.seeds is not None else 1)
-        sim = Simulation(factory(), config)
-    result = sim.run()
-    print(describe_run(result))
-    return 0 if result.is_exact else 1
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if isinstance(result, RunResult):
+        if args.json:
+            print(json.dumps(result.as_dict(), sort_keys=True))
+        else:
+            print(describe_run(result))
+            if store is not None:
+                print(f"(result stored in {store.root})")
+        return 0 if result.is_exact else 1
+    # A spec file may carry a sweep section; run honours it.
+    if args.json:
+        print(json.dumps(_sweep_record(result), sort_keys=True))
+    else:
+        print(describe_sweep(result))
+        if store is not None:
+            print(f"(results stored in {store.root})")
+    return 0 if result.all_exact else 1
+
+
+def _sweep_record(sweep) -> dict:
+    return {
+        "name": sweep.name,
+        "cells": [
+            {
+                "volume": cell.volume_fraction,
+                "seeds": cell.num_seeds,
+                "runs": [run.as_dict() for run in cell.runs],
+            }
+            for cell in sweep.cells
+        ],
+    }
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = ExperimentSpec.load(args.spec)
+        if spec.sweep is None:
+            raise ReproError(
+                f"spec file {args.spec} has no 'sweep' section; use 'run' for "
+                "single experiments or add a sweep"
+            )
+        store = ResultStore(args.out) if args.out is not None else _store_for(spec, _AUTO_SAVE)
+        observers = [ProgressObserver()] if args.progress else []
+        result = spec.run(
+            observers=observers,
+            store=store,
+            resume=args.resume,
+            parallel=args.parallel,
+        )
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(_sweep_record(result), sort_keys=True))
+    else:
+        print(describe_sweep(result))
+        print(f"(results stored in {store.root})")
+    return 0 if result.all_exact else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        report = replay(args.store)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.describe())
+    return 0 if report.matches else 1
+
+
+def _cmd_export_spec(args: argparse.Namespace) -> int:
+    try:
+        defn = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    spec = defn.to_spec()
+    try:
+        if args.out is None:
+            print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        else:
+            spec.save(args.out)
+            print(f"wrote {args.out}")
+    except (ReproError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_list_scenarios(_args: argparse.Namespace) -> int:
@@ -202,58 +409,76 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    from .roadnet.builders import grid_network, ring_network
     from .sim.config import MobilityConfig, WirelessConfig
 
     checks = []
 
     if not args.registry_only:
-        # 1. The paper's simple road model (FIFO, lossless).
-        net = grid_network(4, 4, lanes=1)
-        cfg = ScenarioConfig(
-            name="simple-model",
-            rng_seed=args.rng_seed,
-            demand=DemandConfig(volume_fraction=0.6),
-            wireless=WirelessConfig(loss_probability=0.0, attempts_per_contact=1),
-            mobility=MobilityConfig(allow_overtaking=False, admissions_per_step=1, crossing_delay_s=1.0),
-        )
-        checks.append(("closed / simple model", Simulation(net, cfg).run()))
-
-        # 2. Extended model: lossy wireless, overtaking, multiple seeds.
-        net = grid_network(4, 4, lanes=2)
-        cfg = ScenarioConfig(
-            name="extended-model",
-            rng_seed=args.rng_seed + 1,
-            num_seeds=3,
-            demand=DemandConfig(volume_fraction=0.8),
-        )
-        checks.append(("closed / lossy + overtaking", Simulation(net, cfg).run()))
-
-        # 3. One-way ring with patrol support.
-        net = ring_network(8, one_way=True)
-        cfg = ScenarioConfig(
-            name="one-way-ring",
-            rng_seed=args.rng_seed + 2,
-            demand=DemandConfig(volume_fraction=0.8),
-            patrol=PatrolPlan(num_cars=1),
-        )
-        checks.append(("closed / one-way ring + patrol", Simulation(net, cfg).run()))
-
-        # 4. Open system with border interaction traffic.
-        net = grid_network(4, 4, lanes=2, gates_on_border=True)
-        cfg = ScenarioConfig(
-            name="open-grid",
-            rng_seed=args.rng_seed + 3,
-            num_seeds=2,
-            open_system=True,
-            demand=DemandConfig(volume_fraction=0.8),
-            settle_extra_s=120.0,
-        )
-        checks.append(("open / border interaction", Simulation(net, cfg).run()))
+        # The four classic configurations, each as a declarative spec run
+        # through the experiment facade.
+        battery = [
+            (
+                "closed / simple model",
+                ExperimentSpec(
+                    network=NetworkSpec("grid", args=(4, 4), kwargs={"lanes": 1}),
+                    config=ScenarioConfig(
+                        name="simple-model",
+                        rng_seed=args.rng_seed,
+                        demand=DemandConfig(volume_fraction=0.6),
+                        wireless=WirelessConfig(loss_probability=0.0, attempts_per_contact=1),
+                        mobility=MobilityConfig(
+                            allow_overtaking=False, admissions_per_step=1, crossing_delay_s=1.0
+                        ),
+                    ),
+                ),
+            ),
+            (
+                "closed / lossy + overtaking",
+                ExperimentSpec(
+                    network=NetworkSpec("grid", args=(4, 4), kwargs={"lanes": 2}),
+                    config=ScenarioConfig(
+                        name="extended-model",
+                        rng_seed=args.rng_seed + 1,
+                        num_seeds=3,
+                        demand=DemandConfig(volume_fraction=0.8),
+                    ),
+                ),
+            ),
+            (
+                "closed / one-way ring + patrol",
+                ExperimentSpec(
+                    network=NetworkSpec("ring", args=(8,), kwargs={"one_way": True}),
+                    config=ScenarioConfig(
+                        name="one-way-ring",
+                        rng_seed=args.rng_seed + 2,
+                        demand=DemandConfig(volume_fraction=0.8),
+                        patrol=PatrolPlan(num_cars=1),
+                    ),
+                ),
+            ),
+            (
+                "open / border interaction",
+                ExperimentSpec(
+                    network=NetworkSpec(
+                        "grid", args=(4, 4), kwargs={"lanes": 2, "gates_on_border": True}
+                    ),
+                    config=ScenarioConfig(
+                        name="open-grid",
+                        rng_seed=args.rng_seed + 3,
+                        num_seeds=2,
+                        open_system=True,
+                        demand=DemandConfig(volume_fraction=0.8),
+                        settle_extra_s=120.0,
+                    ),
+                ),
+            ),
+        ]
+        for label, spec in battery:
+            checks.append((label, spec.run()))
 
     # The whole scenario registry, at each scenario's own configuration.
     for defn in iter_scenarios():
-        checks.append((f"registry / {defn.name}", defn.simulation().run()))
+        checks.append((f"registry / {defn.name}", defn.to_spec().run()))
 
     width = max(len(name) for name, _ in checks)
     failures = 0
@@ -272,16 +497,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "list-scenarios":
-        return _cmd_list_scenarios(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "validate":
-        return _cmd_validate(args)
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2
+    handlers = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "replay": _cmd_replay,
+        "export-spec": _cmd_export_spec,
+        "list-scenarios": _cmd_list_scenarios,
+        "figure": _cmd_figure,
+        "validate": _cmd_validate,
+    }
+    handler = handlers.get(args.command)
+    if handler is None:  # pragma: no cover
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

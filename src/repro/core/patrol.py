@@ -160,6 +160,17 @@ class PatrolPlan:
         if self.speed_factor <= 0:
             raise PatrolError("speed_factor must be positive")
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (see ``repro.serde`` for the conventions)."""
+        return {"num_cars": self.num_cars, "speed_factor": self.speed_factor}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PatrolPlan":
+        """Inverse of :meth:`to_dict`; missing keys use the defaults."""
+        from ..serde import kwargs_from
+
+        return cls(**kwargs_from(cls, data))
+
     def routers(
         self, net: RoadNetwork, rng: np.random.Generator
     ) -> List[CyclePatrolRouter]:

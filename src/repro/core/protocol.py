@@ -119,6 +119,30 @@ class ProtocolConfig:
                 f"adjustment_mode must be one of {AdjustmentMode.ALL}, got {self.adjustment_mode!r}"
             )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (see ``repro.serde`` for the conventions)."""
+        return {
+            "adjustment_mode": self.adjustment_mode,
+            "count_target": (
+                None if self.count_target is None else self.count_target.to_dict()
+            ),
+            "recognition_false_negative": self.recognition_false_negative,
+            "recognition_false_positive": self.recognition_false_positive,
+            "collection_enabled": self.collection_enabled,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProtocolConfig":
+        """Inverse of :meth:`to_dict`; missing keys use the defaults."""
+        from ..serde import kwargs_from
+
+        kwargs = kwargs_from(cls, data)
+        target = data.get("count_target")
+        kwargs["count_target"] = (
+            None if target is None else ExteriorSignature.from_dict(target)
+        )
+        return cls(**kwargs)
+
 
 @dataclass
 class ProtocolStats:

@@ -1,0 +1,39 @@
+"""Unified declarative experiment API.
+
+This package is the one public way to define and run experiments: an
+experiment is *data* — a serializable :class:`ExperimentSpec` (network +
+scenario config + optional sweep) — and everything else follows from that:
+
+* ``spec.save(path)`` / ``ExperimentSpec.load(path)`` — JSON spec files,
+* ``spec.run(observers=...)`` — single runs and sweeps through one facade,
+  observable (progress) and cancellable (early stop) mid-flight,
+* ``spec.run(store=dir)`` — results persisted with a provenance manifest,
+* ``spec.run(store=dir, resume=True)`` — interrupted sweeps finish
+  cell-for-cell identical to uninterrupted ones,
+* ``replay(dir)`` — re-run a stored experiment and verify bit-for-bit
+  reproduction.
+
+See DESIGN.md "Experiment API" for the spec format, the observer protocol
+and the store layout.
+"""
+
+from ..roadnet.registry import NetworkSpec, builder_names, get_builder, register_builder
+from .observers import EarlyStopObserver, Observer, ProgressObserver
+from .spec import SPEC_FORMAT, ExperimentSpec
+from .store import ReplayReport, ResultStore, config_hash, replay
+
+__all__ = [
+    "NetworkSpec",
+    "builder_names",
+    "get_builder",
+    "register_builder",
+    "Observer",
+    "ProgressObserver",
+    "EarlyStopObserver",
+    "SPEC_FORMAT",
+    "ExperimentSpec",
+    "ResultStore",
+    "ReplayReport",
+    "config_hash",
+    "replay",
+]

@@ -1,0 +1,155 @@
+"""Observer protocol for runs and sweeps.
+
+Long experiments need to be *observable* — a million-cell sweep that can
+neither report progress nor be cancelled is unusable at production scale.
+The protocol is deliberately duck-typed: :meth:`Simulation.run
+<repro.sim.simulator.Simulation.run>` and :meth:`ExperimentRunner.run_sweep
+<repro.sim.runner.ExperimentRunner.run_sweep>` invoke whichever of the hooks
+an observer defines and skip the rest, so any object (not only
+:class:`Observer` subclasses) can listen in.
+
+Hooks, in firing order:
+
+========================  ====================================================
+``on_run_start(sim)``       once, after the fleet is populated
+``on_step(sim, i)``         after every engine step; **return truthy to stop**
+``on_converged(sim, t_s)``  when convergence is first reached
+``on_run_end(sim, result)`` with the final :class:`RunResult`
+``on_sweep_start(spec, n)`` once per sweep (n = number of cells)
+``on_cell_done(cell, i, n)``  per finished cell; **return truthy to cancel**
+``on_sweep_end(result)``    with the (possibly partial) :class:`SweepResult`
+========================  ====================================================
+
+Observers must never mutate the simulation: an observed run is bit-for-bit
+identical to an unobserved one (the replay tests rely on this).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Optional, TextIO
+
+__all__ = ["Observer", "ProgressObserver", "EarlyStopObserver"]
+
+
+class Observer:
+    """Base class with every hook as a no-op; subclass what you need."""
+
+    def on_run_start(self, sim) -> None:
+        """The run's fleet is populated and the loop is about to start."""
+
+    def on_step(self, sim, step_index: int) -> Optional[bool]:
+        """One engine step finished.  Return truthy to stop the run early."""
+        return None
+
+    def on_converged(self, sim, time_s: float) -> None:
+        """Convergence was reached for the first time, at ``time_s``."""
+
+    def on_run_end(self, sim, result) -> None:
+        """The run finished (converged, horizon, or early-stopped)."""
+
+    def on_sweep_start(self, spec, total_cells: int) -> None:
+        """A sweep of ``total_cells`` cells is starting."""
+
+    def on_cell_done(self, cell, index: int, total: int) -> Optional[bool]:
+        """One sweep cell finished.  Return truthy to cancel the sweep."""
+        return None
+
+    def on_sweep_end(self, result) -> None:
+        """The sweep finished (complete or cancelled)."""
+
+
+class ProgressObserver(Observer):
+    """Prints run/sweep progress to a stream (default: stderr).
+
+    ``every_s`` throttles per-step output to one line per that much
+    *simulated* time, so the observer's cost stays negligible on long runs.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, *, every_s: float = 300.0) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.every_s = float(every_s)
+        self._next_report_s = 0.0
+
+    def _emit(self, text: str) -> None:
+        print(text, file=self.stream, flush=True)
+
+    def on_run_start(self, sim) -> None:
+        self._next_report_s = self.every_s
+        self._emit(
+            f"[{sim.config.name}] start: {sim.initial_fleet_size} vehicles, "
+            f"{len(sim.seeds)} seed(s), horizon {sim.config.max_duration_s:.0f}s"
+        )
+
+    def on_step(self, sim, step_index: int) -> None:
+        if sim.engine.time_s >= self._next_report_s:
+            self._next_report_s += self.every_s
+            self._emit(
+                f"[{sim.config.name}] t={sim.engine.time_s:7.1f}s  "
+                f"inside={sim.engine.inside_count()}  "
+                f"count={sim.protocol.global_count()}"
+            )
+
+    def on_converged(self, sim, time_s: float) -> None:
+        self._emit(f"[{sim.config.name}] converged at t={time_s:.1f}s")
+
+    def on_run_end(self, sim, result) -> None:
+        verdict = "EXACT" if result.is_exact else f"error {result.miscount_error:+d}"
+        self._emit(
+            f"[{sim.config.name}] done: truth={result.ground_truth} "
+            f"counted={result.protocol_count} ({verdict})"
+        )
+
+    def on_sweep_start(self, spec, total_cells: int) -> None:
+        self._emit(
+            f"sweep: {total_cells} cells "
+            f"({len(spec.volumes)} volumes x {len(spec.seed_counts)} seed counts, "
+            f"{spec.replications} replication(s) each)"
+        )
+
+    def on_cell_done(self, cell, index: int, total: int) -> None:
+        flag = "exact" if cell.all_exact else "MISCOUNT"
+        self._emit(
+            f"sweep: cell {index + 1}/{total} volume={cell.volume_fraction:g} "
+            f"seeds={cell.num_seeds} [{flag}]"
+        )
+
+    def on_sweep_end(self, result) -> None:
+        self._emit(f"sweep: finished with {len(result.cells)} cell(s)")
+
+
+class EarlyStopObserver(Observer):
+    """Cancels a run/sweep once a budget is exhausted or a predicate fires.
+
+    Parameters
+    ----------
+    max_simulated_s:
+        Stop a run once the simulated clock reaches this value.
+    max_cells:
+        Cancel a sweep after this many cells have completed (counted across
+        the observer's lifetime — pass a fresh instance per sweep).
+    predicate:
+        Arbitrary per-step condition ``predicate(sim) -> bool``; truthy stops
+        the run.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_simulated_s: Optional[float] = None,
+        max_cells: Optional[int] = None,
+        predicate: Optional[Callable[[object], bool]] = None,
+    ) -> None:
+        self.max_simulated_s = max_simulated_s
+        self.max_cells = max_cells
+        self.predicate = predicate
+        self.cells_done = 0
+
+    def on_step(self, sim, step_index: int) -> bool:
+        if self.max_simulated_s is not None and sim.engine.time_s >= self.max_simulated_s:
+            return True
+        return bool(self.predicate(sim)) if self.predicate is not None else False
+
+    def on_cell_done(self, cell, index: int, total: int) -> bool:
+        self.cells_done += 1
+        return self.max_cells is not None and self.cells_done >= self.max_cells

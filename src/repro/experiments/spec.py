@@ -1,0 +1,247 @@
+"""The declarative experiment spec and its ``run()`` facade.
+
+An :class:`ExperimentSpec` is the one public way to define an experiment: a
+:class:`~repro.roadnet.registry.NetworkSpec` (which network), a
+:class:`~repro.sim.config.ScenarioConfig` (how to run it) and an optional
+:class:`~repro.sim.runner.SweepSpec` (which grid of variations).  Because all
+three parts are plain serializable data, an experiment can be
+
+* **saved / loaded** as a JSON file (:meth:`ExperimentSpec.save` /
+  :meth:`ExperimentSpec.load`),
+* **shipped** to worker processes (everything pickles by construction),
+* **run** — single run or sweep — through one facade
+  (:meth:`ExperimentSpec.run`), with observers for progress and early stop,
+* **persisted** with provenance and **replayed** bit-for-bit via
+  :class:`~repro.experiments.store.ResultStore`.
+
+Spec file format (version ``repro-experiment-spec/1``)::
+
+    {
+      "format": "repro-experiment-spec/1",
+      "network": {"builder": "grid", "args": [4, 4], "kwargs": {"lanes": 2}},
+      "config":  { ... ScenarioConfig.to_dict() ... },
+      "sweep":   { ... SweepSpec.to_dict() ... }     // optional
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Union
+
+from ..errors import ExperimentError
+from ..roadnet.registry import NetworkSpec
+from ..sim.config import ScenarioConfig
+from ..sim.results import RunResult, SweepCell, SweepResult
+from ..sim.runner import ExperimentRunner, SweepSpec
+from ..sim.simulator import Simulation
+
+__all__ = ["SPEC_FORMAT", "ExperimentSpec"]
+
+#: Format tag written into (and accepted from) spec files.
+SPEC_FORMAT = "repro-experiment-spec/1"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment as data: network + scenario config + optional sweep."""
+
+    network: NetworkSpec
+    config: ScenarioConfig
+    sweep: Optional[SweepSpec] = None
+
+    @property
+    def name(self) -> str:
+        """The experiment's name (the scenario config's name)."""
+        return self.config.name
+
+    @property
+    def is_sweep(self) -> bool:
+        return self.sweep is not None
+
+    # ------------------------------------------------------------ conversion
+    def to_dict(self) -> dict:
+        """JSON-ready spec (see the module docstring for the format)."""
+        out = {
+            "format": SPEC_FORMAT,
+            "network": self.network.to_dict(),
+            "config": self.config.to_dict(),
+        }
+        if self.sweep is not None:
+            out["sweep"] = self.sweep.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`; tolerates a missing format tag."""
+        fmt = data.get("format", SPEC_FORMAT)
+        if fmt != SPEC_FORMAT:
+            raise ExperimentError(
+                f"unsupported experiment-spec format {fmt!r} (expected {SPEC_FORMAT!r})"
+            )
+        if "network" not in data or "config" not in data:
+            raise ExperimentError(
+                "an experiment spec needs 'network' and 'config' sections"
+            )
+        sweep = data.get("sweep")
+        return cls(
+            network=NetworkSpec.from_dict(data["network"]),
+            config=ScenarioConfig.from_dict(data["config"]),
+            sweep=None if sweep is None else SweepSpec.from_dict(sweep),
+        )
+
+    def save(self, path: Union[str, "os.PathLike"]) -> None:
+        """Write the spec as a JSON file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: Union[str, "os.PathLike"]) -> "ExperimentSpec":
+        """Read a spec from a JSON file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    @classmethod
+    def from_scenario(
+        cls,
+        name: str,
+        *,
+        sweep: Optional[SweepSpec] = None,
+    ) -> "ExperimentSpec":
+        """The spec of a named scenario-registry entry."""
+        from ..scenarios import get_scenario
+
+        defn = get_scenario(name)
+        return cls(network=defn.network, config=defn.config, sweep=sweep)
+
+    # ----------------------------------------------------------- derivations
+    def with_config(self, config: ScenarioConfig) -> "ExperimentSpec":
+        """A copy of this spec with a different scenario configuration."""
+        return replace(self, config=config)
+
+    def with_sweep(self, sweep: Optional[SweepSpec]) -> "ExperimentSpec":
+        """A copy of this spec with a different sweep grid (None = single)."""
+        return replace(self, sweep=sweep)
+
+    def build_network(self):
+        """A fresh network instance for this spec."""
+        return self.network.build()
+
+    def simulation(self) -> Simulation:
+        """A ready-to-run :class:`Simulation` for the single-run form."""
+        return Simulation(self.build_network(), self.config)
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        *,
+        observers: Sequence[object] = (),
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        store: Union[None, str, "os.PathLike", "ResultStore"] = None,
+        resume: bool = False,
+    ) -> Union[RunResult, SweepResult]:
+        """Run the experiment: a :class:`RunResult` (no sweep) or a
+        :class:`SweepResult`.
+
+        Parameters
+        ----------
+        observers:
+            Progress / early-stop hooks (see
+            :mod:`repro.experiments.observers`).  Single runs receive the
+            step-level hooks; sweeps the cell-level ones.
+        parallel, max_workers:
+            Fan sweep cells out over a process pool (results identical to
+            serial execution).  Ignored for single runs.
+        store:
+            A :class:`~repro.experiments.store.ResultStore` (or its
+            directory path) to persist results into.  The store is
+            initialized with this spec's provenance manifest; running a
+            different spec into an existing store is rejected.
+        resume:
+            With a store: skip work that is already recorded.  Sweeps skip
+            completed cells (an interrupted sweep finishes cell-for-cell
+            identical to an uninterrupted one, because each cell's RNG seed
+            is a pure function of its coordinates); single runs return the
+            stored result outright.
+        """
+        from .store import ResultStore
+
+        if isinstance(store, ResultStore):
+            result_store: Optional[ResultStore] = store
+        elif store is not None:
+            result_store = ResultStore(store)
+        else:
+            result_store = None
+        if resume and result_store is None:
+            raise ExperimentError("resume=True requires a result store")
+        if result_store is not None:
+            result_store.initialize(self)
+
+        if self.sweep is None:
+            return self._run_single(observers, result_store, resume)
+        return self._run_sweep(
+            observers, result_store, resume, parallel=parallel, max_workers=max_workers
+        )
+
+    def _run_single(self, observers, result_store, resume) -> RunResult:
+        if resume:
+            stored = result_store.load_single()
+            if stored is not None:
+                return stored
+        sim = self.simulation()
+        result = sim.run(observers=observers)
+        # A run an observer cut short depends on the observer, not only on
+        # the spec — recording it would poison resume (the truncated result
+        # would be returned forever) and replay (a fresh full run could
+        # never match).  Only canonical, run-to-completion results are
+        # persisted; timing out at the configured horizon is still
+        # canonical, since a replay times out identically.
+        if result_store is not None and not sim.stopped_early:
+            result_store.record_single(result)
+        return result
+
+    def _run_sweep(
+        self, observers, result_store, resume, *, parallel, max_workers
+    ) -> SweepResult:
+        runner = ExperimentRunner(
+            self.network,
+            self.config,
+            name=self.config.name,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+        skip = None
+        if resume:
+            replications = self.sweep.replications
+
+            def skip(volume: float, seeds: int) -> Optional[SweepCell]:
+                return result_store.load_cell(volume, seeds, replications)
+
+        all_observers = list(observers)
+        if result_store is not None:
+            all_observers.append(_CellRecorder(result_store, self.sweep.replications))
+        return runner.run_sweep(self.sweep, observers=all_observers, skip=skip)
+
+
+class _CellRecorder:
+    """Internal observer persisting each finished cell into the store.
+
+    Appended *after* user observers, so a cell is recorded even when a user
+    observer cancels the sweep on it — which is exactly what makes an
+    interrupted sweep resumable.  Cells the store already holds completely
+    (resume skips) are not re-recorded.
+    """
+
+    def __init__(self, store: "ResultStore", replications: int) -> None:
+        self.store = store
+        self.replications = replications
+
+    def on_cell_done(self, cell: SweepCell, index: int, total: int) -> None:
+        if self.store.load_cell(
+            cell.volume_fraction, cell.num_seeds, self.replications
+        ) is None:
+            self.store.record_cell(cell)

@@ -1,0 +1,376 @@
+"""Persistent experiment results with provenance: the ``ResultStore``.
+
+A store is a directory holding everything needed to audit — and exactly
+reproduce — an experiment after the process that ran it is gone:
+
+``manifest.json``
+    Provenance: the full :class:`~repro.experiments.spec.ExperimentSpec`
+    dict, a SHA-256 hash of its canonical JSON, the package version, the
+    root RNG seed and the wall-clock creation time.
+``runs.jsonl``
+    One JSON record per completed run, appended as runs finish (sweep cells
+    land as one record per replication, keyed by their cell coordinates).
+    Append-only JSONL makes interrupted sweeps cheap to resume: whatever was
+    flushed before the interruption is simply skipped on the next attempt,
+    and a torn final line is ignored.
+
+Because a run's result is a pure function of (spec, cell coordinates), a
+stored experiment supports two strong operations:
+
+* **resume** — ``spec.run(store=dir, resume=True)`` re-runs only the cells
+  missing from ``runs.jsonl`` and completes cell-for-cell identical to an
+  uninterrupted sweep;
+* **replay** — :func:`replay` re-runs the stored spec from scratch and
+  verifies the fresh results equal the stored ones bit for bit (counts,
+  timings, RNG-derived statistics), the executable form of the repo's
+  determinism guarantee.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .._version import __version__
+from ..errors import ExperimentError
+from ..sim.results import RunResult, SweepCell, SweepResult, volumes_close
+from .spec import ExperimentSpec
+
+__all__ = ["ResultStore", "ReplayReport", "config_hash", "replay"]
+
+STORE_FORMAT = "repro-result-store/1"
+
+#: (volume, seeds, replication) key of one stored run record.
+_RecordKey = Tuple[float, int, int]
+
+
+def config_hash(spec: ExperimentSpec) -> str:
+    """SHA-256 of the spec's canonical JSON (the store's identity check)."""
+    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """A directory of run records with a provenance manifest.
+
+    The store is created lazily by :meth:`initialize` (called by
+    ``ExperimentSpec.run(store=...)``); opening an existing directory only
+    needs the path.  All reads are cached in memory and invalidated by the
+    store's own writes, so resume checks stay O(1) per cell.
+    """
+
+    MANIFEST = "manifest.json"
+    RUNS = "runs.jsonl"
+
+    def __init__(self, root: Union[str, "os.PathLike"]) -> None:
+        self.root = Path(root)
+        self._manifest: Optional[dict] = None
+        self._records: Optional[Dict[_RecordKey, dict]] = None
+        # Secondary index for tolerant volume matching: (seeds, replication)
+        # -> {volume: record}.  Keeps resume's per-cell lookups O(bucket)
+        # instead of scanning every stored record.
+        self._volume_index: Dict[Tuple[int, int], Dict[float, dict]] = {}
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / self.MANIFEST
+
+    @property
+    def runs_path(self) -> Path:
+        return self.root / self.RUNS
+
+    def exists(self) -> bool:
+        """Whether this directory already holds a store manifest."""
+        return self.manifest_path.is_file()
+
+    def initialize(self, spec: ExperimentSpec) -> None:
+        """Create the store for ``spec`` (idempotent for the same spec).
+
+        A store is bound to exactly one experiment: initializing an existing
+        store with a spec whose config hash differs is an error — silently
+        mixing two experiments' records would poison resume and replay.
+        """
+        digest = config_hash(spec)
+        if self.exists():
+            recorded = self.manifest().get("config_hash")
+            if recorded != digest:
+                raise ExperimentError(
+                    f"result store at {self.root} belongs to a different "
+                    f"experiment (config hash {recorded} != {digest}); "
+                    "use a fresh directory"
+                )
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format": STORE_FORMAT,
+            "spec": spec.to_dict(),
+            "config_hash": digest,
+            "package_version": __version__,
+            "root_seed": spec.config.rng_seed,
+            "mode": "sweep" if spec.is_sweep else "single",
+            "created_unix_s": time.time(),
+        }
+        with open(self.manifest_path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        self._manifest = manifest
+
+    def manifest(self) -> dict:
+        """The provenance manifest (cached)."""
+        if self._manifest is None:
+            if not self.exists():
+                raise ExperimentError(f"no result store at {self.root}")
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+            if manifest.get("format") != STORE_FORMAT:
+                raise ExperimentError(
+                    f"unsupported result-store format {manifest.get('format')!r} "
+                    f"at {self.root}"
+                )
+            self._manifest = manifest
+        return self._manifest
+
+    def spec(self) -> ExperimentSpec:
+        """The experiment spec this store was created for."""
+        return ExperimentSpec.from_dict(self.manifest()["spec"])
+
+    # ---------------------------------------------------------------- writes
+    def _append(self, record: dict) -> None:
+        with open(self.runs_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if self._records is not None:
+            self._index(record)
+
+    def _index(self, record: dict) -> None:
+        key = self._key_of(record)
+        self._records[key] = record
+        volume, seeds, replication = key
+        self._volume_index.setdefault((seeds, replication), {})[volume] = record
+
+    @staticmethod
+    def _key_of(record: dict) -> _RecordKey:
+        return (
+            float(record["volume"]),
+            int(record["seeds"]),
+            int(record["replication"]),
+        )
+
+    def record_run(
+        self, result: RunResult, *, volume: float, seeds: int, replication: int
+    ) -> None:
+        """Append one run record under its cell coordinates."""
+        self._append(
+            {
+                "volume": volume,
+                "seeds": seeds,
+                "replication": replication,
+                "result": result.as_dict(),
+            }
+        )
+
+    def record_single(self, result: RunResult) -> None:
+        """Append a single (non-sweep) run's record."""
+        self.record_run(
+            result,
+            volume=result.volume_fraction,
+            seeds=result.num_seeds,
+            replication=0,
+        )
+
+    def record_cell(self, cell: SweepCell) -> None:
+        """Append all replications of one sweep cell."""
+        for replication, run in enumerate(cell.runs):
+            self.record_run(
+                run,
+                volume=cell.volume_fraction,
+                seeds=cell.num_seeds,
+                replication=replication,
+            )
+
+    # ----------------------------------------------------------------- reads
+    def records(self) -> Dict[_RecordKey, dict]:
+        """All stored records keyed by (volume, seeds, replication).
+
+        Later lines win (a cell re-run after an interruption simply
+        supersedes its partial records), and a torn trailing line from an
+        interrupted write is ignored.
+        """
+        if self._records is None:
+            self._records = {}
+            self._volume_index = {}
+            if self.runs_path.is_file():
+                with open(self.runs_path, "r", encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            record = json.loads(line)
+                        except json.JSONDecodeError:
+                            continue  # torn write from an interrupted run
+                        self._index(record)
+        return self._records
+
+    def load_cell(
+        self, volume: float, seeds: int, replications: int
+    ) -> Optional[SweepCell]:
+        """The stored cell at ``(volume, seeds)``, or None unless complete.
+
+        Complete means every replication ``0 .. replications-1`` is present.
+        Volumes are matched tolerantly (same rationale as
+        :meth:`SweepResult.cell <repro.sim.results.SweepResult.cell>`).
+        """
+        records = self.records()
+        runs: List[RunResult] = []
+        for replication in range(replications):
+            record = records.get((float(volume), int(seeds), replication))
+            if record is None:
+                record = self._fuzzy_lookup(volume, seeds, replication)
+            if record is None:
+                return None
+            runs.append(RunResult.from_dict(record["result"]))
+        return SweepCell(
+            volume_fraction=float(volume), num_seeds=int(seeds), runs=tuple(runs)
+        )
+
+    def _fuzzy_lookup(
+        self, volume: float, seeds: int, replication: int
+    ) -> Optional[dict]:
+        self.records()  # ensure the index is built
+        bucket = self._volume_index.get((int(seeds), int(replication)), {})
+        for vol, record in bucket.items():
+            if volumes_close(vol, float(volume)):
+                return record
+        return None
+
+    def load_single(self) -> Optional[RunResult]:
+        """The stored single-run result, if any."""
+        records = self.records()
+        if not records:
+            return None
+        record = next(iter(records.values()))
+        return RunResult.from_dict(record["result"])
+
+    def load_result(self) -> Union[RunResult, SweepResult]:
+        """The complete stored result (RunResult or SweepResult).
+
+        Raises :class:`ExperimentError` when the store is incomplete (an
+        interrupted sweep that was never resumed).
+        """
+        spec = self.spec()
+        if spec.sweep is None:
+            result = self.load_single()
+            if result is None:
+                raise ExperimentError(f"store at {self.root} holds no run record")
+            return result
+        sweep = SweepResult(name=spec.config.name)
+        for volume, seeds in spec.sweep.cell_axes:
+            cell = self.load_cell(volume, seeds, spec.sweep.replications)
+            if cell is None:
+                raise ExperimentError(
+                    f"store at {self.root} is missing cell "
+                    f"(volume={volume:g}, seeds={seeds}); resume the sweep "
+                    "before replaying"
+                )
+            sweep.cells.append(cell)
+        return sweep
+
+
+# ------------------------------------------------------------------- replay
+def _values_equal(a: object, b: object) -> bool:
+    """Exact equality, except NaN == NaN (JSON round-trips NaN losslessly)."""
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_values_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_values_equal(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+def _diff_runs(stored: RunResult, fresh: RunResult, label: str) -> List[str]:
+    a, b = stored.as_dict(), fresh.as_dict()
+    return [
+        f"{label}{key}: stored={a.get(key)!r} fresh={b.get(key)!r}"
+        for key in sorted(a.keys() | b.keys())
+        if not _values_equal(a.get(key), b.get(key))
+    ]
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying a stored experiment against a fresh run."""
+
+    store_root: str
+    stored: Union[RunResult, SweepResult]
+    fresh: Union[RunResult, SweepResult]
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def matches(self) -> bool:
+        """True when the fresh re-run reproduced the store bit for bit."""
+        return not self.mismatches
+
+    def describe(self) -> str:
+        if self.matches:
+            return (
+                f"replay of {self.store_root}: REPRODUCED bit-for-bit "
+                f"(counts, timings and RNG-derived stats all match)"
+            )
+        lines = [f"replay of {self.store_root}: {len(self.mismatches)} mismatch(es)"]
+        lines.extend(f"  {m}" for m in self.mismatches[:20])
+        if len(self.mismatches) > 20:
+            lines.append(f"  ... and {len(self.mismatches) - 20} more")
+        return "\n".join(lines)
+
+
+def replay(
+    store: Union[str, "os.PathLike", ResultStore],
+    *,
+    observers: Sequence[object] = (),
+    parallel: bool = False,
+) -> ReplayReport:
+    """Re-run a stored experiment and verify it reproduces the stored result.
+
+    The stored spec is re-run from scratch (the store itself is not written),
+    and every stored run record is compared field by field against the fresh
+    one.  A run's result is a pure function of its spec, so any mismatch
+    means the environment changed — a different package version, a perturbed
+    RNG stream, a modified builder — and the report lists the differing
+    fields.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    spec = store.spec()
+    stored = store.load_result()
+    fresh = spec.run(observers=observers, parallel=parallel)
+
+    mismatches: List[str] = []
+    if isinstance(stored, RunResult):
+        mismatches.extend(_diff_runs(stored, fresh, ""))
+    else:
+        stored_cells = {(c.volume_fraction, c.num_seeds): c for c in stored.cells}
+        fresh_cells = {(c.volume_fraction, c.num_seeds): c for c in fresh.cells}
+        for key in stored_cells.keys() | fresh_cells.keys():
+            volume, seeds = key
+            label = f"cell(volume={volume:g}, seeds={seeds})/"
+            s_cell, f_cell = stored_cells.get(key), fresh_cells.get(key)
+            if s_cell is None or f_cell is None:
+                mismatches.append(f"{label}: missing from {'store' if s_cell is None else 'fresh run'}")
+                continue
+            for rep, (s_run, f_run) in enumerate(zip(s_cell.runs, f_cell.runs)):
+                mismatches.extend(_diff_runs(s_run, f_run, f"{label}run{rep}/"))
+    return ReplayReport(
+        store_root=str(store.root), stored=stored, fresh=fresh, mismatches=sorted(mismatches)
+    )

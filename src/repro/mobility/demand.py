@@ -31,13 +31,14 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..roadnet.graph import RoadNetwork
 from ..roadnet.routing import FixedTripRouter, RandomTurnRouter, RandomWaypointRouter, Router
+from ..serde import kwargs_from, shallow_asdict
 from ..surveillance.attributes import ExteriorSignature, random_signature
 
 __all__ = [
@@ -46,10 +47,47 @@ __all__ = [
     "PiecewiseProfile",
     "SinusoidalProfile",
     "MarkovModulatedProfile",
+    "register_profile",
+    "profile_from_dict",
+    "profile_type_names",
     "DemandConfig",
     "VehicleSpec",
     "DemandModel",
 ]
+
+
+# ------------------------------------------------------------- profile registry
+#: Type-tag registry: the ``"type"`` key of a serialized profile names its
+#: class, so spec files and scenario-registry entries round-trip through JSON
+#: without pickling code objects.
+_PROFILE_TYPES: Dict[str, Type["DemandProfile"]] = {}
+_PROFILE_TAGS: Dict[Type["DemandProfile"], str] = {}
+
+
+def register_profile(tag: str, cls: Type["DemandProfile"]) -> Type["DemandProfile"]:
+    """Register a :class:`DemandProfile` subclass under a serialization tag."""
+    if tag in _PROFILE_TYPES and _PROFILE_TYPES[tag] is not cls:
+        raise ConfigurationError(f"profile tag {tag!r} is already registered")
+    _PROFILE_TYPES[tag] = cls
+    _PROFILE_TAGS[cls] = tag
+    return cls
+
+
+def profile_type_names() -> List[str]:
+    """All registered profile tags, sorted."""
+    return sorted(_PROFILE_TYPES)
+
+
+def profile_from_dict(data: dict) -> "DemandProfile":
+    """Rebuild a profile from its :meth:`DemandProfile.to_dict` form."""
+    tag = data.get("type")
+    cls = _PROFILE_TYPES.get(tag)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown demand-profile type {tag!r}; known types: "
+            f"{', '.join(profile_type_names())}"
+        )
+    return cls(**kwargs_from(cls, data))
 
 
 # --------------------------------------------------------------------------- demand profiles
@@ -97,6 +135,24 @@ class DemandProfile:
     def make_state(self) -> "_ProfileState":
         """Per-:class:`DemandModel` evaluation state for this profile."""
         return _ProfileState(self)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: a ``"type"`` tag plus the declared fields.
+
+        The tag is resolved against the profile registry
+        (:func:`register_profile`), so :func:`profile_from_dict` can rebuild
+        the exact subclass; tuples become lists per the ``repro.serde``
+        conventions and are restored on decode.
+        """
+        tag = _PROFILE_TAGS.get(type(self))
+        if tag is None:
+            raise ConfigurationError(
+                f"{type(self).__name__} has no serialization tag; call "
+                "register_profile() for custom profiles"
+            )
+        out = {"type": tag}
+        out.update(shallow_asdict(self))
+        return out
 
 
 class _ProfileState:
@@ -268,6 +324,12 @@ class _MarkovProfileState(_ProfileState):
         return float(profile.multipliers[idx % 2])
 
 
+register_profile("constant", ConstantProfile)
+register_profile("piecewise", PiecewiseProfile)
+register_profile("sinusoidal", SinusoidalProfile)
+register_profile("markov-modulated", MarkovModulatedProfile)
+
+
 @dataclass(frozen=True)
 class VehicleSpec:
     """Specification of one vehicle the engine should insert.
@@ -356,6 +418,20 @@ class DemandConfig:
             raise ConfigurationError(
                 f"profile must be a DemandProfile, got {type(self.profile).__name__}"
             )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (see ``repro.serde`` for the conventions)."""
+        out = shallow_asdict(self)
+        out["profile"] = self.profile.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DemandConfig":
+        """Inverse of :meth:`to_dict`; missing keys use the defaults."""
+        kwargs = kwargs_from(cls, data)
+        if "profile" in data:
+            kwargs["profile"] = profile_from_dict(data["profile"])
+        return cls(**kwargs)
 
 
 class DemandModel:

@@ -19,6 +19,7 @@ from .builders import (
     two_district_network,
 )
 from .manhattan import MidtownSpec, build_midtown_grid, midtown_landmarks
+from .registry import NetworkSpec, builder_names, get_builder, register_builder
 from .routing import (
     FixedTripRouter,
     RandomTurnRouter,
@@ -44,6 +45,10 @@ __all__ = [
     "MidtownSpec",
     "build_midtown_grid",
     "midtown_landmarks",
+    "NetworkSpec",
+    "builder_names",
+    "get_builder",
+    "register_builder",
     "FixedTripRouter",
     "RandomTurnRouter",
     "RandomWaypointRouter",

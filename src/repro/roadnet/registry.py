@@ -1,0 +1,136 @@
+"""Declarative network construction: a builder registry plus ``NetworkSpec``.
+
+The experiment API treats a road network the same way it treats every other
+part of an experiment — as *data*.  A :class:`NetworkSpec` names a registered
+builder and records the arguments to call it with, so a network description
+
+* round-trips through JSON (spec files, scenario-registry exports),
+* pickles into :class:`~repro.sim.runner.ExperimentRunner` worker processes
+  by construction (it is a frozen dataclass of plain values, unlike a
+  ``lambda`` or closure factory),
+* builds a **fresh** network on every call (specs are zero-argument
+  callables, so they slot in anywhere a network factory is expected).
+
+The registry maps short names to the builder callables of
+:mod:`repro.roadnet.builders` and :mod:`repro.roadnet.manhattan`; downstream
+packages can add their own with :func:`register_builder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+from ..errors import RoadNetworkError
+from ..serde import from_jsonable, to_jsonable
+from .builders import (
+    arterial_network,
+    grid_network,
+    line_network,
+    random_planar_network,
+    ring_network,
+    star_network,
+    triangle_network,
+    two_district_network,
+)
+from .graph import RoadNetwork
+from .manhattan import build_midtown_grid
+
+__all__ = [
+    "register_builder",
+    "get_builder",
+    "builder_names",
+    "NetworkSpec",
+]
+
+_BUILDERS: Dict[str, Callable[..., RoadNetwork]] = {}
+
+
+def register_builder(
+    name: str, builder: Callable[..., RoadNetwork]
+) -> Callable[..., RoadNetwork]:
+    """Register a network builder under ``name`` (must be unique)."""
+    if name in _BUILDERS and _BUILDERS[name] is not builder:
+        raise RoadNetworkError(f"network builder {name!r} is already registered")
+    _BUILDERS[name] = builder
+    return builder
+
+
+def get_builder(name: str) -> Callable[..., RoadNetwork]:
+    """Look up a registered builder (raises with the known names)."""
+    try:
+        return _BUILDERS[name]
+    except KeyError:
+        known = ", ".join(builder_names()) or "<none>"
+        raise RoadNetworkError(
+            f"unknown network builder {name!r}; known builders: {known}"
+        ) from None
+
+
+def builder_names() -> List[str]:
+    """All registered builder names, sorted."""
+    return sorted(_BUILDERS)
+
+
+register_builder("triangle", triangle_network)
+register_builder("line", line_network)
+register_builder("grid", grid_network)
+register_builder("ring", ring_network)
+register_builder("star", star_network)
+register_builder("arterial", arterial_network)
+register_builder("two-district", two_district_network)
+register_builder("random-planar", random_planar_network)
+register_builder("midtown", build_midtown_grid)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A declarative, serializable description of one road network.
+
+    ``builder`` names an entry of the builder registry; ``args`` / ``kwargs``
+    are the call arguments, restricted to JSON-representable values (numbers,
+    strings, booleans, None and nested tuples — lists are normalized to
+    tuples on construction so equality is canonical after a JSON round trip).
+    The spec is itself a zero-argument network factory: calling it builds a
+    fresh network, so it can be handed directly to
+    :class:`~repro.sim.runner.ExperimentRunner` or pickled into sweep worker
+    processes.
+    """
+
+    builder: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.builder:
+            raise RoadNetworkError("NetworkSpec needs a builder name")
+        # Canonicalize: deep lists -> tuples, so from_dict(to_dict(spec)) ==
+        # spec holds whichever container type the caller used.
+        object.__setattr__(self, "args", from_jsonable(list(self.args)))
+        object.__setattr__(
+            self, "kwargs", {str(k): from_jsonable(v) for k, v in self.kwargs.items()}
+        )
+
+    def build(self) -> RoadNetwork:
+        """Build a fresh network (resolves the builder at call time)."""
+        return get_builder(self.builder)(*self.args, **self.kwargs)
+
+    def __call__(self) -> RoadNetwork:
+        return self.build()
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (see ``repro.serde`` for the conventions)."""
+        return {
+            "builder": self.builder,
+            "args": to_jsonable(self.args),
+            "kwargs": to_jsonable(dict(self.kwargs)),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            builder=data["builder"],
+            args=tuple(data.get("args", ())),
+            kwargs=dict(data.get("kwargs", {})),
+        )

@@ -1,10 +1,11 @@
 """Scenario library: named, validated counting workloads.
 
 The registry (:mod:`repro.scenarios.registry`) maps scenario names to
-``(network_factory, ScenarioConfig)`` pairs covering the diversity axes of
+``(NetworkSpec, ScenarioConfig)`` pairs covering the diversity axes of
 the ROADMAP — heterogeneous road geometry, lossy wireless, one-way extremes
 and time-varying open-system demand — each of which counts exactly under
-every engine x pipeline combination.
+every engine x pipeline combination.  Every entry is serializable to an
+experiment-spec file through :meth:`ScenarioDef.to_spec`.
 """
 
 from .registry import (

@@ -18,15 +18,17 @@ The built-in scenarios cover the diversity axes the seed repo lacked:
 * time-varying open-system demand (piecewise rush-hour surge with skewed
   per-gate weights, Markov-modulated bursty arrivals).
 
-Network factories are module-level callables (``functools.partial`` of
-builders), so every scenario survives pickling into
-:class:`~repro.sim.runner.ExperimentRunner` worker processes.
+Networks are described declaratively by a
+:class:`~repro.roadnet.registry.NetworkSpec` (builder name + arguments), so
+every scenario is serializable to an experiment-spec file
+(:meth:`ScenarioDef.to_spec`) and survives pickling into
+:class:`~repro.sim.runner.ExperimentRunner` worker processes by
+construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from ..core.patrol import PatrolPlan
@@ -35,14 +37,8 @@ from ..mobility.demand import (
     MarkovModulatedProfile,
     PiecewiseProfile,
 )
-from ..roadnet.builders import (
-    arterial_network,
-    grid_network,
-    ring_network,
-    two_district_network,
-)
 from ..roadnet.graph import RoadNetwork
-from ..roadnet.manhattan import build_midtown_grid
+from ..roadnet.registry import NetworkSpec
 from ..sim.config import MobilityConfig, ScenarioConfig, WirelessConfig
 from ..sim.simulator import Simulation
 
@@ -63,12 +59,18 @@ class ScenarioDef:
 
     name: str
     description: str
-    network_factory: NetworkFactory
+    network: NetworkSpec
     config: ScenarioConfig
 
+    @property
+    def network_factory(self) -> NetworkFactory:
+        """The network as a zero-argument factory (the spec itself —
+        callable and picklable)."""
+        return self.network
+
     def build_network(self) -> RoadNetwork:
-        """A fresh network instance (factories never share state)."""
-        return self.network_factory()
+        """A fresh network instance (specs never share state)."""
+        return self.network.build()
 
     def simulation(self, config: Optional[ScenarioConfig] = None) -> Simulation:
         """A ready-to-run :class:`Simulation` (optionally with an overridden
@@ -82,6 +84,12 @@ class ScenarioDef:
             mobility=replace(self.config.mobility, vectorized=vectorized),
             batched=batched,
         )
+
+    def to_spec(self, *, sweep=None) -> "ExperimentSpec":
+        """This scenario as a serializable, runnable experiment spec."""
+        from ..experiments.spec import ExperimentSpec
+
+        return ExperimentSpec(network=self.network, config=self.config, sweep=sweep)
 
 
 _REGISTRY: Dict[str, ScenarioDef] = {}
@@ -119,7 +127,7 @@ register(
     ScenarioDef(
         name="midtown-closed",
         description="Paper's Manhattan-midtown one-way grid, closed border",
-        network_factory=partial(build_midtown_grid, scale=0.2),
+        network=NetworkSpec("midtown", kwargs={"scale": 0.2}),
         config=ScenarioConfig(
             name="midtown-closed",
             rng_seed=2014,
@@ -134,7 +142,7 @@ register(
     ScenarioDef(
         name="midtown-open",
         description="Midtown with open border gates (interaction traffic, Alg. 5)",
-        network_factory=partial(build_midtown_grid, scale=0.2, open_border=True),
+        network=NetworkSpec("midtown", kwargs={"scale": 0.2, "open_border": True}),
         config=ScenarioConfig(
             name="midtown-open",
             rng_seed=2014,
@@ -152,7 +160,7 @@ register(
     ScenarioDef(
         name="lossy-grid",
         description="Closed two-lane grid under 50% wireless loss, 3 seeds",
-        network_factory=partial(grid_network, 4, 4, lanes=2),
+        network=NetworkSpec("grid", args=(4, 4), kwargs={"lanes": 2}),
         config=ScenarioConfig(
             name="lossy-grid",
             rng_seed=11,
@@ -168,7 +176,7 @@ register(
     ScenarioDef(
         name="one-way-ring",
         description="Directed ring: information only travels around the loop",
-        network_factory=partial(ring_network, 8, one_way=True),
+        network=NetworkSpec("ring", args=(8,), kwargs={"one_way": True}),
         config=ScenarioConfig(
             name="one-way-ring",
             rng_seed=17,
@@ -183,7 +191,7 @@ register(
     ScenarioDef(
         name="arterial",
         description="Fast multi-lane avenues with slow single-lane connectors",
-        network_factory=partial(arterial_network, 3, 6),
+        network=NetworkSpec("arterial", args=(3, 6)),
         config=ScenarioConfig(
             name="arterial",
             rng_seed=23,
@@ -198,7 +206,7 @@ register(
     ScenarioDef(
         name="two-district",
         description="Two grid districts joined by a single bridge bottleneck",
-        network_factory=partial(two_district_network, 3, 3),
+        network=NetworkSpec("two-district", args=(3, 3)),
         config=ScenarioConfig(
             name="two-district",
             rng_seed=29,
@@ -213,7 +221,7 @@ register(
     ScenarioDef(
         name="rush-hour",
         description="Open grid under a compressed rush-hour surge, skewed gates",
-        network_factory=partial(grid_network, 4, 4, lanes=2, gates_on_border=True),
+        network=NetworkSpec("grid", args=(4, 4), kwargs={"lanes": 2, "gates_on_border": True}),
         config=ScenarioConfig(
             name="rush-hour",
             rng_seed=31,
@@ -235,7 +243,7 @@ register(
     ScenarioDef(
         name="bursty-arrivals",
         description="Open grid with Markov-modulated (bursty) border arrivals",
-        network_factory=partial(grid_network, 4, 4, lanes=2, gates_on_border=True),
+        network=NetworkSpec("grid", args=(4, 4), kwargs={"lanes": 2, "gates_on_border": True}),
         config=ScenarioConfig(
             name="bursty-arrivals",
             rng_seed=37,

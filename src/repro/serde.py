@@ -1,0 +1,74 @@
+"""JSON-value helpers shared by every ``to_dict`` / ``from_dict`` pair.
+
+The experiment API (``repro.experiments``) treats an experiment as *data*: a
+scenario configuration, a declarative network spec and an optional sweep must
+round-trip through JSON losslessly, so that a spec file can be saved, shipped
+to a worker process and replayed bit for bit.  JSON has no tuple type, and the
+library's configuration dataclasses use tuples everywhere (frozen configs must
+be hashable and picklable): the canonical convention is
+
+* **encode** (:func:`to_jsonable`): tuples become lists, recursively;
+* **decode** (:func:`from_jsonable`): *every* JSON array becomes a tuple,
+  recursively.
+
+This is exact for every value the configs hold — numbers, strings, booleans,
+``None``, nested tuples (``PiecewiseProfile.breakpoints``), and node ids
+(ints, strings, or tuples such as ``(row, col)`` / ``("w", r, c)``).  Floats
+round-trip exactly because :mod:`json` serializes them via ``repr`` (shortest
+round-trip representation).
+
+The convention's one rule for config authors: use tuples, not lists, in
+configuration fields — ``from_dict(to_dict(cfg)) == cfg`` then holds by
+construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Type, TypeVar
+
+__all__ = ["to_jsonable", "from_jsonable", "shallow_asdict", "kwargs_from"]
+
+T = TypeVar("T")
+
+
+def to_jsonable(value: Any) -> Any:
+    """Encode a config value as a JSON-native structure (tuples -> lists)."""
+    if isinstance(value, (tuple, list)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    return value
+
+
+def from_jsonable(value: Any) -> Any:
+    """Decode a JSON-native structure back (every array -> a tuple)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(from_jsonable(v) for v in value)
+    if isinstance(value, Mapping):
+        return {k: from_jsonable(v) for k, v in value.items()}
+    return value
+
+
+def shallow_asdict(obj: Any) -> dict:
+    """``{field: to_jsonable(value)}`` over a dataclass's declared fields.
+
+    Unlike :func:`dataclasses.asdict` this does not recurse into nested
+    dataclasses (each config class owns its nested ``to_dict`` calls) and it
+    ignores undeclared attributes (e.g. cached derived state installed via
+    ``object.__setattr__``).
+    """
+    return {
+        f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+    }
+
+
+def kwargs_from(cls: Type[T], data: Mapping[str, Any]) -> dict:
+    """Constructor kwargs for ``cls`` from a (possibly sparse) JSON mapping.
+
+    Only keys that name a declared field are taken, and only when present —
+    missing fields fall back to the dataclass defaults, so hand-authored spec
+    files may be sparse.  Values are decoded with :func:`from_jsonable`.
+    """
+    names = {f.name for f in dataclasses.fields(cls)}
+    return {k: from_jsonable(v) for k, v in data.items() if k in names}

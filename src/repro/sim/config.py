@@ -16,6 +16,7 @@ from ..core.patrol import PatrolPlan
 from ..core.protocol import ProtocolConfig
 from ..errors import ConfigurationError
 from ..mobility.demand import DemandConfig
+from ..serde import kwargs_from, shallow_asdict
 from ..units import minutes_to_seconds
 
 __all__ = ["WirelessConfig", "MobilityConfig", "ScenarioConfig"]
@@ -34,6 +35,15 @@ class WirelessConfig:
             raise ConfigurationError("loss_probability must be in [0, 1)")
         if self.attempts_per_contact < 1:
             raise ConfigurationError("attempts_per_contact must be at least 1")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (see ``repro.serde`` for the conventions)."""
+        return shallow_asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WirelessConfig":
+        """Inverse of :meth:`to_dict`; missing keys use the defaults."""
+        return cls(**kwargs_from(cls, data))
 
 
 @dataclass(frozen=True)
@@ -59,6 +69,15 @@ class MobilityConfig:
             raise ConfigurationError("admissions_per_step must be at least 1")
         if self.crossing_delay_s < 0:
             raise ConfigurationError("crossing_delay_s cannot be negative")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (see ``repro.serde`` for the conventions)."""
+        return shallow_asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MobilityConfig":
+        """Inverse of :meth:`to_dict`; missing keys use the defaults."""
+        return cls(**kwargs_from(cls, data))
 
 
 @dataclass(frozen=True)
@@ -115,6 +134,47 @@ class ScenarioConfig:
             raise ConfigurationError("max_duration_s must be positive")
         if self.settle_extra_s < 0:
             raise ConfigurationError("settle_extra_s cannot be negative")
+
+    # Serialization --------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form: scalar fields plus one sub-dict per component.
+
+        Together with :meth:`from_dict` this is the full config round-trip
+        the experiment API (``repro.experiments``) is built on: every nested
+        config — demand (including its profile), mobility, wireless, protocol
+        and patrol — serializes through its own ``to_dict``.
+        """
+        return {
+            "name": self.name,
+            "rng_seed": self.rng_seed,
+            "num_seeds": self.num_seeds,
+            "seed_strategy": self.seed_strategy,
+            "demand": self.demand.to_dict(),
+            "mobility": self.mobility.to_dict(),
+            "wireless": self.wireless.to_dict(),
+            "protocol": self.protocol.to_dict(),
+            "patrol": self.patrol.to_dict(),
+            "open_system": self.open_system,
+            "batched": self.batched,
+            "max_duration_s": self.max_duration_s,
+            "settle_extra_s": self.settle_extra_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioConfig":
+        """Inverse of :meth:`to_dict`; missing keys use the defaults."""
+        kwargs = kwargs_from(cls, data)
+        nested = {
+            "demand": DemandConfig,
+            "mobility": MobilityConfig,
+            "wireless": WirelessConfig,
+            "protocol": ProtocolConfig,
+            "patrol": PatrolPlan,
+        }
+        for key, sub_cls in nested.items():
+            if key in data:
+                kwargs[key] = sub_cls.from_dict(data[key])
+        return cls(**kwargs)
 
     # Convenience helpers used by the sweep runner -------------------------
     def with_volume(self, volume_fraction: float) -> "ScenarioConfig":

@@ -8,7 +8,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..units import seconds_to_minutes
 
-__all__ = ["RunResult", "AggregateStat", "SweepCell", "SweepResult"]
+__all__ = ["RunResult", "AggregateStat", "SweepCell", "SweepResult", "volumes_close"]
+
+
+def volumes_close(a: float, b: float) -> bool:
+    """Whether two traffic-volume fractions denote the same sweep cell.
+
+    Sweep grids are built from expressions like ``3 / 10.0`` whose
+    floating-point value can differ in the last ulp from a literal a caller
+    writes (or a value that went through other arithmetic), so cell lookups
+    — here and in the result store's resume path — must not miss over
+    representation noise.  The tolerance is far below the spacing of any
+    sensible volume grid, so matches stay unambiguous.
+    """
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
 
 
 @dataclass(frozen=True)
@@ -73,6 +86,14 @@ class RunResult:
         return None if self.collection_time_s is None else seconds_to_minutes(self.collection_time_s)
 
     def as_dict(self) -> dict:
+        """Complete, lossless JSON-ready record of this run.
+
+        Every constructor field is present (plus the derived
+        ``miscount_error`` kept for report consumers), so
+        ``RunResult.from_dict(result.as_dict()) == result`` holds exactly —
+        the invariant the persistent result store's save/load/replay cycle
+        relies on.
+        """
         return {
             "scenario": self.scenario_name,
             "rng_seed": self.rng_seed,
@@ -83,13 +104,45 @@ class RunResult:
             "constitution_min_s": self.constitution_min_s,
             "constitution_avg_s": self.constitution_avg_s,
             "collection_time_s": self.collection_time_s,
+            "simulated_s": self.simulated_s,
             "ground_truth": self.ground_truth,
             "protocol_count": self.protocol_count,
             "collected_count": self.collected_count,
+            "adjustments": self.adjustments,
+            "inside_at_end": self.inside_at_end,
             "miscount_error": self.miscount_error,
             "converged": self.converged,
             "collection_converged": self.collection_converged,
+            "protocol_stats": dict(self.protocol_stats),
+            "engine_stats": dict(self.engine_stats),
+            "exchange_stats": dict(self.exchange_stats),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Inverse of :meth:`as_dict` (derived keys are ignored)."""
+        return cls(
+            scenario_name=data["scenario"],
+            rng_seed=data["rng_seed"],
+            volume_fraction=data["volume_fraction"],
+            num_seeds=data["num_seeds"],
+            open_system=data["open_system"],
+            constitution_time_s=data["constitution_time_s"],
+            constitution_min_s=data["constitution_min_s"],
+            constitution_avg_s=data["constitution_avg_s"],
+            collection_time_s=data["collection_time_s"],
+            simulated_s=data["simulated_s"],
+            ground_truth=data["ground_truth"],
+            protocol_count=data["protocol_count"],
+            collected_count=data["collected_count"],
+            adjustments=data["adjustments"],
+            inside_at_end=data["inside_at_end"],
+            converged=data["converged"],
+            collection_converged=data["collection_converged"],
+            protocol_stats=dict(data.get("protocol_stats", {})),
+            engine_stats=dict(data.get("engine_stats", {})),
+            exchange_stats=dict(data.get("exchange_stats", {})),
+        )
 
 
 @dataclass(frozen=True)
@@ -123,10 +176,13 @@ class SweepCell:
     runs: Tuple[RunResult, ...]
 
     def metric(self, name: str) -> AggregateStat:
-        """Aggregate a RunResult attribute over the cell's replications."""
-        return AggregateStat.from_values(
-            [getattr(run, name) for run in self.runs if getattr(run, name) is not None]
-        )
+        """Aggregate a RunResult attribute over the cell's replications.
+
+        ``None`` values ("did not happen within the horizon") are dropped by
+        :meth:`AggregateStat.from_values` — the single filter site — so the
+        attribute is read exactly once per run.
+        """
+        return AggregateStat.from_values([getattr(run, name) for run in self.runs])
 
     @property
     def all_exact(self) -> bool:
@@ -145,8 +201,17 @@ class SweepResult:
     cells: List[SweepCell] = field(default_factory=list)
 
     def cell(self, volume_fraction: float, num_seeds: int) -> SweepCell:
+        """The cell at ``(volume_fraction, num_seeds)``.
+
+        Volumes are matched with :func:`volumes_close` rather than ``==``,
+        so a lookup cannot miss a grid cell over floating-point
+        representation noise (e.g. ``cell(0.1 + 0.2, ...)`` finds the
+        ``3 / 10.0`` cell).
+        """
         for c in self.cells:
-            if c.volume_fraction == volume_fraction and c.num_seeds == num_seeds:
+            if c.num_seeds == num_seeds and volumes_close(
+                c.volume_fraction, volume_fraction
+            ):
                 return c
         raise KeyError(f"no cell for volume={volume_fraction}, seeds={num_seeds}")
 

@@ -30,7 +30,7 @@ from ..errors import ExperimentError
 from ..roadnet.graph import RoadNetwork
 from .config import ScenarioConfig
 from .results import RunResult, SweepCell, SweepResult
-from .simulator import Simulation
+from .simulator import Simulation, notify_observers, notify_observers_stop
 
 __all__ = ["SweepSpec", "ExperimentRunner", "run_single", "replication_seed"]
 
@@ -74,6 +74,24 @@ class SweepSpec:
     def smoke(cls) -> "SweepSpec":
         """A tiny sweep for tests."""
         return cls(volumes=(0.5,), seed_counts=(1,), replications=1)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (see ``repro.serde`` for the conventions)."""
+        from ..serde import shallow_asdict
+
+        return shallow_asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Inverse of :meth:`to_dict`; missing keys use the defaults."""
+        from ..serde import kwargs_from
+
+        return cls(**kwargs_from(cls, data))
+
+    @property
+    def cell_axes(self) -> List[Tuple[float, int]]:
+        """The sweep's ``(volume, seeds)`` cells in volume-major order."""
+        return [(volume, seeds) for volume in self.volumes for seeds in self.seed_counts]
 
 
 def run_single(
@@ -198,38 +216,98 @@ class ExperimentRunner:
             volume_fraction, num_seeds, replications,
         )
 
-    def run_sweep(self, spec: SweepSpec) -> SweepResult:
+    def run_sweep(
+        self,
+        spec: SweepSpec,
+        *,
+        observers: Sequence[object] = (),
+        skip: Optional[Callable[[float, int], Optional[SweepCell]]] = None,
+    ) -> SweepResult:
         """Run the full sweep and return the aggregated result.
 
         Cells appear in volume-major order regardless of execution mode.
+
+        ``observers`` are notified at cell granularity (duck-typed; see
+        ``repro.experiments.observers``): ``on_sweep_start(spec, total)``
+        once, ``on_cell_done(cell, index, total)`` for every finished cell
+        (index in volume-major order) and ``on_sweep_end(result)`` at the
+        end.  An ``on_cell_done`` callback returning a truthy value cancels
+        the remaining cells; the partial :class:`SweepResult` holds the cells
+        completed so far — a store-backed resume can finish it later, cell
+        for cell identical to an uninterrupted run, because every cell's
+        result is a pure function of its coordinates.
+
+        ``skip`` implements that resume: a callable mapping ``(volume,
+        seeds)`` to an already-known :class:`SweepCell` (or None).  Skipped
+        cells are not re-run; they are still reported through
+        ``on_cell_done`` so progress accounting stays whole.
         """
-        cells_axes = [
-            (volume, seeds) for volume in spec.volumes for seeds in spec.seed_counts
-        ]
+        cells_axes = spec.cell_axes
+        total = len(cells_axes)
+        notify_observers(observers, "on_sweep_start", spec, total)
+        cells: List[Optional[SweepCell]] = [None] * total
+        pending: List[int] = []
+        stopped = False
+        for idx, (volume, seeds) in enumerate(cells_axes):
+            cell = skip(volume, seeds) if skip is not None else None
+            if cell is None:
+                pending.append(idx)
+                continue
+            cells[idx] = cell
+            if notify_observers_stop(observers, "on_cell_done", cell, idx, total):
+                stopped = True
+                break
+        if not stopped and pending:
+            if self.parallel and len(pending) > 1:
+                self._run_pending_parallel(
+                    cells, pending, cells_axes, spec.replications, observers, total
+                )
+            else:
+                self._run_pending_serial(
+                    cells, pending, cells_axes, spec.replications, observers, total
+                )
         result = SweepResult(name=self.name)
-        if self.parallel and len(cells_axes) > 1:
-            cells = self._run_cells_parallel(cells_axes, spec.replications)
-        else:
-            cells = [
-                self.run_cell(volume, seeds, spec.replications)
-                for volume, seeds in cells_axes
-            ]
-        result.cells.extend(cells)
+        result.cells.extend(cell for cell in cells if cell is not None)
+        notify_observers(observers, "on_sweep_end", result)
         return result
 
-    def _run_cells_parallel(
-        self, cells_axes: List[Tuple[float, int]], replications: int
-    ) -> List[SweepCell]:
+    def _run_pending_serial(
+        self,
+        cells: List[Optional[SweepCell]],
+        pending: List[int],
+        cells_axes: List[Tuple[float, int]],
+        replications: int,
+        observers: Sequence[object],
+        total: int,
+    ) -> None:
+        for idx in pending:
+            volume, seeds = cells_axes[idx]
+            cell = self.run_cell(volume, seeds, replications)
+            cells[idx] = cell
+            if notify_observers_stop(observers, "on_cell_done", cell, idx, total):
+                return
+
+    def _run_pending_parallel(
+        self,
+        cells: List[Optional[SweepCell]],
+        pending: List[int],
+        cells_axes: List[Tuple[float, int]],
+        replications: int,
+        observers: Sequence[object],
+        total: int,
+    ) -> None:
         try:
             pickle.dumps((self.network_factory, self.base_config))
         except Exception as exc:  # lambdas, closures, open handles, ...
             warnings.warn(
                 f"parallel sweep disabled: factory/config not picklable ({exc}); "
                 "running serially",
-                stacklevel=3,
+                stacklevel=4,
             )
-            return [self.run_cell(v, s, replications) for v, s in cells_axes]
-        workers = self.max_workers or min(len(cells_axes), os.cpu_count() or 1)
+            return self._run_pending_serial(
+                cells, pending, cells_axes, replications, observers, total
+            )
+        workers = self.max_workers or min(len(pending), os.cpu_count() or 1)
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 try:
@@ -246,19 +324,35 @@ class ExperimentRunner:
                     warnings.warn(
                         f"parallel sweep disabled: factory/config does not survive "
                         f"the worker round trip ({exc}); running serially",
-                        stacklevel=3,
+                        stacklevel=4,
                     )
-                    return [self.run_cell(v, s, replications) for v, s in cells_axes]
+                    return self._run_pending_serial(
+                        cells, pending, cells_axes, replications, observers, total
+                    )
                 futures = [
-                    pool.submit(
-                        _run_cell_job, self.network_factory, self.base_config,
-                        volume, seeds, replications,
+                    (
+                        idx,
+                        pool.submit(
+                            _run_cell_job, self.network_factory, self.base_config,
+                            cells_axes[idx][0], cells_axes[idx][1], replications,
+                        ),
                     )
-                    for volume, seeds in cells_axes
+                    for idx in pending
                 ]
-                return [f.result() for f in futures]
+                for pos, (idx, future) in enumerate(futures):
+                    cell = future.result()
+                    cells[idx] = cell
+                    if notify_observers_stop(
+                        observers, "on_cell_done", cell, idx, total
+                    ):
+                        for _idx, later in futures[pos + 1:]:
+                            later.cancel()
+                        return
         except (BrokenProcessPool, OSError, pickle.PicklingError) as exc:
             warnings.warn(
-                f"parallel sweep failed ({exc}); rerunning serially", stacklevel=3
+                f"parallel sweep failed ({exc}); rerunning serially", stacklevel=4
             )
-            return [self.run_cell(v, s, replications) for v, s in cells_axes]
+            remaining = [idx for idx in pending if cells[idx] is None]
+            return self._run_pending_serial(
+                cells, remaining, cells_axes, replications, observers, total
+            )

@@ -36,7 +36,35 @@ from .metrics import summarize_run
 from .results import RunResult
 from .rng import RngFactory
 
-__all__ = ["Simulation"]
+__all__ = ["Simulation", "notify_observers", "notify_observers_stop"]
+
+
+def notify_observers(observers: Sequence[object], hook: str, *args: object) -> None:
+    """Invoke ``hook`` on every observer that defines it (duck-typed).
+
+    Observers are any objects exposing the callbacks they care about (see
+    ``repro.experiments.observers.Observer`` for the reference base class);
+    missing hooks are simply skipped, so ad-hoc callback holders work too.
+    """
+    for obs in observers:
+        callback = getattr(obs, hook, None)
+        if callback is not None:
+            callback(*args)
+
+
+def notify_observers_stop(observers: Sequence[object], hook: str, *args: object) -> bool:
+    """Like :func:`notify_observers`, but collect early-stop requests.
+
+    Every observer is invoked (a stop request never short-circuits later
+    observers — progress reporters and result recorders must still see the
+    event); returns True when any callback returned a truthy value.
+    """
+    stop = False
+    for obs in observers:
+        callback = getattr(obs, hook, None)
+        if callback is not None and callback(*args):
+            stop = True
+    return stop
 
 
 class Simulation:
@@ -128,6 +156,7 @@ class Simulation:
         self._populated = False
         self._initial_fleet_size = 0
         self._patrol_count = 0
+        self._stopped_early = False
 
     # ------------------------------------------------------------- population
     def populate(self) -> None:
@@ -151,6 +180,16 @@ class Simulation:
     @property
     def patrol_count(self) -> int:
         return self._patrol_count
+
+    @property
+    def stopped_early(self) -> bool:
+        """Whether the last :meth:`run` was cut short by an observer.
+
+        An early-stopped result depends on the observer, not only on the
+        configuration, so it must not be treated as the scenario's canonical
+        outcome (the result store refuses to record such runs).
+        """
+        return self._stopped_early
 
     # ------------------------------------------------------------------ loop
     def step(self) -> None:
@@ -181,11 +220,26 @@ class Simulation:
             self.protocol.handle_events(events)
         self.monitor.observe(self.engine.time_s)
 
-    def run(self, *, raise_on_timeout: bool = False) -> RunResult:
+    def run(
+        self,
+        *,
+        raise_on_timeout: bool = False,
+        observers: Sequence[object] = (),
+    ) -> RunResult:
         """Run until convergence (plus ``settle_extra_s``) or the horizon.
 
         Convergence means: every checkpoint's counting stabilized and, when
         collection is enabled, every seed has obtained its subtree total.
+
+        ``observers`` are notified as the run progresses (duck-typed; see
+        ``repro.experiments.observers``): ``on_run_start(sim)`` once,
+        ``on_step(sim, step_index)`` after every engine step,
+        ``on_converged(sim, time_s)`` when convergence is first reached, and
+        ``on_run_end(sim, result)`` with the final result.  An ``on_step``
+        callback returning a truthy value stops the run early (the partial
+        :class:`RunResult` is still produced); observers never perturb the
+        simulation itself, so an observed run is bit-for-bit identical to an
+        unobserved one.
         """
         if not self._populated:
             self.populate()
@@ -193,19 +247,28 @@ class Simulation:
         settle_steps = int(round(self.config.settle_extra_s / self.engine.dt_s))
         settled = 0
         converged = False
-        for _ in range(max_steps):
+        self._stopped_early = False
+        notify_observers(observers, "on_run_start", self)
+        for step_index in range(max_steps):
             self.step()
             if self._converged():
-                converged = True
+                if not converged:
+                    converged = True
+                    notify_observers(observers, "on_converged", self, self.engine.time_s)
                 if settled >= settle_steps:
                     break
                 settled += 1
+            if observers and notify_observers_stop(observers, "on_step", self, step_index):
+                self._stopped_early = True
+                break
         if not converged and raise_on_timeout:
             raise ConvergenceError(
                 f"scenario {self.config.name!r} did not converge within "
                 f"{self.config.max_duration_s:.0f} simulated seconds"
             )
-        return self.result()
+        result = self.result()
+        notify_observers(observers, "on_run_end", self, result)
+        return result
 
     def run_for(self, duration_s: float) -> None:
         """Run for a fixed simulated duration regardless of convergence."""

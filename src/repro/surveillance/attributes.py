@@ -85,6 +85,19 @@ class ExteriorSignature:
         """True when every field is a wildcard (matches all vehicles)."""
         return self.color is None and self.make is None and self.body_type is None
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (``None`` fields are wildcards)."""
+        return {"color": self.color, "make": self.make, "body_type": self.body_type}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExteriorSignature":
+        """Inverse of :meth:`to_dict`; missing keys act as wildcards."""
+        return cls(
+            color=data.get("color"),
+            make=data.get("make"),
+            body_type=data.get("body_type"),
+        )
+
     def describe(self) -> str:
         """Human readable description, e.g. ``"white * van"``."""
         return " ".join(x if x is not None else "*" for x in (self.color, self.make, self.body_type))

@@ -1,0 +1,291 @@
+"""Hypothesis round-trip property: ``from_dict(to_dict(cfg)) == cfg``.
+
+Every configuration dataclass and demand-profile variant must survive the
+full serialization cycle — including an actual JSON encode/decode, so the
+properties also prove the dicts are JSON-representable and that floats
+round-trip exactly (json uses shortest-repr floats).  This is the foundation
+the experiment API stands on: a spec file or a stored provenance manifest
+must rebuild the *identical* configuration object, or replay guarantees are
+meaningless.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.patrol import PatrolPlan
+from repro.core.protocol import AdjustmentMode, ProtocolConfig
+from repro.experiments import ExperimentSpec, NetworkSpec
+from repro.mobility.demand import (
+    ConstantProfile,
+    DemandConfig,
+    MarkovModulatedProfile,
+    PiecewiseProfile,
+    SinusoidalProfile,
+    profile_from_dict,
+)
+from repro.sim.config import MobilityConfig, ScenarioConfig, WirelessConfig
+from repro.sim.runner import SweepSpec
+from repro.surveillance.attributes import BODY_TYPES, COLORS, MAKES, ExteriorSignature
+
+# Pure-construction properties: cheap per example, so the default example
+# count is fine; cap the deadline generously for CI noise.
+FAST = settings(deadline=None)
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+fraction = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+# Node ids as the builders produce them: ints, strings, or (nested) tuples.
+nodes = st.one_of(
+    st.integers(min_value=0, max_value=50),
+    st.sampled_from(["hub", "leaf-1", "central-park"]),
+    st.tuples(st.integers(0, 9), st.integers(0, 9)),
+    st.tuples(st.sampled_from(["w", "e"]), st.integers(0, 5), st.integers(0, 5)),
+)
+
+gate_weights = st.one_of(
+    st.none(),
+    st.lists(
+        st.tuples(nodes, st.floats(min_value=0.0, max_value=100.0, allow_nan=False)),
+        min_size=0,
+        max_size=4,
+    ).map(tuple),
+)
+
+
+@st.composite
+def piecewise_profiles(draw):
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+                min_size=1,
+                max_size=5,
+                unique=True,
+            )
+        )
+    )
+    multipliers = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=len(times),
+            max_size=len(times),
+        )
+    )
+    period = draw(
+        st.one_of(
+            st.none(),
+            st.floats(min_value=times[-1] + 1.0, max_value=1e5, allow_nan=False),
+        )
+    )
+    return PiecewiseProfile(
+        breakpoints=tuple(zip(times, multipliers)),
+        period_s=period,
+        gate_weights=draw(gate_weights),
+    )
+
+
+profiles = st.one_of(
+    st.builds(ConstantProfile, gate_weights=gate_weights),
+    piecewise_profiles(),
+    st.builds(
+        SinusoidalProfile,
+        gate_weights=gate_weights,
+        period_s=positive,
+        amplitude=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+        phase_s=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        floor=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    ),
+    st.builds(
+        MarkovModulatedProfile,
+        gate_weights=gate_weights,
+        multipliers=st.tuples(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        ),
+        mean_dwell_s=st.tuples(positive, positive),
+        chain_seed=st.integers(min_value=0, max_value=2**31),
+    ),
+)
+
+demand_configs = st.builds(
+    DemandConfig,
+    volume_fraction=st.floats(min_value=0.01, max_value=1.5, allow_nan=False),
+    full_density_veh_per_km=positive,
+    min_fleet=st.integers(min_value=1, max_value=50),
+    speed_factor_range=st.tuples(
+        st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+        st.floats(min_value=1.0, max_value=2.0, allow_nan=False),
+    ),
+    random_turn_fraction=fraction,
+    entry_rate_veh_per_s_at_full=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    through_traffic_fraction=fraction,
+    interior_fleet_fraction=fraction,
+    profile=profiles,
+)
+
+wireless_configs = st.builds(
+    WirelessConfig,
+    loss_probability=st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+    attempts_per_contact=st.integers(min_value=1, max_value=12),
+    reliable_within_window=st.booleans(),
+)
+
+mobility_configs = st.builds(
+    MobilityConfig,
+    dt_s=st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+    allow_overtaking=st.booleans(),
+    admissions_per_step=st.integers(min_value=1, max_value=8),
+    crossing_delay_s=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    vectorized=st.booleans(),
+)
+
+signatures = st.one_of(
+    st.none(),
+    st.builds(
+        ExteriorSignature,
+        color=st.one_of(st.none(), st.sampled_from([c for c, _ in COLORS])),
+        make=st.one_of(st.none(), st.sampled_from(MAKES)),
+        body_type=st.one_of(st.none(), st.sampled_from([b for b, _ in BODY_TYPES])),
+    ),
+)
+
+protocol_configs = st.builds(
+    ProtocolConfig,
+    adjustment_mode=st.sampled_from(AdjustmentMode.ALL),
+    count_target=signatures,
+    recognition_false_negative=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    recognition_false_positive=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    collection_enabled=st.booleans(),
+)
+
+patrol_plans = st.builds(
+    PatrolPlan,
+    num_cars=st.integers(min_value=0, max_value=6),
+    speed_factor=st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+)
+
+scenario_configs = st.builds(
+    ScenarioConfig,
+    name=st.text(min_size=1, max_size=20),
+    rng_seed=st.integers(min_value=0, max_value=2**62),
+    num_seeds=st.integers(min_value=1, max_value=10),
+    seed_strategy=st.sampled_from(["random", "spread"]),
+    demand=demand_configs,
+    mobility=mobility_configs,
+    wireless=wireless_configs,
+    protocol=protocol_configs,
+    patrol=patrol_plans,
+    open_system=st.booleans(),
+    batched=st.booleans(),
+    max_duration_s=positive,
+    settle_extra_s=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+)
+
+sweep_specs = st.builds(
+    SweepSpec,
+    volumes=st.lists(
+        st.floats(min_value=0.01, max_value=1.5, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    ).map(tuple),
+    seed_counts=st.lists(
+        st.integers(min_value=1, max_value=10), min_size=1, max_size=5
+    ).map(tuple),
+    replications=st.integers(min_value=1, max_value=5),
+)
+
+network_specs = st.one_of(
+    st.builds(
+        NetworkSpec,
+        builder=st.just("grid"),
+        args=st.tuples(st.integers(2, 6), st.integers(2, 6)),
+        kwargs=st.fixed_dictionaries(
+            {}, optional={"lanes": st.integers(1, 3), "gates_on_border": st.booleans()}
+        ),
+    ),
+    st.builds(
+        NetworkSpec,
+        builder=st.just("ring"),
+        args=st.tuples(st.integers(3, 10)),
+        kwargs=st.fixed_dictionaries({}, optional={"one_way": st.booleans()}),
+    ),
+    st.builds(
+        NetworkSpec,
+        builder=st.just("midtown"),
+        kwargs=st.fixed_dictionaries(
+            {},
+            optional={
+                "scale": st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+                "open_border": st.booleans(),
+            },
+        ),
+    ),
+)
+
+
+def _json_cycle(data: dict) -> dict:
+    """A real encode/decode, so the property covers the file format too."""
+    return json.loads(json.dumps(data))
+
+
+@FAST
+@given(profile=profiles)
+def test_profile_round_trip(profile):
+    assert profile_from_dict(_json_cycle(profile.to_dict())) == profile
+
+
+@FAST
+@given(cfg=demand_configs)
+def test_demand_config_round_trip(cfg):
+    assert DemandConfig.from_dict(_json_cycle(cfg.to_dict())) == cfg
+
+
+@FAST
+@given(cfg=wireless_configs)
+def test_wireless_config_round_trip(cfg):
+    assert WirelessConfig.from_dict(_json_cycle(cfg.to_dict())) == cfg
+
+
+@FAST
+@given(cfg=mobility_configs)
+def test_mobility_config_round_trip(cfg):
+    assert MobilityConfig.from_dict(_json_cycle(cfg.to_dict())) == cfg
+
+
+@FAST
+@given(cfg=protocol_configs)
+def test_protocol_config_round_trip(cfg):
+    assert ProtocolConfig.from_dict(_json_cycle(cfg.to_dict())) == cfg
+
+
+@FAST
+@given(plan=patrol_plans)
+def test_patrol_plan_round_trip(plan):
+    assert PatrolPlan.from_dict(_json_cycle(plan.to_dict())) == plan
+
+
+@FAST
+@given(cfg=scenario_configs)
+def test_scenario_config_round_trip(cfg):
+    assert ScenarioConfig.from_dict(_json_cycle(cfg.to_dict())) == cfg
+
+
+@FAST
+@given(spec=sweep_specs)
+def test_sweep_spec_round_trip(spec):
+    assert SweepSpec.from_dict(_json_cycle(spec.to_dict())) == spec
+
+
+@FAST
+@given(spec=network_specs)
+def test_network_spec_round_trip(spec):
+    assert NetworkSpec.from_dict(_json_cycle(spec.to_dict())) == spec
+
+
+@FAST
+@given(network=network_specs, config=scenario_configs, sweep=st.none() | sweep_specs)
+def test_experiment_spec_round_trip(network, config, sweep):
+    spec = ExperimentSpec(network=network, config=config, sweep=sweep)
+    assert ExperimentSpec.from_dict(_json_cycle(spec.to_dict())) == spec
