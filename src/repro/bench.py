@@ -6,6 +6,11 @@ measures engine steps/sec (vectorized vs. the seed reference engine) and
 sweep wall-clock (serial vs. parallel) and merges the numbers into that file
 via :func:`record`, so regressions show up as a diff.
 
+Each :func:`record` call additionally *appends* to the file's ``history``
+list (timestamped, keyed by the package version and ``git describe`` when
+available), so the perf trajectory across PRs is preserved even though every
+section holds only its latest numbers.
+
 Only stdlib + time-based measurement; deliberately no dependency on
 pytest-benchmark so the smoke job can run anywhere.
 """
@@ -15,16 +20,24 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from ._version import __version__
+
 __all__ = [
     "DEFAULT_BENCH_PATH",
+    "HISTORY_LIMIT",
     "measure_steps_per_sec",
     "compare_steps_per_sec",
     "time_call",
     "record",
 ]
+
+#: Cap on the ``history`` list so the record file cannot grow without bound
+#: (oldest entries are dropped first).
+HISTORY_LIMIT = 200
 
 #: Default output file, resolved relative to the current working directory
 #: (the repository root when running pytest from a checkout).  Override with
@@ -96,12 +109,36 @@ def _bench_path(path: Optional[str]) -> str:
     return path or os.environ.get("REPRO_BENCH_PATH", DEFAULT_BENCH_PATH)
 
 
+def _git_describe(anchor: str) -> Optional[str]:
+    """``git describe --always --dirty`` of the repo containing ``anchor``.
+
+    Best effort: returns None outside a git checkout or when git is absent,
+    so recording never fails because of version lookup.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=os.path.dirname(os.path.abspath(anchor)) or ".",
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
 def record(section: str, payload: Dict[str, Any], *, path: Optional[str] = None) -> str:
     """Merge ``payload`` under ``section`` into the benchmark record file.
 
     Existing sections are preserved (corrupt files are replaced), a ``meta``
     block records the interpreter/platform, and the file is written
-    atomically.  Returns the path written.
+    atomically.  The run is also *appended* to the file's ``history`` list —
+    timestamped and keyed by package version / ``git describe`` — so
+    overwriting a section never loses the perf trajectory across PRs.
+    Returns the path written.
     """
     target = _bench_path(path)
     data: Dict[str, Any] = {}
@@ -113,12 +150,26 @@ def record(section: str, payload: Dict[str, Any], *, path: Optional[str] = None)
                 data = loaded
         except (OSError, ValueError):
             data = {}
+    recorded_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     data["meta"] = {
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "recorded_at": recorded_at,
     }
     data[section] = payload
+    history = data.get("history")
+    if not isinstance(history, list):
+        history = []
+    history.append(
+        {
+            "section": section,
+            "recorded_at": recorded_at,
+            "version": __version__,
+            "git": _git_describe(target),
+            "payload": payload,
+        }
+    )
+    data["history"] = history[-HISTORY_LIMIT:]
     tmp = f"{target}.tmp"
     with open(tmp, "w") as fh:
         json.dump(data, fh, indent=1, sort_keys=True)

@@ -147,9 +147,7 @@ class OracleCount:
 
     def count(self) -> int:
         total = 0
-        for vehicle in self.engine.vehicles.values():
-            if vehicle.is_patrol:
-                continue
+        for vehicle in self.engine.iter_active(include_patrol=False):
             if self.target is None or self.target.matches(vehicle.signature):
                 total += 1
         return total

@@ -55,7 +55,7 @@ Adjustment modes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -65,6 +65,7 @@ from ..mobility.events import (
     EntryEvent,
     ExitEvent,
     OvertakeEvent,
+    StepBatch,
     TrafficEvent,
 )
 from ..mobility.vehicle import Vehicle
@@ -271,26 +272,20 @@ class CountingProtocol:
 
     # ------------------------------------------------------------------ main
     def handle_events(self, events: Iterable[TrafficEvent]) -> None:
-        """Process a batch of engine events in order."""
-        last_time = None
-        for event in events:
-            if isinstance(event, CrossingEvent):
-                self.on_crossing(event)
-            elif isinstance(event, OvertakeEvent):
-                self.on_overtake(event)
-            elif isinstance(event, EntryEvent):
-                self.on_entry(event)
-            elif isinstance(event, ExitEvent):
-                self.on_exit(event)
-            else:
-                raise ProtocolError(f"unknown traffic event {event!r}")
-            last_time = event.time_s
-        if last_time is not None:
-            self.collection.update(last_time)
+        """Process a batch of engine events in order (scalar reference path)."""
+        self._handle_items_scalar(list(events), (), (), (), (), None)
 
     # ----------------------------------------------------- batched pipeline
-    def process_batch(self, events: Sequence[TrafficEvent]) -> None:
-        """Process one step's event list through the batched pipeline.
+    def process_batch(
+        self, events: Union[Sequence[TrafficEvent], StepBatch]
+    ) -> None:
+        """Process one step's events through the batched pipeline.
+
+        Accepts either a plain event sequence or a
+        :class:`~repro.mobility.events.StepBatch` — the engine's fast-path
+        form, where plain crossings arrive as *indices* into parallel
+        arrays instead of :class:`CrossingEvent` objects (no per-crossing
+        allocation anywhere between the intersection and the counters).
 
         Bit-for-bit equivalent to :meth:`handle_events` — same counts,
         adjustments, stabilization times, exchange and recognition
@@ -324,10 +319,24 @@ class CountingProtocol:
         the :class:`ExchangeService` manually) while recognition noise is
         enabled — the wireless block pre-draws would interleave with
         recognition draws on the shared stream.  That case falls back to the
-        scalar path, keeping the equivalence guarantee unconditional.
+        scalar per-event order, keeping the equivalence guarantee
+        unconditional.
         """
+        if isinstance(events, StepBatch):
+            items: Sequence[object] = events.items
+            cross_vehicle = events.cross_vehicle
+            cross_node = events.cross_node
+            cross_from = events.cross_from
+            cross_to = events.cross_to
+            step_time = events.time_s
+        else:
+            items = events
+            cross_vehicle = cross_node = cross_from = cross_to = ()
+            step_time = None
         if self._batched_unsafe:
-            return self.handle_events(events)
+            return self._handle_items_scalar(
+                items, cross_vehicle, cross_node, cross_from, cross_to, step_time
+            )
         checkpoints = self.checkpoints
         collection = self.collection
         coll_enabled = collection.enabled
@@ -343,13 +352,25 @@ class CountingProtocol:
         buffers = (b_cp, b_veh, b_from, b_counting, b_active, b_time)
         last_time = None
         with self.exchange.batched_draws():
-            for event in events:
-                cls = event.__class__
-                if cls is CrossingEvent:
-                    vehicle = event.vehicle
-                    node = event.node
+            for event in items:
+                if type(event) is int:
+                    vehicle = cross_vehicle[event]
+                    node = cross_node[event]
+                    from_node = cross_from[event]
+                    to_node = cross_to[event]
+                    time_s = step_time
+                    is_crossing = True
+                else:
+                    cls = event.__class__
+                    is_crossing = cls is CrossingEvent
+                    if is_crossing:
+                        vehicle = event.vehicle
+                        node = event.node
+                        from_node = event.from_node
+                        to_node = event.to_node
+                        time_s = event.time_s
+                if is_crossing:
                     cp = checkpoints[node]
-                    to_node = event.to_node
                     if (
                         not vehicle.is_patrol
                         and not vehicle.labels
@@ -361,7 +382,6 @@ class CountingProtocol:
                             and ready_cached(node)
                         )
                     ):
-                        from_node = event.from_node
                         b_cp.append(cp)
                         b_veh.append(vehicle)
                         b_from.append(from_node)
@@ -371,8 +391,8 @@ class CountingProtocol:
                             and cp.direction_state.get(from_node) is counting_state
                         )
                         b_active.append(cp.active)
-                        b_time.append(event.time_s)
-                        last_time = event.time_s
+                        b_time.append(time_s)
+                        last_time = time_s
                         continue
                 # Every non-plain event is a flush barrier: settle the
                 # buffered crossings before it can observe or mutate state.
@@ -380,19 +400,62 @@ class CountingProtocol:
                     self._flush_plain(*buffers)
                     for buf in buffers:
                         del buf[:]
-                if cls is CrossingEvent:
-                    self.on_crossing(event)
-                elif cls is OvertakeEvent:
-                    self.on_overtake(event)
-                elif cls is EntryEvent:
-                    self.on_entry(event)
-                elif cls is ExitEvent:
-                    self.on_exit(event)
+                if is_crossing:
+                    self._crossing_scalar(vehicle, node, from_node, to_node, time_s)
+                    last_time = time_s
                 else:
-                    raise ProtocolError(f"unknown traffic event {event!r}")
-                last_time = event.time_s
+                    if cls is OvertakeEvent:
+                        self.on_overtake(event)
+                    elif cls is EntryEvent:
+                        self.on_entry(event)
+                    elif cls is ExitEvent:
+                        self.on_exit(event)
+                    else:
+                        raise ProtocolError(f"unknown traffic event {event!r}")
+                    last_time = event.time_s
             if b_cp:
                 self._flush_plain(*buffers)
+        if last_time is not None:
+            self.collection.update(last_time)
+
+    def _handle_items_scalar(
+        self,
+        items: Sequence[object],
+        cross_vehicle: Sequence[Vehicle],
+        cross_node: Sequence[object],
+        cross_from: Sequence[Optional[object]],
+        cross_to: Sequence[object],
+        step_time: Optional[float],
+    ) -> None:
+        """Scalar per-event processing of a (possibly index-form) item stream.
+
+        The ``_batched_unsafe`` fallback: identical to
+        :meth:`handle_events`, but able to resolve the engine fast path's
+        crossing indices.
+        """
+        last_time = None
+        for event in items:
+            if type(event) is int:
+                self._crossing_scalar(
+                    cross_vehicle[event],
+                    cross_node[event],
+                    cross_from[event],
+                    cross_to[event],
+                    step_time,
+                )
+                last_time = step_time
+                continue
+            if isinstance(event, CrossingEvent):
+                self.on_crossing(event)
+            elif isinstance(event, OvertakeEvent):
+                self.on_overtake(event)
+            elif isinstance(event, EntryEvent):
+                self.on_entry(event)
+            elif isinstance(event, ExitEvent):
+                self.on_exit(event)
+            else:
+                raise ProtocolError(f"unknown traffic event {event!r}")
+            last_time = event.time_s
         if last_time is not None:
             self.collection.update(last_time)
 
@@ -472,25 +535,37 @@ class CountingProtocol:
     # ------------------------------------------------------------- crossings
     def on_crossing(self, event: CrossingEvent) -> None:
         """Process one vehicle rolling through an intersection."""
-        cp = self.checkpoints[event.node]
-        vehicle = event.vehicle
+        self._crossing_scalar(
+            event.vehicle, event.node, event.from_node, event.to_node, event.time_s
+        )
+
+    def _crossing_scalar(
+        self,
+        vehicle: Vehicle,
+        node: object,
+        from_node: Optional[object],
+        to_node: object,
+        time_s: float,
+    ) -> None:
+        """Scalar crossing handler over bare fields (no event object needed)."""
+        cp = self.checkpoints[node]
         self.stats.crossings_processed += 1
 
         if vehicle.is_patrol:
-            self._patrol_sync(cp, vehicle, event.from_node, event.time_s)
+            self._patrol_sync(cp, vehicle, from_node, time_s)
             return
 
         # 1. arrival-side wireless -----------------------------------------
-        self._deliver_labels(cp, vehicle, event.time_s)
-        self.collection.deliver_from_vehicle(cp, vehicle, event.time_s)
+        self._deliver_labels(cp, vehicle, time_s)
+        self.collection.deliver_from_vehicle(cp, vehicle, time_s)
 
         # 2. camera counting -------------------------------------------------
-        if event.from_node is not None:
-            self._count_arrival(cp, vehicle, event.from_node, event.time_s)
+        if from_node is not None:
+            self._count_arrival(cp, vehicle, from_node, time_s)
 
         # 3. departure-side wireless ----------------------------------------
-        self._label_departure(cp, vehicle, event.to_node, event.time_s)
-        self.collection.on_departure(cp, event.to_node, vehicle, event.time_s)
+        self._label_departure(cp, vehicle, to_node, time_s)
+        self.collection.on_departure(cp, to_node, vehicle, time_s)
 
     def _deliver_labels(self, cp: Checkpoint, vehicle: Vehicle, time_s: float) -> None:
         """Arrival-side: hand carried labels to the checkpoint (phases 3/4)."""

@@ -243,10 +243,10 @@ class LaneChangeModel:
     def wants_to_change(self, vehicle: Vehicle, leader: Optional[Vehicle]) -> bool:
         """Whether the vehicle is blocked enough to look for another lane.
 
-        The vectorized engine inlines this predicate in its lane-change
-        pass (``TrafficEngine._advance_segments_batch``); any change here
-        must be mirrored there — the engine-mode agreement tests fail on
-        divergence.
+        The vectorized engine evaluates this predicate in one NumPy shot
+        over its gathered columns (``TrafficEngine._lane_change_batch``);
+        any change here must be mirrored there — the engine-mode agreement
+        tests fail on divergence.
         """
         if leader is None:
             return False
@@ -265,7 +265,10 @@ class LaneChangeModel:
         """Pick a lane to move to, or ``None`` to stay.
 
         ``occupancy[lane]`` must list the vehicles currently in ``lane`` on
-        the same segment (any order).
+        the same segment (any order).  The vectorized engine ports this
+        choice to its resident arrays (``TrafficEngine._target_lane_soa``);
+        any change here — including RNG draw order — must be mirrored
+        there.
         """
         if lanes < 2:
             return None

@@ -19,29 +19,39 @@ experiment sweeps reproducible.
 
 Hot path
 --------
-The default engine advances all vehicles with batch NumPy updates over a
-structure-of-arrays gathered from per-segment, per-lane vehicle lists that
-are maintained incrementally (sorted insertion on place/cross, no per-step
-rebuild).  Because each lane advances front to back against its leader's
+The default engine keeps a **resident** structure-of-arrays: every vehicle
+owns a slot in persistent capacity-doubling NumPy arrays (position, speed,
+free speed, segment length, desired speed, lane-head and multilane flags)
+that spawns, exits and lane changes update incrementally — a step gathers
+stable array views through cached per-edge slot-index lists and scatters
+back with one bulk write, with no per-step ``np.fromiter``/attribute
+packing.  The ``Vehicle`` objects' kinematic fields become lazily synced
+mirrors (refreshed by any public accessor; see :attr:`TrafficEngine.
+vehicles`).  Because each lane advances front to back against its leader's
 post-step state, the update is not a single elementwise pass; instead the
 step resolves, in order: lane heads and provably unconstrained/stopped
 followers in one vectorized pass (sound conservative bounds on the leader's
 outcome), then exact vectorized rounds for followers whose leader is already
 final, and finally a scalar tail for short chained runs at queue boundaries
-— producing results bit-for-bit identical to the per-vehicle engine.
-Overtakes are detected by checking each multilane segment's cached
-(position, vid) ranking for inversions instead of comparing all pairs, and
-intersections only consider the vehicles actually waiting at a stop line.
-``vectorized=False`` selects the original seed per-vehicle loops, kept
-verbatim as the reference implementation for the golden-trace equivalence
-tests and the throughput benchmark baseline.
+— producing results bit-for-bit identical to the per-vehicle engine.  The
+lane-change scan is a single vectorized predicate over the gathered
+columns; only actual candidates run the scalar target-lane logic, in
+reference RNG order.  Overtakes are detected by checking each multilane
+segment's cached (position, vid) ranking for inversions instead of
+comparing all pairs, and intersections only consider the vehicles actually
+waiting at a stop line.  In batched mode :meth:`TrafficEngine.step_batch`
+emits plain crossings as index arrays (:class:`~repro.mobility.events.
+StepBatch`) consumed directly by the counting protocol — no per-crossing
+event objects.  ``vectorized=False`` selects the original seed per-vehicle
+loops, kept verbatim as the reference implementation for the golden-trace
+equivalence tests and the throughput benchmark baseline.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,7 +60,14 @@ from ..roadnet.graph import DirectedSegment, RoadNetwork
 from ..roadnet.routing import Router
 from .car_following import LaneChangeModel, SimplifiedIDM
 from .demand import VehicleSpec
-from .events import CrossingEvent, EntryEvent, ExitEvent, OvertakeEvent, TrafficEvent
+from .events import (
+    CrossingEvent,
+    EntryEvent,
+    ExitEvent,
+    OvertakeEvent,
+    StepBatch,
+    TrafficEvent,
+)
 from .intersections import IntersectionPolicy, simple_policy
 from .vehicle import Vehicle
 
@@ -58,14 +75,9 @@ __all__ = ["EngineStats", "TrafficEngine"]
 
 _ARRIVAL_EPS_M = 0.5
 
-def _lane_order_key(vehicle: Vehicle) -> Tuple[float, int]:
-    """Front-to-back ordering within a lane: descending position, vid ties."""
-    return (-vehicle.pos_m, vehicle.vid)
-
-
-def _rank_key(vehicle: Vehicle) -> Tuple[float, int]:
-    """Segment-wide overtake ranking: ascending position, vid ties."""
-    return (vehicle.pos_m, vehicle.vid)
+#: Initial capacity of the resident structure-of-arrays state; grown by
+#: doubling whenever the active fleet outgrows it.
+_INITIAL_CAPACITY = 64
 
 
 @dataclass
@@ -140,7 +152,7 @@ class TrafficEngine:
         self.vectorized = bool(vectorized)
 
         self.time_s: float = 0.0
-        self.vehicles: Dict[int, Vehicle] = {}
+        self._vehicles: Dict[int, Vehicle] = {}
         self._departed: Dict[int, Vehicle] = {}
         # Flat per-segment occupancy in insertion order (the event-ordering
         # reference), plus — for the vectorized engine — per-lane lists kept
@@ -151,16 +163,15 @@ class TrafficEngine:
         self._segments: Dict[Tuple[object, object], DirectedSegment] = {}
         self._lanes: Dict[Tuple[object, object], List[List[Vehicle]]] = {}
         # Per-edge (segment, flat occupancy, per-lane lists, multilane?,
-        # length) for one-lookup, attribute-free iteration of the hot step;
-        # the lists are shared with the dicts above.  ``_ranked`` caches each
-        # multilane segment's vehicles in ascending (pos, vid) order — the
-        # overtake ranking — which advance leaves intact except on the rare
-        # steps that actually flip a pair.
-        # state tuple: (segment, flat occupancy, per-lane vehicle lists,
-        # multilane?, length, edge key, per-lane free-speed lists kept
-        # index-parallel to the lane lists)
+        # length, edge key) for one-lookup, attribute-free iteration of the
+        # hot step; the lists are shared with the dicts above.  ``_ranked``
+        # caches each multilane segment's vehicles in ascending (pos, vid)
+        # order — the overtake ranking — which advance leaves intact except
+        # on the rare steps that actually flip a pair.
         self._state_by_index: List[Tuple] = []
-        self._ranked: Dict[Tuple[object, object], List[Vehicle]] = {}
+        #: per-edge overtake ranking (ascending (pos, vid) vehicle lists),
+        #: indexed like _state_by_index; None for single-lane edges.
+        self._ranked: List[Optional[List[Vehicle]]] = []
         self._edge_order: Dict[Tuple[object, object], int] = {}
         # Sorted indices (into _state_by_index) of edges carrying vehicles,
         # so the hot step never walks the empty part of the network.
@@ -168,21 +179,51 @@ class TrafficEngine:
         # Sparse: edges with vehicles waiting at the stop line, and those
         # vehicles themselves (always their lane's head).
         self._waiting: Dict[Tuple[object, object], List[Vehicle]] = {}
-        self._lane_free: Dict[Tuple[object, object], List[List[float]]] = {}
         for i, seg in enumerate(net.segments()):
             flat: List[int] = []
             lanes: List[List[Vehicle]] = [[] for _ in range(seg.lanes)]
-            lane_free: List[List[float]] = [[] for _ in range(seg.lanes)]
             self._occupancy[seg.key] = flat
             self._segments[seg.key] = seg
             self._lanes[seg.key] = lanes
-            self._lane_free[seg.key] = lane_free
             self._state_by_index.append(
-                (seg, flat, lanes, seg.lanes > 1, seg.length_m, seg.key, lane_free)
+                (seg, flat, lanes, seg.lanes > 1, seg.length_m, seg.key)
             )
-            if seg.lanes > 1:
-                self._ranked[seg.key] = []
+            self._ranked.append([] if seg.lanes > 1 else None)
             self._edge_order[seg.key] = i
+
+        # Resident structure-of-arrays state (vectorized engine only).  One
+        # slot per vehicle currently inside, allocated from a free list and
+        # grown by capacity doubling; ``_pos``/``_speed`` are the *source of
+        # truth* for kinematics while the engine runs — the mirror fields on
+        # the Vehicle objects are refreshed lazily (``_sync_kinematics``)
+        # before any public read.  ``_freeflow``/``_seglen``/``_ml`` are
+        # per-current-segment invariants rewritten on every placement;
+        # ``_desired`` is fixed at spawn.  ``_gather_cache`` holds each
+        # edge's gathered slot-index array (lane-major, front to back) and
+        # ``_is_head`` its lane-head flags, both rebuilt only for edges whose
+        # lane lists actually changed — so a step gathers stable array views
+        # instead of re-packing per-vehicle attributes.
+        self._capacity = 0
+        self._next_slot = 0
+        self._free_slots: List[int] = []
+        self._slot_vehicle: List[Optional[Vehicle]] = []
+        self._pos = np.empty(0, dtype=np.float64)
+        self._speed = np.empty(0, dtype=np.float64)
+        self._freeflow = np.empty(0, dtype=np.float64)
+        self._seglen = np.empty(0, dtype=np.float64)
+        self._desired = np.empty(0, dtype=np.float64)
+        self._is_head = np.empty(0, dtype=bool)
+        self._ml = np.empty(0, dtype=bool)
+        n_edges = len(self._state_by_index)
+        self._gather_cache: List[Optional[List[int]]] = [None] * n_edges
+        #: per-edge overtake ranking slots (ascending (pos, vid)), kept
+        #: index-parallel to ``_ranked``'s vehicle lists; None = dirty.
+        self._ranked_cache: List[Optional[List[int]]] = [None] * n_edges
+        self._kinematics_stale = False
+        #: event sink for the current step_batch() call (None => step()
+        #: materializes scalar CrossingEvent objects).
+        self._sink: Optional[StepBatch] = None
+
         self._policies: Dict[object, IntersectionPolicy] = {}
         self._next_vid = 0
         self._inside_nonpatrol = 0
@@ -246,6 +287,69 @@ class TrafficEngine:
         )
         return self._insert(spec, via_gate=False, initial=True)
 
+    # -------------------------------------------------------- slot management
+    def _alloc_slot(self, vehicle: Vehicle) -> int:
+        """Assign the vehicle a slot in the resident arrays (vectorized)."""
+        if self._free_slots:
+            slot = self._free_slots.pop()
+        else:
+            slot = self._next_slot
+            self._next_slot += 1
+            if slot >= self._capacity:
+                self._grow(max(_INITIAL_CAPACITY, 2 * self._capacity))
+        self._slot_vehicle[slot] = vehicle
+        vehicle.slot = slot
+        self._desired[slot] = vehicle.desired_speed_mps
+        return slot
+
+    def _release_slot(self, vehicle: Vehicle) -> None:
+        slot = vehicle.slot
+        self._slot_vehicle[slot] = None
+        self._free_slots.append(slot)
+        vehicle.slot = -1
+
+    def _grow(self, capacity: int) -> None:
+        """Double the resident arrays to ``capacity`` (values preserved)."""
+        extra = capacity - self._capacity
+        pad = np.zeros(extra, dtype=np.float64)
+        self._pos = np.concatenate((self._pos, pad))
+        self._speed = np.concatenate((self._speed, pad))
+        self._freeflow = np.concatenate((self._freeflow, pad))
+        self._seglen = np.concatenate((self._seglen, pad))
+        self._desired = np.concatenate((self._desired, pad))
+        bpad = np.zeros(extra, dtype=bool)
+        self._is_head = np.concatenate((self._is_head, bpad))
+        self._ml = np.concatenate((self._ml, bpad))
+        self._slot_vehicle.extend([None] * extra)
+        self._capacity = capacity
+
+    def _sync_kinematics(self) -> None:
+        """Refresh the Vehicle mirrors of the resident kinematic arrays.
+
+        Called lazily by the public accessors; the hot step never pays for
+        it.  Values are copied bit for bit (plain ``float``), so anything
+        reading ``Vehicle.pos_m`` / ``speed_mps`` afterwards sees exactly
+        the state the reference engine would have stored.
+        """
+        if not self._kinematics_stale:
+            return
+        pos = self._pos
+        speed = self._speed
+        for v in self._vehicles.values():
+            slot = v.slot
+            v.pos_m = float(pos[slot])
+            v.speed_mps = float(speed[slot])
+        self._kinematics_stale = False
+
+    # ------------------------------------------------ sorted-structure keys
+    def _lane_sort_key(self, vehicle: Vehicle) -> Tuple[float, int]:
+        """Front-to-back ordering within a lane: descending position."""
+        return (-self._pos[vehicle.slot], vehicle.vid)
+
+    def _rank_sort_key(self, vehicle: Vehicle) -> Tuple[float, int]:
+        """Segment-wide overtake ranking: ascending position."""
+        return (self._pos[vehicle.slot], vehicle.vid)
+
     def _insert(
         self,
         spec: VehicleSpec,
@@ -267,7 +371,9 @@ class TrafficEngine:
             is_patrol=spec.is_patrol,
             entered_at_s=self.time_s,
         )
-        self.vehicles[vid] = vehicle
+        self._vehicles[vid] = vehicle
+        if self.vectorized:
+            self._alloc_slot(vehicle)
         self.stats.spawned += 1
         if spec.is_patrol:
             self._spawned_patrol += 1
@@ -316,32 +422,46 @@ class TrafficEngine:
         flat = self._occupancy[key]
         flat.append(vehicle.vid)
         if self.vectorized:
+            order = self._edge_order[key]
             if len(flat) == 1:
-                insort(self._occupied, self._edge_order[key])
-            lane = vehicle.lane
-            lane_list = self._lanes[key][lane]
-            idx = bisect_left(lane_list, (-vehicle.pos_m, vehicle.vid), key=_lane_order_key)
+                insort(self._occupied, order)
+            slot = vehicle.slot
+            self._pos[slot] = vehicle.pos_m
+            self._speed[slot] = vehicle.speed_mps
+            self._freeflow[slot] = free
+            self._seglen[slot] = seg.length_m
+            self._ml[slot] = seg.lanes > 1
+            lane_list = self._lanes[key][vehicle.lane]
+            idx = bisect_left(
+                lane_list, (-vehicle.pos_m, vehicle.vid), key=self._lane_sort_key
+            )
             lane_list.insert(idx, vehicle)
-            self._lane_free[key][lane].insert(idx, free)
-            if seg.lanes > 1:
-                insort(self._ranked[key], vehicle, key=_rank_key)
+            self._gather_cache[order] = None
+            ranked = self._ranked[order]
+            if ranked is not None:
+                insort(ranked, vehicle, key=self._rank_sort_key)
+                self._ranked_cache[order] = None
 
     def _remove_from_edge(self, vehicle: Vehicle) -> None:
         edge = vehicle.edge
         flat = self._occupancy[edge]
         flat.remove(vehicle.vid)
         if self.vectorized:
+            order = self._edge_order[edge]
             if not flat:
-                order = self._edge_order[edge]
                 del self._occupied[bisect_left(self._occupied, order)]
-            lane = vehicle.lane
-            lane_list = self._lanes[edge][lane]
-            idx = lane_list.index(vehicle)
-            del lane_list[idx]
-            del self._lane_free[edge][lane][idx]
-            ranked = self._ranked.get(edge)
+            # Materialize the departing vehicle's kinematics so exit events
+            # and the departed pool carry its final state even though the
+            # resident arrays are the in-run source of truth.
+            slot = vehicle.slot
+            vehicle.pos_m = float(self._pos[slot])
+            vehicle.speed_mps = float(self._speed[slot])
+            self._lanes[edge][vehicle.lane].remove(vehicle)
+            self._gather_cache[order] = None
+            ranked = self._ranked[order]
             if ranked is not None:
                 ranked.remove(vehicle)
+                self._ranked_cache[order] = None
             if vehicle.waiting_since_s is not None:
                 queue = self._waiting[edge]
                 queue.remove(vehicle)
@@ -349,11 +469,33 @@ class TrafficEngine:
                     del self._waiting[edge]
 
     # --------------------------------------------------------------- queries
+    @property
+    def vehicles(self) -> Dict[int, Vehicle]:
+        """Vehicles currently inside, by vid (kinematics freshly synced).
+
+        The vectorized engine keeps positions and speeds in resident arrays
+        during the step loop; this accessor refreshes the Vehicle mirrors
+        before handing the mapping out, so external readers always see the
+        exact per-vehicle state.  Engine internals use ``_vehicles``
+        directly and read the arrays instead.
+        """
+        self._sync_kinematics()
+        return self._vehicles
+
     def active_vehicles(self, *, include_patrol: bool = True) -> List[Vehicle]:
-        """Vehicles currently inside the system."""
+        """Vehicles currently inside the system (fresh list per call).
+
+        Per-step bookkeeping should prefer :meth:`iter_active` (no list) or
+        :meth:`active_count` (O(1)).
+        """
+        return list(self.iter_active(include_patrol=include_patrol))
+
+    def iter_active(self, *, include_patrol: bool = True) -> Iterator[Vehicle]:
+        """Iterate over the vehicles currently inside without building a list."""
+        self._sync_kinematics()
         if include_patrol:
-            return list(self.vehicles.values())
-        return [v for v in self.vehicles.values() if not v.is_patrol]
+            return iter(self._vehicles.values())
+        return (v for v in self._vehicles.values() if not v.is_patrol)
 
     def active_count(self, *, include_patrol: bool = True) -> int:
         """Number of vehicles currently inside (O(1), no list building)."""
@@ -366,8 +508,12 @@ class TrafficEngine:
         return self._inside_nonpatrol
 
     def departed_vehicles(self) -> List[Vehicle]:
-        """Vehicles that have left the open system."""
+        """Vehicles that have left the open system (fresh list per call)."""
         return list(self._departed.values())
+
+    def iter_departed(self) -> Iterator[Vehicle]:
+        """Iterate over departed vehicles without building a list."""
+        return iter(self._departed.values())
 
     def total_spawned(self, *, include_patrol: bool = False) -> int:
         """Number of vehicles ever inserted (excluding patrol by default)."""
@@ -377,12 +523,36 @@ class TrafficEngine:
 
     def occupancy(self, edge: Tuple[object, object]) -> List[Vehicle]:
         """Vehicles currently on ``edge`` (unspecified order)."""
-        return [self.vehicles[vid] for vid in self._occupancy[edge]]
+        self._sync_kinematics()
+        return [self._vehicles[vid] for vid in self._occupancy[edge]]
 
     # ------------------------------------------------------------------ step
     def step(self) -> List[TrafficEvent]:
         """Advance the world by one time step and return the events produced."""
         events: List[TrafficEvent] = []
+        self._step_core(events)
+        return events
+
+    def step_batch(self) -> StepBatch:
+        """Advance one time step, emitting events in batch form.
+
+        The fast-path counterpart of :meth:`step` used by the batched
+        pipeline: plain intersection crossings are appended to the returned
+        :class:`~repro.mobility.events.StepBatch`'s parallel arrays (no
+        per-crossing :class:`CrossingEvent` objects); irregular events —
+        exits, overtakes — stay scalar objects in the same ordered stream.
+        ``batch.iter_events()`` reproduces exactly what :meth:`step` would
+        have returned.
+        """
+        batch = StepBatch(self.time_s)
+        self._sink = batch
+        try:
+            self._step_core(batch.items)
+        finally:
+            self._sink = None
+        return batch
+
+    def _step_core(self, events: List) -> None:
         if self.vectorized:
             self._advance_segments_batch(events)
             self._process_intersections_indexed(events)
@@ -391,7 +561,6 @@ class TrafficEngine:
             self._process_intersections(events)
         self.time_s += self.dt_s
         self.stats.steps += 1
-        return events
 
     def run(self, duration_s: float) -> List[TrafficEvent]:
         """Run for ``duration_s`` simulated seconds, returning all events."""
@@ -402,103 +571,81 @@ class TrafficEngine:
         return out
 
     # ------------------------------------------- segment dynamics (batched)
+    def _rebuild_gather(self, ei: int) -> List[int]:
+        """Rebuild one edge's gathered slot list (and lane-head flags).
+
+        Only called for edges whose lane lists changed since their last
+        gather (place / removal / lane change); every other edge reuses its
+        cached list, so the step's gather extends resident index lists
+        rather than re-packing per-vehicle attributes.
+        """
+        lanes = self._state_by_index[ei][2]
+        is_head = self._is_head
+        slots: List[int] = []
+        for lane_list in lanes:
+            if lane_list:
+                head = True
+                for v in lane_list:
+                    is_head[v.slot] = head
+                    head = False
+                    slots.append(v.slot)
+        self._gather_cache[ei] = slots
+        return slots
+
     def _advance_segments_batch(self, events: List[TrafficEvent]) -> None:
         """Advance every occupied segment in one structure-of-arrays pass.
 
-        Gather: concatenate the incrementally maintained per-lane lists
-        (already in front-to-back order — no sorting) into flat columns; a
-        follower's leader is then simply the previous gather index.  Advance:
-        compute every vehicle's free-flow candidate vectorized, resolve the
-        provably unconstrained and provably stopped followers vectorized
-        (see :meth:`SimplifiedIDM.batch_classify`), settle remaining
-        followers whose leader is final in exact vectorized rounds, and run
-        the scalar front-to-back recurrence only for the short chained tail
-        at queue boundaries.  Scatter: bulk-write positions/speeds back and
-        flag newly waiting vehicles for the intersection index.
+        Gather: concatenate the per-edge cached slot-index arrays (lane
+        lists are maintained in front-to-back order, so a follower's in-lane
+        leader is simply the previous gather index) and read the kinematic
+        columns straight out of the resident arrays — no per-vehicle
+        attribute packing.  Lane changes: the blocked-follower predicate is
+        evaluated vectorized over the gathered columns; only actual
+        candidates run the scalar target-lane logic (RNG order identical to
+        the reference scan).  Advance: compute every vehicle's free-flow
+        candidate vectorized, resolve the provably unconstrained and
+        provably stopped followers vectorized (see
+        :meth:`SimplifiedIDM.batch_classify`), settle remaining followers
+        whose leader is final in exact vectorized rounds, and run the scalar
+        front-to-back recurrence only for the short chained tail at queue
+        boundaries.  Scatter: one bulk write back into the resident arrays
+        and flag newly waiting vehicles for the intersection index.
         """
         dt = self.dt_s
         cf = self.car_following
-        allow_overtaking = self.allow_overtaking
-        lane_change = self.lane_change
-        blocked_m = lane_change.blocked_distance_m
-        gain_mps = lane_change.speed_gain_threshold_mps
-        rng = self.rng
-        gathered: List[Vehicle] = []
-        extend = gathered.extend
-        free_col: List[float] = []
-        edge_lengths: List[float] = []
-        edge_counts: List[int] = []
-        head_idx: List[int] = []
-        # (segment, edge key, gather start, gather end) of multilane segments
-        # whose position ranking must be checked after the advance.
-        watch: List[Tuple[DirectedSegment, Tuple[object, object], int, int]] = []
-
-        state_by_index = self._state_by_index
-        count = 0
-        for ei in self._occupied:
-            seg, flat, lanes, multilane, length_m, edge_key, lane_free = state_by_index[ei]
-            base = count
-            if allow_overtaking and multilane and len(flat) > 1:
-                # Lane-change pass, inlined.  Decisions read the pre-change
-                # occupancy (the reference engine's whole pass reads a stale
-                # snapshot) and must stay boolean-identical to
-                # LaneChangeModel.wants_to_change, so accepted moves are
-                # applied to the sorted lane lists only after the scan.
-                moves: Optional[List[Tuple[Vehicle, int]]] = None
-                for lane_list in lanes:
-                    if len(lane_list) > 1:
-                        leader = lane_list[0]
-                        for k in range(1, len(lane_list)):
-                            v = lane_list[k]
-                            if (
-                                leader.pos_m - v.pos_m <= blocked_m
-                                and v.desired_speed_mps - leader.speed_mps > gain_mps
-                            ):
-                                target = lane_change.target_lane(v, seg.lanes, lanes, rng)
-                                if target is not None:
-                                    if moves is None:
-                                        moves = []
-                                    moves.append((v, target))
-                            leader = v
-                if moves:
-                    for v, target in moves:
-                        source_list = lanes[v.lane]
-                        i = source_list.index(v)
-                        del source_list[i]
-                        fv = lane_free[v.lane].pop(i)
-                        v.lane = target
-                        target_list = lanes[target]
-                        i = bisect_left(
-                            target_list, (-v.pos_m, v.vid), key=_lane_order_key
-                        )
-                        target_list.insert(i, v)
-                        lane_free[target].insert(i, fv)
-                watch.append((seg, edge_key, base, base + len(flat)))
-            if multilane:
-                for lane, lane_list in enumerate(lanes):
-                    if lane_list:
-                        head_idx.append(count)
-                        extend(lane_list)
-                        free_col += lane_free[lane]
-                        count += len(lane_list)
-            else:
-                lane_list = lanes[0]
-                if lane_list:
-                    head_idx.append(count)
-                    extend(lane_list)
-                    free_col += lane_free[0]
-                    count += len(lane_list)
-            edge_lengths.append(length_m)
-            edge_counts.append(count - base)
-
-        n = len(gathered)
-        if n == 0:
+        # Edge index and gather span of every multilane segment eligible for
+        # lane changes, whose position ranking must be checked after the
+        # advance (three parallel lists — built once per step).
+        watch_ei: List[int] = []
+        w_lo: List[int] = []
+        w_hi: List[int] = []
+        idx = self._gather(watch_ei if self.allow_overtaking else None, w_lo, w_hi)
+        if idx is None:
             return
+        n = idx.shape[0]
 
-        pos = np.fromiter([v.pos_m for v in gathered], np.float64, n)
-        speed = np.fromiter([v.speed_mps for v in gathered], np.float64, n)
-        free = np.fromiter(free_col, np.float64, n)
-        length = np.repeat(np.array(edge_lengths), np.array(edge_counts))
+        pos_a = self._pos
+        speed_a = self._speed
+        pos = pos_a[idx]
+        speed = speed_a[idx]
+
+        if watch_ei:
+            patched = self._lane_change_batch(idx, pos, speed, watch_ei, w_lo, w_hi)
+            if patched:
+                # Accepted moves re-ordered some lanes: patch only those
+                # segments' gather spans in place (lane changes never move
+                # vehicles across segments or along them, so the spans and
+                # every other column entry are unchanged).
+                for ei, s, e in patched:
+                    part = self._rebuild_gather(ei)
+                    idx[s:e] = part
+                    span = idx[s:e]
+                    pos[s:e] = pos_a[span]
+                    speed[s:e] = speed_a[span]
+
+        free = self._freeflow[idx]
+        length = self._seglen[idx]
+        heads = self._is_head[idx]
 
         vfree = cf.batch_free_speed(speed, free, dt)
         cand_speed = np.maximum(0.0, vfree)
@@ -511,7 +658,6 @@ class TrafficEngine:
         unconstrained_f, stopped_f = cf.batch_classify(
             pos[1:], vfree[1:], cand_raw[1:], pos[:-1], cand_pos[:-1], dt
         )
-        heads = np.array(head_idx)
         stopped = np.zeros(n, dtype=bool)
         stopped[1:] = stopped_f
         stopped[heads] = False
@@ -532,77 +678,231 @@ class TrafficEngine:
             ready = resolved[residual - 1]
             if not ready.any():
                 break
-            idx = residual[ready]
-            lidx = idx - 1
-            new_pos[idx], new_speed[idx] = cf.batch_follow(
-                pos[idx], vfree[idx], new_pos[lidx], new_speed[lidx],
-                length[idx], dt,
+            ridx = residual[ready]
+            lidx = ridx - 1
+            new_pos[ridx], new_speed[ridx] = cf.batch_follow(
+                pos[ridx], vfree[ridx], new_pos[lidx], new_speed[lidx],
+                length[ridx], dt,
             )
-            resolved[idx] = True
+            resolved[ridx] = True
             residual = residual[~ready]
-
-        pos_out = new_pos.tolist()
-        speed_out = new_speed.tolist()
 
         time_s = self.time_s
         waiting = self._waiting
+        slot_vehicle = self._slot_vehicle
         if residual.size:
             # The residual set is a handful of queue-boundary vehicles, so
-            # scalar NumPy indexing beats materializing whole columns.
+            # scalar NumPy indexing beats materializing whole columns; the
+            # in-lane leader i-1 of a residual i is always final by the time
+            # i is processed (residual indices stay ascending).
             follow = cf.follow_scalar
             for i in residual.tolist():
                 length_i = length[i]
                 p, s = follow(
-                    pos[i], vfree[i], pos_out[i - 1], speed_out[i - 1],
+                    pos[i], vfree[i], new_pos[i - 1], new_speed[i - 1],
                     length_i, dt,
                 )
-                pos_out[i] = p
-                speed_out[i] = s
-                v = gathered[i]
-                v.pos_m = p
-                v.speed_mps = s
-                if p >= length_i - _ARRIVAL_EPS_M and v.waiting_since_s is None:
-                    v.waiting_since_s = time_s
-                    waiting.setdefault(v.edge, []).append(v)
+                new_pos[i] = p
+                new_speed[i] = s
+                if p >= length_i - _ARRIVAL_EPS_M:
+                    v = slot_vehicle[int(idx[i])]
+                    if v.waiting_since_s is None:
+                        v.waiting_since_s = time_s
+                        waiting.setdefault(v.edge, []).append(v)
 
         arrived = resolved & (new_pos >= length - _ARRIVAL_EPS_M)
         if arrived.any():
-            for i in np.nonzero(arrived)[0].tolist():
-                v = gathered[i]
+            for slot in idx[arrived].tolist():
+                v = slot_vehicle[slot]
                 if v.waiting_since_s is None:
                     v.waiting_since_s = time_s
                     waiting.setdefault(v.edge, []).append(v)
 
-        # Scatter: free-flowing traffic moves everything, a jammed network
-        # barely anything.  Stopped vehicles keep their exact stored values
-        # (neither engine ever stores a negative zero), so bitwise-identical
-        # writes can be skipped wholesale when few vehicles moved; residual
-        # vehicles wrote themselves above.
+        # Scatter: one bulk write into the resident arrays.  Stopped
+        # vehicles carry their exact prior bits through np.where, so the
+        # blanket write is bitwise identical to skipping them.
         moved = new_pos != pos
-        n_moved = int(moved.sum())
-        if n_moved * 2 >= n:
-            # Rewriting an unchanged value is bitwise harmless and cheaper
-            # than testing for it element by element.
-            for v, p, s in zip(gathered, pos_out, speed_out):
-                v.pos_m = p
-                v.speed_mps = s
-        else:
-            changed = resolved & (moved | (new_speed != speed))
-            for i, p, s in zip(
-                np.nonzero(changed)[0].tolist(),
-                new_pos[changed].tolist(),
-                new_speed[changed].tolist(),
-            ):
-                v = gathered[i]
-                v.pos_m = p
-                v.speed_mps = s
+        pos_a[idx] = new_pos
+        self._speed[idx] = new_speed
+        self._kinematics_stale = True
 
-        if watch:
-            self._detect_overtakes_batch(watch, moved, n_moved, events)
+        if watch_ei:
+            self._detect_overtakes_batch(
+                watch_ei, w_lo, w_hi, moved, int(moved.sum()), events
+            )
+
+    def _gather(
+        self,
+        watch_ei: Optional[List[int]],
+        w_lo: List[int],
+        w_hi: List[int],
+    ) -> Optional[np.ndarray]:
+        """Flatten the occupied edges' cached slot lists, in edge order.
+
+        When ``watch_ei`` is a list, the multilane segments eligible for
+        lane changes / overtake checks are recorded in the three parallel
+        span lists (edge index, gather start, gather end).  One
+        ``np.array`` over the flat resident lists is cheaper than
+        concatenating hundreds of small per-edge arrays.
+        """
+        flat: List[int] = []
+        cache = self._gather_cache
+        rebuild = self._rebuild_gather
+        if watch_ei is None:
+            for ei in self._occupied:
+                part = cache[ei]
+                if part is None:
+                    part = rebuild(ei)
+                flat += part
+        else:
+            state_by_index = self._state_by_index
+            base = 0
+            for ei in self._occupied:
+                part = cache[ei]
+                if part is None:
+                    part = rebuild(ei)
+                count = len(part)
+                if count > 1 and state_by_index[ei][3]:  # multilane
+                    watch_ei.append(ei)
+                    w_lo.append(base)
+                    w_hi.append(base + count)
+                flat += part
+                base += count
+        if not flat:
+            return None
+        return np.array(flat, dtype=np.intp)
+
+    def _lane_change_batch(
+        self,
+        idx: np.ndarray,
+        pos: np.ndarray,
+        speed: np.ndarray,
+        watch_ei: List[int],
+        w_lo: List[int],
+        w_hi: List[int],
+    ) -> List[Tuple[int, int, int]]:
+        """Vectorized lane-change pass over the gathered columns.
+
+        The blocked-follower predicate of
+        :meth:`LaneChangeModel.wants_to_change` is evaluated in one shot —
+        a follower's in-lane leader is gather index ``i-1`` — and must stay
+        boolean-identical to the scalar model (the engine-mode agreement
+        tests fail on divergence).  Candidates then run the scalar
+        target-lane choice in gather order, which is exactly the reference
+        engine's segment-by-segment, lane-by-lane, front-to-back scan order,
+        so the RNG stream is consumed identically.  Decisions within a
+        segment read the pre-change lane lists (the reference pass applies
+        its moves only after scanning the whole segment), so accepted moves
+        are buffered per segment and applied at the segment boundary.
+        Returns the ``(edge index, start, end)`` gather spans of the
+        segments whose lane order actually changed.
+        """
+        lc = self.lane_change
+        desired = self._desired[idx]
+        n = idx.shape[0]
+        cand = np.zeros(n, dtype=bool)
+        cand[1:] = ((pos[:-1] - pos[1:]) <= lc.blocked_distance_m) & (
+            (desired[1:] - speed[:-1]) > lc.speed_gain_threshold_mps
+        )
+        cand &= self._ml[idx] & ~self._is_head[idx]
+        patched: List[Tuple[int, int, int]] = []
+        if not cand.any():
+            return patched
+        slot_vehicle = self._slot_vehicle
+        state_by_index = self._state_by_index
+        rng = self.rng
+        wi = 0
+        ei = watch_ei[0]
+        span_start = w_lo[0]
+        span_end = w_hi[0]
+        st = state_by_index[ei]
+        seg = st[0]
+        lanes = st[2]
+        pending: List[Tuple[Vehicle, int]] = []
+        for i in cand.nonzero()[0].tolist():
+            if i >= span_end:
+                if pending:
+                    self._apply_lane_moves(ei, lanes, pending)
+                    patched.append((ei, span_start, span_end))
+                    pending = []
+                while w_hi[wi] <= i:
+                    wi += 1
+                ei = watch_ei[wi]
+                span_start = w_lo[wi]
+                span_end = w_hi[wi]
+                st = state_by_index[ei]
+                seg = st[0]
+                lanes = st[2]
+            v = slot_vehicle[int(idx[i])]
+            target = self._target_lane_soa(v, seg.lanes, lanes, rng)
+            if target is not None:
+                pending.append((v, target))
+        if pending:
+            self._apply_lane_moves(ei, lanes, pending)
+            patched.append((ei, span_start, span_end))
+        return patched
+
+    def _target_lane_soa(
+        self,
+        vehicle: Vehicle,
+        seg_lanes: int,
+        lanes: List[List[Vehicle]],
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        """Resident-array port of :meth:`LaneChangeModel.target_lane`.
+
+        Reads positions from the resident arrays instead of the (stale
+        during the step) Vehicle mirrors; RNG draws and candidate order are
+        identical to the model, which the engine-mode agreement tests pin.
+        """
+        lc = self.lane_change
+        if seg_lanes < 2:
+            return None
+        if rng.random() < lc.politeness:
+            return None
+        pos = self._pos
+        own = pos[vehicle.slot]
+        half = lc.required_gap_m / 2.0
+        candidates = []
+        for delta in (1, -1):
+            lane = vehicle.lane + delta
+            if 0 <= lane < seg_lanes:
+                for other in lanes[lane]:
+                    if abs(pos[other.slot] - own) < half:
+                        break
+                else:
+                    candidates.append(lane)
+        if not candidates:
+            return None
+        return int(
+            candidates[0]
+            if len(candidates) == 1
+            else candidates[int(rng.integers(len(candidates)))]
+        )
+
+    def _apply_lane_moves(
+        self,
+        ei: int,
+        lanes: List[List[Vehicle]],
+        moves: List[Tuple[Vehicle, int]],
+    ) -> None:
+        """Apply one segment's accepted lane changes to its sorted lists."""
+        pos = self._pos
+        for v, target in moves:
+            lanes[v.lane].remove(v)
+            v.lane = target
+            target_list = lanes[target]
+            i = bisect_left(
+                target_list, (-pos[v.slot], v.vid), key=self._lane_sort_key
+            )
+            target_list.insert(i, v)
+        self._gather_cache[ei] = None
 
     def _detect_overtakes_batch(
         self,
-        watch: List[Tuple[DirectedSegment, Tuple[object, object], int, int]],
+        watch_ei: List[int],
+        w_lo: List[int],
+        w_hi: List[int],
         moved: np.ndarray,
         n_moved: int,
         events: List[TrafficEvent],
@@ -619,22 +919,27 @@ class TrafficEngine:
         pairs (in the reference engine's insertion-order pair sequence) and
         re-sort their cache.
         """
-        if len(watch) > 1 and n_moved * 2 < moved.size:
+        if len(watch_ei) > 1 and n_moved * 2 < moved.size:
             # Mostly-jammed network: drop the watched segments where nothing
             # moved at all (their ranking trivially cannot have changed).
             csum = np.concatenate(([0], np.cumsum(moved)))
-            spans = np.array([(s, e) for _seg, _key, s, e in watch])
-            any_moved = csum[spans[:, 1]] > csum[spans[:, 0]]
+            any_moved = csum[np.array(w_hi)] > csum[np.array(w_lo)]
             if not any_moved.all():
-                watch = [w for w, m in zip(watch, any_moved.tolist()) if m]
-                if not watch:
+                watch_ei = [ei for ei, m in zip(watch_ei, any_moved.tolist()) if m]
+                if not watch_ei:
                     return
         ranked = self._ranked
-        chains: List[List[Vehicle]] = [ranked[key] for _seg, key, _s, _e in watch]
-        lens = list(map(len, chains))
-        arr = np.fromiter(
-            [v.pos_m for chain in chains for v in chain], np.float64, sum(lens)
-        )
+        ranked_cache = self._ranked_cache
+        flat: List[int] = []
+        lens: List[int] = []
+        for ei in watch_ei:
+            part = ranked_cache[ei]
+            if part is None:
+                part = [v.slot for v in ranked[ei]]
+                ranked_cache[ei] = part
+            flat += part
+            lens.append(len(part))
+        arr = self._pos[np.array(flat, dtype=np.intp)]
         inverted = arr[1:] < arr[:-1]
         bounds = np.cumsum(lens)
         inverted[bounds[:-1] - 1] = False
@@ -647,18 +952,18 @@ class TrafficEngine:
             for k in np.nonzero(ties)[0].tolist():
                 j = int(np.searchsorted(bounds, k, side="right"))
                 local = k - int(offsets[j])
-                chain = chains[j]
+                chain = ranked[watch_ei[j]]
                 if chain[local].vid > chain[local + 1].vid:
                     flagged.add(j)
         if not flagged:
             return
         for j in sorted(flagged):
-            seg, key = watch[j][0], watch[j][1]
-            ranked[key] = self._emit_overtakes(seg, ranked[key], events)
+            ei = watch_ei[j]
+            ranked[ei] = self._emit_overtakes(ei, ranked[ei], events)
 
     def _emit_overtakes(
         self,
-        seg: DirectedSegment,
+        ei: int,
         chain_before: List[Vehicle],
         events: List[TrafficEvent],
     ) -> List[Vehicle]:
@@ -671,10 +976,12 @@ class TrafficEngine:
         Pairs are scanned in the flat insertion order the reference engine
         used, so simultaneous events come out in the same sequence.
         """
-        chain_after = sorted(chain_before, key=_rank_key)
+        seg = self._state_by_index[ei][0]
+        chain_after = sorted(chain_before, key=self._rank_sort_key)
+        self._ranked_cache[ei] = None
         rank_before = {v.vid: r for r, v in enumerate(chain_before)}
         rank_after = {v.vid: r for r, v in enumerate(chain_after)}
-        order = [self.vehicles[vid] for vid in self._occupancy[seg.key]]
+        order = [self._vehicles[vid] for vid in self._occupancy[seg.key]]
         n = len(order)
         vids = [v.vid for v in order]
         for i in range(n):
@@ -705,7 +1012,7 @@ class TrafficEngine:
             if not vids:
                 continue
             seg = self.net.segment(*edge_key)
-            vehicles = [self.vehicles[v] for v in vids]
+            vehicles = [self._vehicles[v] for v in vids]
             before = {v.vid: (v.pos_m, v.vid) for v in vehicles}
 
             lanes_occ: List[List[Vehicle]] = [[] for _ in range(seg.lanes)]
@@ -821,7 +1128,7 @@ class TrafficEngine:
             policy = self.policy_for(node)
             front_per_lane: Dict[int, Vehicle] = {}
             for vid in vids:
-                v = self.vehicles[vid]
+                v = self._vehicles[vid]
                 if v.waiting_since_s is None:
                     continue
                 best = front_per_lane.get(v.lane)
@@ -843,7 +1150,7 @@ class TrafficEngine:
             # because vids are unique, so the edge key is never compared.
             waiting.sort()
             for _, vid, edge_key in waiting[: policy.admissions_per_step]:
-                vehicle = self.vehicles.get(vid)
+                vehicle = self._vehicles.get(vid)
                 if vehicle is None or vehicle.edge != edge_key:
                     continue
                 self._cross(vehicle, node, events)
@@ -859,7 +1166,9 @@ class TrafficEngine:
         wants_exit = vehicle.plan.exits_at == node and vehicle.plan.empty
         if gate is not None and gate.outbound and wants_exit and not vehicle.is_patrol:
             vehicle.exited_at_s = self.time_s
-            del self.vehicles[vehicle.vid]
+            del self._vehicles[vehicle.vid]
+            if self.vectorized:
+                self._release_slot(vehicle)
             self._departed[vehicle.vid] = vehicle
             self._inside_nonpatrol -= 1
             self.stats.exits += 1
@@ -871,19 +1180,25 @@ class TrafficEngine:
         assert vehicle.router is not None
         next_node = vehicle.router.next_hop(node, vehicle.plan, previous=tail)
         self.stats.crossings += 1
-        events.append(
-            CrossingEvent(
-                time_s=self.time_s,
-                vehicle=vehicle,
-                node=node,
-                from_node=tail,
-                to_node=next_node,
+        sink = self._sink
+        if sink is None:
+            events.append(
+                CrossingEvent(
+                    time_s=self.time_s,
+                    vehicle=vehicle,
+                    node=node,
+                    from_node=tail,
+                    to_node=next_node,
+                )
             )
-        )
+        else:
+            # Fast path: record the crossing in the step batch's parallel
+            # arrays; the int index keeps the event-stream ordering.
+            events.append(sink.add_crossing(vehicle, node, tail, next_node))
         self._place(vehicle, node, next_node, pos_m=0.0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"TrafficEngine(net={self.net.name!r}, t={self.time_s:.1f}s, "
-            f"vehicles={len(self.vehicles)}, crossings={self.stats.crossings})"
+            f"vehicles={len(self._vehicles)}, crossings={self.stats.crossings})"
         )

@@ -15,7 +15,7 @@ the topological context of the event.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from .vehicle import Vehicle
 
@@ -25,6 +25,7 @@ __all__ = [
     "EntryEvent",
     "ExitEvent",
     "TrafficEvent",
+    "StepBatch",
 ]
 
 
@@ -86,3 +87,73 @@ class ExitEvent:
 
 
 TrafficEvent = Union[CrossingEvent, OvertakeEvent, EntryEvent, ExitEvent]
+
+
+class StepBatch:
+    """One engine step's events with plain crossings in structure-of-arrays form.
+
+    The fast path between :meth:`TrafficEngine.step_batch` and
+    :meth:`CountingProtocol.process_batch`: instead of materializing one
+    :class:`CrossingEvent` object per intersection crossing, the engine
+    appends the crossing's fields to four parallel arrays
+    (``cross_vehicle`` / ``cross_node`` / ``cross_from`` / ``cross_to``) and
+    records the *index* in the ordered ``items`` stream.  Irregular events
+    (entries, exits, overtakes) stay scalar event objects in ``items`` so the
+    protocol's flush-barrier ordering is exactly the event-list order.
+
+    All events of one step share the same timestamp, so ``time_s`` is stored
+    once on the batch.  :meth:`iter_events` materializes the equivalent
+    plain event list for consumers that want objects (tracing, debugging).
+    """
+
+    __slots__ = (
+        "time_s",
+        "items",
+        "cross_vehicle",
+        "cross_node",
+        "cross_from",
+        "cross_to",
+    )
+
+    def __init__(self, time_s: float) -> None:
+        self.time_s = time_s
+        #: Ordered stream: ``int`` entries index the crossing arrays, every
+        #: other entry is a :data:`TrafficEvent` object.
+        self.items: List[object] = []
+        self.cross_vehicle: List[Vehicle] = []
+        self.cross_node: List[object] = []
+        self.cross_from: List[Optional[object]] = []
+        self.cross_to: List[object] = []
+
+    def add_crossing(
+        self,
+        vehicle: Vehicle,
+        node: object,
+        from_node: Optional[object],
+        to_node: object,
+    ) -> int:
+        """Append one plain crossing; returns its index for ``items``."""
+        i = len(self.cross_vehicle)
+        self.cross_vehicle.append(vehicle)
+        self.cross_node.append(node)
+        self.cross_from.append(from_node)
+        self.cross_to.append(to_node)
+        return i
+
+    def crossing_event(self, i: int) -> CrossingEvent:
+        """Materialize crossing ``i`` as a :class:`CrossingEvent` object."""
+        return CrossingEvent(
+            time_s=self.time_s,
+            vehicle=self.cross_vehicle[i],
+            node=self.cross_node[i],
+            from_node=self.cross_from[i],
+            to_node=self.cross_to[i],
+        )
+
+    def iter_events(self) -> Iterator[TrafficEvent]:
+        """The equivalent scalar event stream, in order."""
+        for item in self.items:
+            yield self.crossing_event(item) if type(item) is int else item
+
+    def __len__(self) -> int:
+        return len(self.items)

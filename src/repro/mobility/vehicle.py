@@ -94,6 +94,12 @@ class Vehicle:
     speed_mps: float = 0.0
     previous_node: Optional[object] = None
     waiting_since_s: Optional[float] = None
+    #: Index into the engine's resident structure-of-arrays state (vectorized
+    #: engine only; ``-1`` outside it).  While a vehicle is inside a
+    #: vectorized engine, ``pos_m``/``speed_mps`` above are a lazily synced
+    #: mirror of the arrays — the engine refreshes them before any public
+    #: read (see ``TrafficEngine.vehicles``).
+    slot: int = -1
 
     # --- carried protocol state ---
     counted: bool = False

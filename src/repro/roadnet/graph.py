@@ -133,6 +133,9 @@ class RoadNetwork:
         self._frozen = False
         self._nx_cache: Optional[nx.DiGraph] = None
         self._adjacency_cache: Optional[Tuple[dict, dict]] = None
+        self._revision = 0
+        self._route_cache: Dict[Tuple[object, object], Tuple[object, ...]] = {}
+        self._route_cache_rev = 0
 
     # ------------------------------------------------------------------ build
     def add_intersection(self, node: object, pos: Optional[Tuple[float, float]] = None) -> None:
@@ -143,6 +146,8 @@ class RoadNetwork:
         effect on the protocol itself.
         """
         self._check_mutable()
+        if node not in self._out:
+            self._revision += 1
         self._out.setdefault(node, [])
         self._in.setdefault(node, [])
         if pos is not None:
@@ -186,6 +191,7 @@ class RoadNetwork:
         self._segments[key] = seg
         self._out[tail].append(head)
         self._in[head].append(tail)
+        self._revision += 1
         # If the reverse direction already existed it is no longer one-way.
         rev = (head, tail)
         if rev in self._segments and self._segments[rev].oneway:
@@ -240,6 +246,29 @@ class RoadNetwork:
     def frozen(self) -> bool:
         """Whether :meth:`freeze` has been called."""
         return self._frozen
+
+    @property
+    def revision(self) -> int:
+        """Monotone counter bumped on every structural mutation.
+
+        Derived caches (the route cache in :mod:`repro.roadnet.routing`) key
+        their validity on this counter, so they survive for the lifetime of
+        a frozen network and self-invalidate if an unfrozen network grows.
+        """
+        return self._revision
+
+    def route_cache(self) -> Dict[Tuple[object, object], Tuple[object, ...]]:
+        """The ``(origin, destination) -> node-path`` memo for this network.
+
+        Cleared automatically whenever :attr:`revision` has moved since the
+        cache was last touched; callers (see
+        :func:`repro.roadnet.routing.shortest_path`) treat the stored tuples
+        as immutable.
+        """
+        if self._route_cache_rev != self._revision:
+            self._route_cache = {}
+            self._route_cache_rev = self._revision
+        return self._route_cache
 
     @property
     def nodes(self) -> List[object]:

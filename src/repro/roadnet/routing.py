@@ -34,6 +34,8 @@ __all__ = [
     "RandomTurnRouter",
     "FixedTripRouter",
     "shortest_path",
+    "shortest_path_uncached",
+    "warm_gate_routes",
     "path_length_m",
 ]
 
@@ -41,7 +43,34 @@ __all__ = [
 def shortest_path(net: RoadNetwork, origin: object, destination: object) -> List[object]:
     """Shortest path (by free-flow travel time) between two intersections.
 
+    Memoized per network: results are stored in the network's route cache
+    (:meth:`RoadNetwork.route_cache`), keyed on ``(origin, destination)``
+    and implicitly on the network's :attr:`RoadNetwork.revision` counter, so
+    a frozen network pays Dijkstra once per pair ever, and a network that is
+    still being built self-invalidates on mutation.  Cached and computed
+    paths are identical — including heap tie-breaks — because the cache
+    stores exactly what :func:`shortest_path_uncached` returned.  Returns a
+    fresh list on every call (callers may mutate it).
+
     Raises :class:`~repro.errors.RoutingError` when no path exists.
+    """
+    cache = net.route_cache()
+    key = (origin, destination)
+    hit = cache.get(key)
+    if hit is not None:
+        return list(hit)
+    path = shortest_path_uncached(net, origin, destination)
+    cache[key] = tuple(path)
+    return path
+
+
+def shortest_path_uncached(
+    net: RoadNetwork, origin: object, destination: object
+) -> List[object]:
+    """Compute the shortest path without touching the route cache.
+
+    The reference the cache equivalence tests compare against.  Raises
+    :class:`~repro.errors.RoutingError` when no path exists.
     """
     succ, pred = net.travel_time_adjacency()
     if origin not in succ or destination not in succ:
@@ -50,6 +79,32 @@ def shortest_path(net: RoadNetwork, origin: object, destination: object) -> List
     if path is None:
         raise RoutingError(f"no route from {origin!r} to {destination!r}")
     return path
+
+
+def warm_gate_routes(net: RoadNetwork) -> int:
+    """Precompute the all-gates route table (open systems).
+
+    Fills the network's route cache with the shortest path from every
+    inbound gate to every other outbound gate — exactly the pairs
+    :class:`FixedTripRouter` trip spawning asks for — so steady-state border
+    spawning does zero Dijkstra work from the first arrival on.  Optional:
+    memoization alone reaches the same steady state after one spawn per
+    pair.  Unreachable pairs are skipped.  Returns the number of routes now
+    resident in the cache.
+    """
+    inbound = [g.node for g in net.gates.values() if g.inbound]
+    outbound = [g.node for g in net.gates.values() if g.outbound]
+    count = 0
+    for origin in inbound:
+        for destination in outbound:
+            if origin == destination:
+                continue
+            try:
+                shortest_path(net, origin, destination)
+            except RoutingError:
+                continue
+            count += 1
+    return count
 
 
 def _bidirectional_dijkstra(

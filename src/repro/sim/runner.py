@@ -36,6 +36,11 @@ __all__ = ["SweepSpec", "ExperimentRunner", "run_single", "replication_seed"]
 
 NetworkFactory = Callable[[], RoadNetwork]
 
+#: Smallest pending-cell count worth paying process-pool startup for; below
+#: this (or on a single-CPU host) the sweep runs serially — spawning workers
+#: for a tiny grid is strictly slower than just running it.
+MIN_PARALLEL_CELLS = 4
+
 
 @dataclass(frozen=True)
 class SweepSpec:
@@ -140,6 +145,24 @@ def replication_seed(
     return int(base_seed) + mixed
 
 
+def _run_cells_chunk_job(
+    network_factory: NetworkFactory,
+    base_config: ScenarioConfig,
+    axes: Sequence[Tuple[float, int]],
+    replications: int,
+) -> List[SweepCell]:
+    """Run a chunk of (volume, seeds) cells in one worker task.
+
+    Chunking amortizes the per-task pickling/IPC overhead that made the
+    one-future-per-cell fan-out no faster than the serial loop on short
+    cells; each cell's result is still a pure function of its coordinates.
+    """
+    return [
+        _run_cell_job(network_factory, base_config, volume, seeds, replications)
+        for volume, seeds in axes
+    ]
+
+
 def _run_cell_job(
     network_factory: NetworkFactory,
     base_config: ScenarioConfig,
@@ -206,6 +229,11 @@ class ExperimentRunner:
         self.name = name or base_config.name
         self.parallel = bool(parallel)
         self.max_workers = max_workers
+        #: Whether the most recent :meth:`run_sweep` actually executed cells
+        #: on a process pool (observed, not predicted: stays False when the
+        #: parallel heuristics, the pickling checks or a broken pool forced
+        #: the serial path).  None before any sweep has run.
+        self.used_process_pool: Optional[bool] = None
 
     def run_cell(
         self, volume_fraction: float, num_seeds: int, replications: int
@@ -244,6 +272,7 @@ class ExperimentRunner:
         """
         cells_axes = spec.cell_axes
         total = len(cells_axes)
+        self.used_process_pool = False
         notify_observers(observers, "on_sweep_start", spec, total)
         cells: List[Optional[SweepCell]] = [None] * total
         pending: List[int] = []
@@ -258,7 +287,7 @@ class ExperimentRunner:
                 stopped = True
                 break
         if not stopped and pending:
-            if self.parallel and len(pending) > 1:
+            if self.parallel and self._worth_parallelizing(len(pending)):
                 self._run_pending_parallel(
                     cells, pending, cells_axes, spec.replications, observers, total
                 )
@@ -270,6 +299,25 @@ class ExperimentRunner:
         result.cells.extend(cell for cell in cells if cell is not None)
         notify_observers(observers, "on_sweep_end", result)
         return result
+
+    def _worth_parallelizing(self, n_pending: int) -> bool:
+        """Whether a process pool can possibly beat the serial loop.
+
+        ``parallel=True`` is a request, not a mandate: on a single-CPU host
+        the pool only adds spawn/pickle overhead (the flat "speedup" the
+        benchmark used to record), and for a grid smaller than
+        :data:`MIN_PARALLEL_CELLS` the pool startup dominates the work.
+        An explicit ``max_workers > 1`` overrides both heuristics (the
+        caller has measured their machine — or is a test exercising the
+        pool path deliberately).
+        """
+        if n_pending < 2:
+            return False
+        if self.max_workers is not None and self.max_workers > 1:
+            return True
+        if n_pending < MIN_PARALLEL_CELLS:
+            return False
+        return (os.cpu_count() or 1) > 1
 
     def _run_pending_serial(
         self,
@@ -329,29 +377,44 @@ class ExperimentRunner:
                     return self._run_pending_serial(
                         cells, pending, cells_axes, replications, observers, total
                     )
+                # Chunk the pending cells across the workers (a few chunks
+                # per worker so a slow chunk cannot straggle the pool) and
+                # submit chunks, not cells: one pickle round trip per chunk.
+                chunk_size = max(1, -(-len(pending) // (workers * 4)))
+                chunks = [
+                    pending[i: i + chunk_size]
+                    for i in range(0, len(pending), chunk_size)
+                ]
                 futures = [
                     (
-                        idx,
+                        chunk,
                         pool.submit(
-                            _run_cell_job, self.network_factory, self.base_config,
-                            cells_axes[idx][0], cells_axes[idx][1], replications,
+                            _run_cells_chunk_job, self.network_factory,
+                            self.base_config,
+                            [cells_axes[idx] for idx in chunk], replications,
                         ),
                     )
-                    for idx in pending
+                    for chunk in chunks
                 ]
-                for pos, (idx, future) in enumerate(futures):
-                    cell = future.result()
-                    cells[idx] = cell
-                    if notify_observers_stop(
-                        observers, "on_cell_done", cell, idx, total
-                    ):
-                        for _idx, later in futures[pos + 1:]:
-                            later.cancel()
-                        return
+                self.used_process_pool = True
+                for pos, (chunk, future) in enumerate(futures):
+                    chunk_cells = future.result()
+                    for idx, cell in zip(chunk, chunk_cells):
+                        cells[idx] = cell
+                        if notify_observers_stop(
+                            observers, "on_cell_done", cell, idx, total
+                        ):
+                            # Stop exactly like the serial path: the rest of
+                            # this chunk (already computed, but not yet
+                            # reported) is discarded, later chunks cancelled.
+                            for _chunk, later in futures[pos + 1:]:
+                                later.cancel()
+                            return
         except (BrokenProcessPool, OSError, pickle.PicklingError) as exc:
             warnings.warn(
                 f"parallel sweep failed ({exc}); rerunning serially", stacklevel=4
             )
+            self.used_process_pool = False
             remaining = [idx for idx in pending if cells[idx] is None]
             return self._run_pending_serial(
                 cells, remaining, cells_axes, replications, observers, total

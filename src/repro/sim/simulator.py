@@ -195,13 +195,15 @@ class Simulation:
     def step(self) -> None:
         """Advance the scenario by one engine time step.
 
-        The step's whole event list is handed to the counting protocol in one
-        call: through the batched pipeline
-        (:meth:`~repro.core.protocol.CountingProtocol.process_batch`) when
-        ``config.batched`` is set (the default), or through the scalar
-        per-event reference path
-        (:meth:`~repro.core.protocol.CountingProtocol.handle_events`)
-        otherwise.  The two are bit-for-bit equivalent.
+        The step's whole event stream is handed to the counting protocol in
+        one call.  With ``config.batched`` (the default) the engine emits a
+        :class:`~repro.mobility.events.StepBatch` — plain crossings as
+        indices into parallel arrays, no per-crossing event objects — which
+        goes straight into the batched pipeline
+        (:meth:`~repro.core.protocol.CountingProtocol.process_batch`).
+        Otherwise the scalar per-event reference path runs
+        (:meth:`~repro.core.protocol.CountingProtocol.handle_events`) over
+        materialized event objects.  The two are bit-for-bit equivalent.
         """
         if not self._populated:
             self.populate()
@@ -210,13 +212,25 @@ class Simulation:
             for spec in self.demand.border_arrivals(self.engine.dt_s, t_s=self.engine.time_s):
                 _vehicle, events = self.engine.spawn(spec)
                 injected.extend(events)
-        events = injected + self.engine.step()
-        for event in events:
-            if isinstance(event, CrossingEvent):
-                self.monitor.note_traffic(event.from_node, event.node, event.time_s)
+        note_traffic = self.monitor.note_traffic
         if self.config.batched:
-            self.protocol.process_batch(events)
+            batch = self.engine.step_batch()
+            if injected:
+                batch.items[:0] = injected
+            cross_from = batch.cross_from
+            cross_node = batch.cross_node
+            time_s = batch.time_s
+            for item in batch.items:
+                if type(item) is int:
+                    note_traffic(cross_from[item], cross_node[item], time_s)
+                elif isinstance(item, CrossingEvent):
+                    note_traffic(item.from_node, item.node, item.time_s)
+            self.protocol.process_batch(batch)
         else:
+            events = injected + self.engine.step()
+            for event in events:
+                if isinstance(event, CrossingEvent):
+                    note_traffic(event.from_node, event.node, event.time_s)
             self.protocol.handle_events(events)
         self.monitor.observe(self.engine.time_s)
 
@@ -299,15 +313,25 @@ class Simulation:
             if self.config.open_system:
                 return self.engine.inside_count()
             return self.engine.total_spawned()
+        # Iterate without materializing intermediate lists (the engine's
+        # iterator variant of active_vehicles).
         if self.config.open_system:
-            pool = [v for v in self.engine.vehicles.values() if not v.is_patrol]
-        else:
-            pool = [
-                v
-                for v in list(self.engine.vehicles.values()) + self.engine.departed_vehicles()
-                if not v.is_patrol
-            ]
-        return sum(1 for v in pool if target.matches(v.signature))
+            return sum(
+                1
+                for v in self.engine.iter_active(include_patrol=False)
+                if target.matches(v.signature)
+            )
+        inside = sum(
+            1
+            for v in self.engine.iter_active(include_patrol=False)
+            if target.matches(v.signature)
+        )
+        departed = sum(
+            1
+            for v in self.engine.iter_departed()
+            if not v.is_patrol and target.matches(v.signature)
+        )
+        return inside + departed
 
     def result(self) -> RunResult:
         """Summarize the current state into a :class:`RunResult`."""

@@ -208,6 +208,93 @@ class TestCounters:
         assert eng.active_count(include_patrol=False) == 0
 
 
+class TestResidentSoA:
+    """The resident structure-of-arrays core and its batch event stream."""
+
+    def test_step_batch_equals_step_events(self, two_lane_grid):
+        """step_batch() must describe exactly the events step() returns."""
+        def run(batched):
+            eng = TrafficEngine(two_lane_grid, np.random.default_rng(5))
+            dm = DemandModel(
+                two_lane_grid, DemandConfig(volume_fraction=1.0), np.random.default_rng(5)
+            )
+            eng.spawn_initial(dm.initial_fleet())
+            out = []
+            for _ in range(200):
+                if batched:
+                    out.extend(eng.step_batch().iter_events())
+                else:
+                    out.extend(eng.step())
+            return out
+
+        objects, batches = run(False), run(True)
+        assert len(objects) == len(batches)
+        for a, b in zip(objects, batches):
+            assert type(a) is type(b)
+            if isinstance(a, CrossingEvent):
+                assert (a.time_s, a.vehicle.vid, a.node, a.from_node, a.to_node) == (
+                    b.time_s, b.vehicle.vid, b.node, b.from_node, b.to_node
+                )
+
+    def test_step_batch_plain_crossings_are_indices(self, small_grid, rng):
+        eng = make_engine(small_grid)
+        dm = DemandModel(small_grid, DemandConfig(volume_fraction=1.0), rng)
+        eng.spawn_initial(dm.initial_fleet())
+        crossings = 0
+        for _ in range(200):
+            batch = eng.step_batch()
+            for item in batch.items:
+                if type(item) is int:
+                    crossings += 1
+                    assert batch.cross_vehicle[item].vid >= 0
+                    assert small_grid.has_segment(
+                        batch.cross_node[item], batch.cross_to[item]
+                    )
+        assert crossings > 0
+        assert eng.stats.crossings == crossings
+
+    def test_slots_are_recycled_on_exit(self, gated_grid, rng):
+        """Exited vehicles free their slots; arrays stay bounded."""
+        eng = make_engine(gated_grid)
+        for wave in range(12):
+            router = FixedTripRouter(gated_grid, rng, destination=(3, 3), exit_on_arrival=True)
+            eng.spawn(spec_at(gated_grid, rng, (0, 0), via_gate=True, router=router))
+            for _ in range(2000):
+                eng.step()
+                if not eng.vehicles:
+                    break
+            assert eng.inside_count() == 0
+        assert eng.total_spawned() == 12
+        # All 12 waves reused the same slot: only one slot was ever
+        # allocated, and it is back on the free list after the last exit.
+        assert eng._next_slot == 1
+        assert eng._free_slots == [0]
+
+    def test_vehicle_mirrors_synced_on_public_read(self, small_grid, rng):
+        """After steps, engine.vehicles exposes fresh kinematics."""
+        eng = make_engine(small_grid)
+        dm = DemandModel(small_grid, DemandConfig(volume_fraction=1.0), rng)
+        eng.spawn_initial(dm.initial_fleet())
+        for _ in range(50):
+            eng.step()
+        for v in eng.vehicles.values():
+            assert v.slot >= 0
+            assert v.pos_m == float(eng._pos[v.slot])
+            assert v.speed_mps == float(eng._speed[v.slot])
+        for v in eng.iter_active(include_patrol=False):
+            assert not v.is_patrol
+
+    def test_active_vehicles_list_matches_iterator(self, small_grid, rng):
+        eng = make_engine(small_grid)
+        dm = DemandModel(small_grid, DemandConfig(volume_fraction=0.5), rng)
+        eng.spawn_initial(dm.initial_fleet())
+        eng.run(30.0)
+        assert eng.active_vehicles() == list(eng.iter_active())
+        assert len(eng.active_vehicles(include_patrol=False)) == eng.active_count(
+            include_patrol=False
+        )
+
+
 class TestDeterminism:
     def test_same_seed_same_trajectories(self, small_grid):
         def run(seed):

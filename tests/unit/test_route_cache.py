@@ -1,0 +1,149 @@
+"""Route cache: memoized shortest paths and the all-gates route table.
+
+The cache must be *transparent*: every cached (or table-warmed) path has to
+be identical — node for node, including Dijkstra heap tie-breaks — to what
+the uncached computation returns, and a mutation of an unfrozen network must
+invalidate it through the revision counter.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.roadnet.builders import arterial_network, grid_network, ring_network
+from repro.roadnet.graph import Gate, RoadNetwork
+from repro.roadnet.routing import (
+    shortest_path,
+    shortest_path_uncached,
+    warm_gate_routes,
+)
+
+
+def _all_pairs(net, limit=None):
+    nodes = net.nodes
+    pairs = [(o, d) for o in nodes for d in nodes if o != d]
+    return pairs[:limit] if limit is not None else pairs
+
+
+# ------------------------------------------------------------------ equality
+networks = st.one_of(
+    st.tuples(st.integers(2, 4), st.integers(2, 4)).map(
+        lambda rc: grid_network(rc[0], rc[1])
+    ),
+    st.tuples(st.integers(3, 9), st.booleans()).map(
+        lambda ab: ring_network(ab[0], one_way=ab[1])
+    ),
+    st.tuples(st.integers(2, 3), st.integers(2, 4)).map(
+        lambda rc: arterial_network(rc[0], rc[1])
+    ),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(net=networks, data=st.data())
+def test_cached_path_identical_to_uncached(net, data):
+    """Cache hits reproduce the uncached path exactly, tie-breaks included."""
+    pairs = _all_pairs(net)
+    pair = data.draw(st.sampled_from(pairs))
+    origin, dest = pair
+    reference = shortest_path_uncached(net, origin, dest)
+    first = shortest_path(net, origin, dest)  # cache miss
+    second = shortest_path(net, origin, dest)  # cache hit
+    assert first == reference
+    assert second == reference
+    # Fresh list per call: mutating a result must not corrupt the cache.
+    second.append("garbage")
+    assert shortest_path(net, origin, dest) == reference
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rows=st.integers(2, 3),
+    cols=st.integers(2, 4),
+)
+def test_gate_route_table_matches_uncached(rows, cols):
+    """Table-warmed gate routes equal the uncached computation pairwise."""
+    net = grid_network(rows, cols, gates_on_border=True)
+    warmed = warm_gate_routes(net)
+    assert warmed > 0
+    inbound = [g.node for g in net.gates.values() if g.inbound]
+    outbound = [g.node for g in net.gates.values() if g.outbound]
+    for origin in inbound:
+        for dest in outbound:
+            if origin == dest:
+                continue
+            assert shortest_path(net, origin, dest) == shortest_path_uncached(
+                net, origin, dest
+            )
+
+
+# -------------------------------------------------------------- invalidation
+class TestCacheInvalidation:
+    def _two_route_net(self):
+        # A -> B directly (slow detour) vs a shortcut added later.
+        net = RoadNetwork(name="mutable")
+        net.add_segment("a", "b", 100.0)
+        net.add_segment("b", "c", 1000.0)
+        net.add_segment("c", "a", 100.0)
+        return net
+
+    def test_revision_bumps_on_mutation(self):
+        net = self._two_route_net()
+        rev = net.revision
+        net.add_segment("b", "d", 50.0)
+        net.add_segment("d", "c", 50.0)
+        assert net.revision > rev
+
+    def test_mutation_invalidates_cached_path(self):
+        net = self._two_route_net()
+        assert shortest_path(net, "b", "c") == ["b", "c"]
+        assert ("b", "c") in net.route_cache()
+        # Add a faster two-hop detour: the cached direct path must not
+        # survive the graph revision bump.
+        net.add_segment("b", "d", 10.0)
+        net.add_segment("d", "c", 10.0)
+        assert ("b", "c") not in net.route_cache()
+        assert shortest_path(net, "b", "c") == ["b", "d", "c"]
+        assert shortest_path(net, "b", "c") == shortest_path_uncached(net, "b", "c")
+
+    def test_frozen_network_keeps_cache(self):
+        net = grid_network(3, 3)
+        shortest_path(net, (0, 0), (2, 2))
+        assert net.route_cache()
+        rev = net.revision
+        shortest_path(net, (0, 0), (1, 2))
+        assert net.revision == rev
+        assert len(net.route_cache()) == 2
+
+    def test_no_route_is_not_cached(self):
+        net = self._two_route_net()
+        with pytest.raises(RoutingError):
+            shortest_path(net, "a", "nowhere")
+        assert ("a", "nowhere") not in net.route_cache()
+
+
+class TestWarmGateRoutes:
+    def test_closed_network_warms_nothing(self):
+        net = grid_network(3, 3)
+        assert warm_gate_routes(net) == 0
+
+    def test_warm_counts_resident_pairs(self):
+        net = grid_network(3, 3, gates_on_border=True)
+        gates = len(net.gates)
+        assert warm_gate_routes(net) == gates * (gates - 1)
+        assert len(net.route_cache()) == gates * (gates - 1)
+
+    def test_inbound_only_gate_is_origin_not_destination(self):
+        net = grid_network(3, 3)
+        net = net.open_copy(
+            [
+                Gate(node=(0, 0), inbound=True, outbound=False),
+                Gate(node=(2, 2), inbound=True, outbound=True),
+                Gate(node=(0, 2), inbound=False, outbound=True),
+            ]
+        )
+        count = warm_gate_routes(net)
+        # origins: (0,0) and (2,2); destinations: (2,2) and (0,2), minus
+        # the origin==destination pair.
+        assert count == 3

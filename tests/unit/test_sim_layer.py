@@ -276,7 +276,11 @@ class TestRunner:
 
     def test_parallel_sweep_falls_back_on_unpicklable_factory(self, simple_model_config):
         factory = lambda: grid_network(3, 3, lanes=1)  # lambdas cannot pickle
-        runner = ExperimentRunner(factory, simple_model_config, parallel=True)
+        # max_workers=2 opts past the cpu-count/tiny-grid heuristics so the
+        # pickle check is actually reached (and must warn + fall back).
+        runner = ExperimentRunner(
+            factory, simple_model_config, parallel=True, max_workers=2
+        )
         spec = SweepSpec(volumes=(0.5,), seed_counts=(1, 2), replications=1)
         with pytest.warns(UserWarning, match="parallel sweep disabled"):
             sweep = runner.run_sweep(spec)
