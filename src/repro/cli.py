@@ -19,9 +19,21 @@ persisted to a result store and replayed bit for bit.
     ``sweep`` section: ``sweep --spec FILE --out DIR --resume``.  Interrupted
     sweeps resume cell-for-cell identical to an uninterrupted run.
 
+    ``--retries`` / ``--cell-timeout`` / ``--keep-going`` supervise the
+    cells: failed cells are retried with deterministic backoff, a cell
+    exceeding its wall-clock budget has its worker reaped (pool runs), and
+    with ``--keep-going`` a cell that exhausts its retries is recorded as a
+    failure instead of aborting the sweep.  The supervision report lands in
+    ``<store>/health.json``.
+
 ``replay``
     Re-run the experiment stored in a result-store directory and verify the
     fresh results reproduce the stored ones bit for bit.
+
+``store-check``
+    Verify a result store's on-disk integrity (fsck): manifest parse,
+    per-record checksums, torn/corrupt record quarantine, failure records,
+    writer-lock state.  Exit code 1 when anything is damaged.
 
 ``export-spec``
     Write a registry scenario as an experiment-spec file (the serializable
@@ -52,6 +64,8 @@ Examples
     repro-count run --config examples/spec_midtown.json --save
     repro-count replay runs/spec-midtown
     repro-count sweep --spec my_sweep.json --out runs/my-sweep --resume
+    repro-count sweep --spec my_sweep.json --retries 2 --cell-timeout 300 --keep-going
+    repro-count store-check runs/my-sweep
     repro-count export-spec lossy-grid --out lossy.json
     repro-count figure 2 --quick
     repro-count validate --registry-only
@@ -73,6 +87,7 @@ from .experiments import (
     NetworkSpec,
     ProgressObserver,
     ResultStore,
+    RetryPolicy,
     replay,
 )
 from .mobility.demand import DemandConfig
@@ -170,11 +185,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the machine-readable sweep record")
     swp.add_argument("--progress", action="store_true",
                      help="report per-cell progress to stderr")
+    swp.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry each failed cell up to N times (deterministic "
+        "exponential backoff; retrying cannot change results — every cell "
+        "is a pure function of its coordinates)",
+    )
+    swp.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget on the pool path: a hung cell's "
+        "worker is killed and the pool restarted instead of blocking the "
+        "sweep (counts as one attempt)",
+    )
+    swp.add_argument(
+        "--keep-going", action="store_true",
+        help="record a cell that exhausts its retries as a failure "
+        "(visible in health.json and store-check; re-run by --resume) "
+        "instead of aborting the sweep",
+    )
 
     rep = sub.add_parser(
         "replay", help="re-run a stored experiment and verify bit-for-bit reproduction"
     )
     rep.add_argument("store", metavar="DIR", help="result-store directory")
+
+    chk = sub.add_parser(
+        "store-check", help="verify a result store's on-disk integrity (fsck)"
+    )
+    chk.add_argument("store", metavar="DIR", help="result-store directory")
+    chk.add_argument("--json", action="store_true",
+                     help="print the machine-readable integrity report")
 
     exp = sub.add_parser("export-spec", help="write a registry scenario as a spec file")
     exp.add_argument("scenario", help="scenario name (see list-scenarios)")
@@ -333,6 +373,8 @@ def _sweep_record(sweep) -> dict:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
+        if args.retries < 0:
+            raise ReproError("--retries must be >= 0")
         spec = ExperimentSpec.load(args.spec)
         if spec.sweep is None:
             raise ReproError(
@@ -341,20 +383,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         store = ResultStore(args.out) if args.out is not None else _store_for(spec, _AUTO_SAVE)
         observers = [ProgressObserver()] if args.progress else []
+        retry = RetryPolicy(
+            max_attempts=args.retries + 1,
+            backoff_base_s=0.1 if args.retries else 0.0,
+            cell_timeout_s=args.cell_timeout,
+            keep_going=args.keep_going,
+        )
         result = spec.run(
             observers=observers,
             store=store,
             resume=args.resume,
             parallel=args.parallel,
+            retry=retry,
         )
     except (ReproError, OSError, json.JSONDecodeError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    health = result.health
     if args.json:
-        print(json.dumps(_sweep_record(result), sort_keys=True))
+        record = _sweep_record(result)
+        if health is not None:
+            record["health"] = health.as_dict()
+        print(json.dumps(record, sort_keys=True))
     else:
         print(describe_sweep(result))
+        if health is not None:
+            print(health.describe())
         print(f"(results stored in {store.root})")
+    if health is not None and not health.ok:
+        return 1
     return 0 if result.all_exact else 1
 
 
@@ -366,6 +423,23 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         return 2
     print(report.describe())
     return 0 if report.matches else 1
+
+
+def _cmd_store_check(args: argparse.Namespace) -> int:
+    try:
+        store = ResultStore(args.store)
+        if not store.root.is_dir():
+            # Nothing there at all is a usage error, not store damage.
+            raise ReproError(f"no result store at {store.root}")
+        report = store.integrity_report()
+    except (ReproError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True))
+    else:
+        print(report.describe())
+    return 0 if report.ok else 1
 
 
 def _cmd_export_spec(args: argparse.Namespace) -> int:
@@ -501,6 +575,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "replay": _cmd_replay,
+        "store-check": _cmd_store_check,
         "export-spec": _cmd_export_spec,
         "list-scenarios": _cmd_list_scenarios,
         "figure": _cmd_figure,

@@ -20,6 +20,7 @@ __all__ = [
     "PatrolError",
     "ConvergenceError",
     "ExperimentError",
+    "StoreCorruptionError",
 ]
 
 
@@ -71,3 +72,9 @@ class ConvergenceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment sweep was misconfigured or produced inconsistent data."""
+
+
+class StoreCorruptionError(ExperimentError):
+    """A result store's on-disk state is damaged (half-written manifest,
+    corrupt records, ...).  The message names the store path; running
+    ``repro-count store-check <dir>`` prints a full integrity report."""

@@ -18,9 +18,18 @@ and the store layout.
 """
 
 from ..roadnet.registry import NetworkSpec, builder_names, get_builder, register_builder
+from ..sim.runner import RetryPolicy
+from .faults import FaultPlan, InjectedFault, install_torn_writes
 from .observers import EarlyStopObserver, Observer, ProgressObserver
 from .spec import SPEC_FORMAT, ExperimentSpec
-from .store import ReplayReport, ResultStore, config_hash, replay
+from .store import (
+    IntegrityReport,
+    ReplayReport,
+    ResultStore,
+    config_hash,
+    record_checksum,
+    replay,
+)
 
 __all__ = [
     "NetworkSpec",
@@ -32,8 +41,14 @@ __all__ = [
     "EarlyStopObserver",
     "SPEC_FORMAT",
     "ExperimentSpec",
+    "RetryPolicy",
+    "FaultPlan",
+    "InjectedFault",
+    "install_torn_writes",
     "ResultStore",
+    "IntegrityReport",
     "ReplayReport",
     "config_hash",
+    "record_checksum",
     "replay",
 ]

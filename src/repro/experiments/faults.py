@@ -1,0 +1,215 @@
+"""Deterministic fault injection for chaos-testing the sweep infrastructure.
+
+The reliability layer (``RetryPolicy`` supervision in the runner, the
+crash-safe ``ResultStore``) claims that a sweep survives raising, hanging
+and dying workers — and torn store writes — without changing a single
+completed cell.  That claim is only worth something if it can be *proved*,
+the same way golden traces prove determinism: by injecting a chosen fault
+schedule and checking the surviving results bit for bit against an
+undisturbed run.
+
+A :class:`FaultPlan` is that schedule.  It is
+
+* **deterministic** — faults fire at explicit ``(cell_index, attempt)``
+  pairs; :meth:`FaultPlan.random` derives a schedule from a seed, so a
+  failing chaos test names the exact plan that broke the sweep;
+* **serializable** — plain data (:meth:`to_dict` / :meth:`from_dict`) and
+  picklable, so it ships to pool workers with the chunk jobs;
+* **side-effect faithful** — ``raise`` raises :class:`InjectedFault`,
+  ``hang`` sleeps past any sane cell timeout, ``kill`` hard-exits the worker
+  process with ``os._exit`` (no cleanup, no exception: exactly what a
+  segfaulting or OOM-killed worker looks like to the supervisor).
+
+Torn store writes are injected separately by :func:`install_torn_writes`,
+because they happen in the *recording* process (the sweep parent), not in
+the workers: the designated append writes only a prefix of its line and then
+raises, which is what a crash mid-``write`` leaves on disk.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["FAULT_KINDS", "InjectedFault", "FaultPlan", "install_torn_writes"]
+
+#: The worker-side fault kinds a plan can schedule.
+FAULT_KINDS = ("raise", "hang", "kill")
+
+
+class InjectedFault(ReproError):
+    """An artificial failure raised by a :class:`FaultPlan` entry."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults for one sweep.
+
+    Parameters
+    ----------
+    faults:
+        ``(cell_index, attempt, kind)`` triples.  ``cell_index`` is the
+        cell's position in volume-major order (the same index observers
+        see), ``attempt`` is 1-based, ``kind`` one of :data:`FAULT_KINDS`.
+        A cell/attempt pair not listed runs normally — so a plan that only
+        faults attempt 1 demonstrates recovery-by-retry.
+    torn_records:
+        0-based ordinals of store appends to tear (used via
+        :func:`install_torn_writes`, not by :meth:`apply`).
+    hang_s:
+        How long a ``hang`` fault sleeps.  Must exceed the cell timeout
+        under test; the supervisor is expected to reap the worker long
+        before this elapses.
+    exit_code:
+        The ``os._exit`` status of a ``kill`` fault.
+    """
+
+    faults: Tuple[Tuple[int, int, str], ...] = ()
+    torn_records: Tuple[int, ...] = ()
+    hang_s: float = 60.0
+    exit_code: int = 17
+    #: PID of the process that authored the plan (filled automatically).
+    #: ``hang`` and ``kill`` faults only make sense in *worker* processes —
+    #: a serial supervisor cannot lose its own process to a worker death,
+    #: and a serial hang would stall the whole suite — so :meth:`apply`
+    #: downgrades them to ``raise`` when fired in the origin process (e.g.
+    #: after the runner degrades a pool sweep to the serial path).
+    origin_pid: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.origin_pid is None:
+            object.__setattr__(self, "origin_pid", os.getpid())
+        normalized = tuple(
+            (int(index), int(attempt), str(kind)) for index, attempt, kind in self.faults
+        )
+        object.__setattr__(self, "faults", normalized)
+        object.__setattr__(self, "torn_records", tuple(int(o) for o in self.torn_records))
+        for index, attempt, kind in self.faults:
+            if kind not in FAULT_KINDS:
+                raise ReproError(
+                    f"unknown fault kind {kind!r} (known kinds: {', '.join(FAULT_KINDS)})"
+                )
+            if attempt < 1:
+                raise ReproError("fault attempts are 1-based")
+            if index < 0:
+                raise ReproError("fault cell indexes must be non-negative")
+        if self.hang_s <= 0:
+            raise ReproError("hang_s must be positive")
+
+    # ----------------------------------------------------------------- lookup
+    def fault_for(self, index: int, attempt: int) -> Optional[str]:
+        """The fault kind scheduled for ``(cell index, attempt)``, if any."""
+        for f_index, f_attempt, kind in self.faults:
+            if f_index == index and f_attempt == attempt:
+                return kind
+        return None
+
+    def apply(self, index: int, attempt: int) -> None:
+        """Fire the scheduled fault for this cell attempt (no-op when none).
+
+        Called by the cell job immediately before the cell's simulation
+        runs, in whichever process executes the cell — so ``kill`` takes the
+        whole worker down mid-chunk and ``hang`` stalls it, exactly like a
+        real runaway cell would.
+        """
+        kind = self.fault_for(index, attempt)
+        if kind is None:
+            return
+        if kind != "raise" and os.getpid() == self.origin_pid:
+            # hang / kill downgrade to raise outside a worker process (see
+            # ``origin_pid``): the failure still happens, the supervisor
+            # still pays the attempt, but the suite's own process survives.
+            raise InjectedFault(
+                f"injected {kind} at cell {index}, attempt {attempt} "
+                "(downgraded to raise in the supervisor process)"
+            )
+        if kind == "raise":
+            raise InjectedFault(
+                f"injected failure at cell {index}, attempt {attempt}"
+            )
+        if kind == "hang":
+            time.sleep(self.hang_s)
+            return
+        # kind == "kill": die the way a segfault does — no exception, no
+        # cleanup, the pool just loses the process.
+        os._exit(self.exit_code)
+
+    # ------------------------------------------------------------- conversion
+    def to_dict(self) -> dict:
+        """JSON-ready form of the plan."""
+        return {
+            "faults": [list(f) for f in self.faults],
+            "torn_records": list(self.torn_records),
+            "hang_s": self.hang_s,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            faults=tuple(tuple(f) for f in data.get("faults", ())),
+            torn_records=tuple(data.get("torn_records", ())),
+            hang_s=float(data.get("hang_s", 60.0)),
+            exit_code=int(data.get("exit_code", 17)),
+        )
+
+    # ------------------------------------------------------------- generation
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_cells: int,
+        *,
+        rate: float = 0.3,
+        kinds: Sequence[str] = ("raise",),
+        max_attempt: int = 1,
+        hang_s: float = 60.0,
+    ) -> "FaultPlan":
+        """A seeded random schedule: every seed names one exact plan.
+
+        Each ``(cell, attempt)`` pair with ``attempt <= max_attempt``
+        independently faults with probability ``rate``, drawing its kind
+        uniformly from ``kinds``.  ``random.Random(seed)`` makes the draw
+        platform-stable, so chaos tests can sweep seeds and still report a
+        reproducible plan on failure.
+        """
+        rng = random.Random(seed)
+        faults = []
+        for index in range(n_cells):
+            for attempt in range(1, max_attempt + 1):
+                if rng.random() < rate:
+                    faults.append((index, attempt, rng.choice(list(kinds))))
+        return cls(faults=tuple(faults), hang_s=hang_s)
+
+
+def install_torn_writes(store, plan: FaultPlan):
+    """Make ``store`` tear the appends named by ``plan.torn_records``.
+
+    The designated append writes only the first half of its record line —
+    no trailing newline, exactly the on-disk state a crash mid-write leaves
+    behind — and then raises :class:`InjectedFault` to simulate the writer
+    dying.  All other appends pass through unchanged.  Returns the store.
+    """
+    torn = set(plan.torn_records)
+    counter = {"next": 0}
+    original = store._write_line
+
+    def tearing_write(line: str) -> None:
+        ordinal = counter["next"]
+        counter["next"] += 1
+        if ordinal in torn:
+            with open(store.runs_path, "a", encoding="utf-8") as fh:
+                fh.write(line[: max(1, len(line) // 2)])
+                fh.flush()
+                os.fsync(fh.fileno())
+            raise InjectedFault(f"torn store write injected at record {ordinal}")
+        original(line)
+
+    store._write_line = tearing_write
+    return store

@@ -17,11 +17,16 @@ Hooks, in firing order:
 ``on_run_end(sim, result)`` with the final :class:`RunResult`
 ``on_sweep_start(spec, n)`` once per sweep (n = number of cells)
 ``on_cell_done(cell, i, n)``  per finished cell; **return truthy to cancel**
+``on_cell_failed(exc, a, i, n)``  per failed cell attempt (a = attempt number)
 ``on_sweep_end(result)``    with the (possibly partial) :class:`SweepResult`
 ========================  ====================================================
 
 Observers must never mutate the simulation: an observed run is bit-for-bit
-identical to an unobserved one (the replay tests rely on this).
+identical to an unobserved one (the replay tests rely on this).  The reverse
+also holds: an observer can never kill a run — a hook that raises is caught,
+warned about once and disabled for the rest of the run (see
+``repro.sim.simulator.notify_observers``), so one buggy progress reporter
+cannot abort a sweep and discard its completed cells.
 """
 
 from __future__ import annotations
@@ -54,6 +59,10 @@ class Observer:
     def on_cell_done(self, cell, index: int, total: int) -> Optional[bool]:
         """One sweep cell finished.  Return truthy to cancel the sweep."""
         return None
+
+    def on_cell_failed(self, exc, attempt: int, index: int, total: int) -> None:
+        """One attempt at a sweep cell failed (it may be retried; see
+        :class:`repro.sim.runner.RetryPolicy`)."""
 
     def on_sweep_end(self, result) -> None:
         """The sweep finished (complete or cancelled)."""
@@ -114,8 +123,16 @@ class ProgressObserver(Observer):
             f"seeds={cell.num_seeds} [{flag}]"
         )
 
+    def on_cell_failed(self, exc, attempt: int, index: int, total: int) -> None:
+        self._emit(
+            f"sweep: cell {index + 1}/{total} attempt {attempt} FAILED: {exc}"
+        )
+
     def on_sweep_end(self, result) -> None:
-        self._emit(f"sweep: finished with {len(result.cells)} cell(s)")
+        tail = ""
+        if result.health is not None and not result.health.ok:
+            tail = f" ({len(result.health.failed_cells)} failed)"
+        self._emit(f"sweep: finished with {len(result.cells)} cell(s){tail}")
 
 
 class EarlyStopObserver(Observer):

@@ -35,7 +35,7 @@ from ..errors import ExperimentError
 from ..roadnet.registry import NetworkSpec
 from ..sim.config import ScenarioConfig
 from ..sim.results import RunResult, SweepCell, SweepResult
-from ..sim.runner import ExperimentRunner, SweepSpec
+from ..sim.runner import ExperimentRunner, RetryPolicy, SweepSpec
 from ..sim.simulator import Simulation
 
 __all__ = ["SPEC_FORMAT", "ExperimentSpec"]
@@ -143,6 +143,8 @@ class ExperimentSpec:
         max_workers: Optional[int] = None,
         store: Union[None, str, "os.PathLike", "ResultStore"] = None,
         resume: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[object] = None,
     ) -> Union[RunResult, SweepResult]:
         """Run the experiment: a :class:`RunResult` (no sweep) or a
         :class:`SweepResult`.
@@ -160,13 +162,22 @@ class ExperimentSpec:
             A :class:`~repro.experiments.store.ResultStore` (or its
             directory path) to persist results into.  The store is
             initialized with this spec's provenance manifest; running a
-            different spec into an existing store is rejected.
+            different spec into an existing store is rejected.  The store's
+            single-writer lock is held for the duration of the run.
         resume:
             With a store: skip work that is already recorded.  Sweeps skip
             completed cells (an interrupted sweep finishes cell-for-cell
             identical to an uninterrupted one, because each cell's RNG seed
             is a pure function of its coordinates); single runs return the
             stored result outright.
+        retry:
+            The :class:`~repro.sim.runner.RetryPolicy` supervising sweep
+            cells (retries, per-cell timeout, ``keep_going``).  Default is
+            fail-fast with one attempt.  Ignored for single runs.
+        fault_plan:
+            Chaos-testing hook (:class:`repro.experiments.faults.FaultPlan`)
+            injecting deterministic failures into cell attempts.  Never set
+            outside fault-injection tests.
         """
         from .store import ResultStore
 
@@ -178,13 +189,29 @@ class ExperimentSpec:
             result_store = None
         if resume and result_store is None:
             raise ExperimentError("resume=True requires a result store")
-        if result_store is not None:
+        if result_store is None:
+            return self._execute(
+                observers, None, resume,
+                parallel=parallel, max_workers=max_workers,
+                retry=retry, fault_plan=fault_plan,
+            )
+        with result_store.writer_lock():
             result_store.initialize(self)
+            return self._execute(
+                observers, result_store, resume,
+                parallel=parallel, max_workers=max_workers,
+                retry=retry, fault_plan=fault_plan,
+            )
 
+    def _execute(
+        self, observers, result_store, resume, *, parallel, max_workers,
+        retry, fault_plan,
+    ) -> Union[RunResult, SweepResult]:
         if self.sweep is None:
             return self._run_single(observers, result_store, resume)
         return self._run_sweep(
-            observers, result_store, resume, parallel=parallel, max_workers=max_workers
+            observers, result_store, resume, parallel=parallel,
+            max_workers=max_workers, retry=retry, fault_plan=fault_plan,
         )
 
     def _run_single(self, observers, result_store, resume) -> RunResult:
@@ -205,7 +232,8 @@ class ExperimentSpec:
         return result
 
     def _run_sweep(
-        self, observers, result_store, resume, *, parallel, max_workers
+        self, observers, result_store, resume, *, parallel, max_workers,
+        retry, fault_plan,
     ) -> SweepResult:
         runner = ExperimentRunner(
             self.network,
@@ -213,6 +241,8 @@ class ExperimentSpec:
             name=self.config.name,
             parallel=parallel,
             max_workers=max_workers,
+            retry=retry,
+            fault_plan=fault_plan,
         )
         skip = None
         if resume:
@@ -224,7 +254,22 @@ class ExperimentSpec:
         all_observers = list(observers)
         if result_store is not None:
             all_observers.append(_CellRecorder(result_store, self.sweep.replications))
-        return runner.run_sweep(self.sweep, observers=all_observers, skip=skip)
+        result = runner.run_sweep(self.sweep, observers=all_observers, skip=skip)
+        if result_store is not None and result.health is not None:
+            # Failure records make retry-exhausted cells first-class store
+            # citizens (visible to store-check, re-run on resume); the
+            # health report preserves what supervision had to do even after
+            # this process is gone.
+            for failed in result.health.failed_cells:
+                result_store.record_failure(
+                    volume=failed.volume_fraction,
+                    seeds=failed.num_seeds,
+                    index=failed.index,
+                    attempts=failed.attempts,
+                    error=failed.error,
+                )
+            result_store.write_health(result.health)
+        return result
 
 
 class _CellRecorder:
@@ -235,6 +280,11 @@ class _CellRecorder:
     interrupted sweep resumable.  Cells the store already holds completely
     (resume skips) are not re-recorded.
     """
+
+    # Exempt from the observer disable-on-raise guard: a store that cannot
+    # persist a cell must abort the sweep loudly, not be muted like a buggy
+    # progress reporter (see ``repro.sim.simulator._observer_call``).
+    _repro_observer_essential = True
 
     def __init__(self, store: "ResultStore", replications: int) -> None:
         self.store = store

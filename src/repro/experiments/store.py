@@ -6,13 +6,28 @@ reproduce — an experiment after the process that ran it is gone:
 ``manifest.json``
     Provenance: the full :class:`~repro.experiments.spec.ExperimentSpec`
     dict, a SHA-256 hash of its canonical JSON, the package version, the
-    root RNG seed and the wall-clock creation time.
+    root RNG seed and the wall-clock creation time.  Written atomically
+    (temp file + fsync + ``os.replace`` + directory fsync), so a crash can
+    never leave a half-written manifest behind.
 ``runs.jsonl``
     One JSON record per completed run, appended as runs finish (sweep cells
     land as one record per replication, keyed by their cell coordinates).
-    Append-only JSONL makes interrupted sweeps cheap to resume: whatever was
-    flushed before the interruption is simply skipped on the next attempt,
-    and a torn final line is ignored.
+    Every record carries a SHA-256 checksum of its own canonical JSON;
+    records that fail the checksum — or cannot be parsed at all (a torn
+    write from a crash) — are *quarantined*: skipped, counted and reported
+    by :meth:`ResultStore.integrity_report` (and the ``store-check`` CLI
+    verb), never silently dropped.  Failure records (``"kind": "failure"``,
+    written for cells that exhausted their retries under ``keep_going``)
+    live in the same file but are kept apart from results.  Append-only
+    JSONL makes interrupted sweeps cheap to resume: whatever was flushed
+    before the interruption is simply skipped on the next attempt.
+``health.json``
+    The :class:`~repro.sim.results.SweepHealth` of the last stored sweep —
+    attempts, retries, reaped timeouts, pool restarts, failed cells.
+``store.lock``
+    Single-writer lock: ``spec.run(store=...)`` holds it for the duration
+    of the run, so two writers cannot interleave records.  A lock left by a
+    dead process is detected (the holder PID is probed) and stolen.
 
 Because a run's result is a pure function of (spec, cell coordinates), a
 stored experiment supports two strong operations:
@@ -33,16 +48,25 @@ import json
 import math
 import os
 import time
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .._version import __version__
-from ..errors import ExperimentError
-from ..sim.results import RunResult, SweepCell, SweepResult, volumes_close
+from ..errors import ExperimentError, StoreCorruptionError
+from ..sim.results import RunResult, SweepCell, SweepHealth, SweepResult, volumes_close
 from .spec import ExperimentSpec
 
-__all__ = ["ResultStore", "ReplayReport", "config_hash", "replay"]
+__all__ = [
+    "ResultStore",
+    "IntegrityReport",
+    "ReplayReport",
+    "config_hash",
+    "record_checksum",
+    "replay",
+]
 
 STORE_FORMAT = "repro-result-store/1"
 
@@ -56,6 +80,119 @@ def config_hash(spec: ExperimentSpec) -> str:
     return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def record_checksum(record: dict) -> str:
+    """SHA-256 of a record's canonical JSON, excluding the checksum itself.
+
+    The checksum makes corruption *detectable*: a record whose stored
+    checksum does not match its recomputed one was damaged on disk (bit
+    rot, a partially overwritten block, a hand edit) and is quarantined on
+    read rather than silently trusted or silently dropped.
+    """
+    payload = {key: value for key, value in record.items() if key != "checksum"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write JSON so that a crash leaves either the old file or the new one.
+
+    Temp file in the same directory (same filesystem, so ``os.replace`` is
+    atomic), fsync'd before the replace, directory fsync'd after — the
+    standard recipe; a reader can never observe a half-written file.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a running process we could signal."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+@dataclass
+class IntegrityReport:
+    """Outcome of checking a store's on-disk state (the ``fsck`` report)."""
+
+    root: str
+    manifest_ok: bool
+    manifest_error: Optional[str]
+    result_records: int
+    failure_records: int
+    checksummed: int
+    legacy_records: int
+    quarantined: List[dict] = field(default_factory=list)
+    locked_by: Optional[int] = None
+    lock_stale: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the manifest parses and no record was quarantined."""
+        return self.manifest_ok and not self.quarantined
+
+    def as_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "ok": self.ok,
+            "manifest_ok": self.manifest_ok,
+            "manifest_error": self.manifest_error,
+            "result_records": self.result_records,
+            "failure_records": self.failure_records,
+            "checksummed": self.checksummed,
+            "legacy_records": self.legacy_records,
+            "quarantined": list(self.quarantined),
+            "locked_by": self.locked_by,
+            "lock_stale": self.lock_stale,
+        }
+
+    def describe(self) -> str:
+        lines = [f"store-check {self.root}: {'OK' if self.ok else 'DAMAGED'}"]
+        lines.append(
+            "  manifest: " + ("ok" if self.manifest_ok else f"CORRUPT ({self.manifest_error})")
+        )
+        lines.append(
+            f"  records: {self.result_records} result(s) "
+            f"({self.checksummed} checksummed, {self.legacy_records} legacy), "
+            f"{self.failure_records} failure(s)"
+        )
+        if self.quarantined:
+            lines.append(f"  quarantined: {len(self.quarantined)} record(s)")
+            for entry in self.quarantined[:10]:
+                lines.append(f"    line {entry['line']}: {entry['reason']}")
+            if len(self.quarantined) > 10:
+                lines.append(f"    ... and {len(self.quarantined) - 10} more")
+        else:
+            lines.append("  quarantined: none")
+        if self.locked_by is not None:
+            state = "STALE (holder is dead)" if self.lock_stale else "held"
+            lines.append(f"  writer lock: {state} by pid {self.locked_by}")
+        else:
+            lines.append("  writer lock: free")
+        if not self.ok:
+            lines.append(
+                "  note: quarantined cells are re-run by "
+                "'sweep --resume'; results are never silently dropped"
+            )
+        return "\n".join(lines)
+
+
 class ResultStore:
     """A directory of run records with a provenance manifest.
 
@@ -67,11 +204,17 @@ class ResultStore:
 
     MANIFEST = "manifest.json"
     RUNS = "runs.jsonl"
+    HEALTH = "health.json"
+    LOCK = "store.lock"
 
     def __init__(self, root: Union[str, "os.PathLike"]) -> None:
         self.root = Path(root)
         self._manifest: Optional[dict] = None
         self._records: Optional[Dict[_RecordKey, dict]] = None
+        self._failures: List[dict] = []
+        self._quarantined: List[dict] = []
+        self._checksummed = 0
+        self._legacy_records = 0
         # Secondary index for tolerant volume matching: (seeds, replication)
         # -> {volume: record}.  Keeps resume's per-cell lookups O(bucket)
         # instead of scanning every stored record.
@@ -85,6 +228,14 @@ class ResultStore:
     @property
     def runs_path(self) -> Path:
         return self.root / self.RUNS
+
+    @property
+    def health_path(self) -> Path:
+        return self.root / self.HEALTH
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / self.LOCK
 
     def exists(self) -> bool:
         """Whether this directory already holds a store manifest."""
@@ -117,9 +268,7 @@ class ResultStore:
             "mode": "sweep" if spec.is_sweep else "single",
             "created_unix_s": time.time(),
         }
-        with open(self.manifest_path, "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        _atomic_write_json(self.manifest_path, manifest)
         self._manifest = manifest
 
     def manifest(self) -> dict:
@@ -127,8 +276,16 @@ class ResultStore:
         if self._manifest is None:
             if not self.exists():
                 raise ExperimentError(f"no result store at {self.root}")
-            with open(self.manifest_path, "r", encoding="utf-8") as fh:
-                manifest = json.load(fh)
+            try:
+                with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                    manifest = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise StoreCorruptionError(
+                    f"manifest of the result store at {self.root} is corrupt "
+                    f"(unparseable JSON: {exc}); run "
+                    f"'repro-count store-check {self.root}' for a full "
+                    "integrity report"
+                ) from exc
             if manifest.get("format") != STORE_FORMAT:
                 raise ExperimentError(
                     f"unsupported result-store format {manifest.get('format')!r} "
@@ -141,14 +298,89 @@ class ResultStore:
         """The experiment spec this store was created for."""
         return ExperimentSpec.from_dict(self.manifest()["spec"])
 
+    # ------------------------------------------------------------------ lock
+    @contextmanager
+    def writer_lock(self):
+        """Hold the store's single-writer lock for the ``with`` body.
+
+        The lock is a file created with ``O_CREAT | O_EXCL`` (atomic on
+        every platform) holding the writer's PID.  A lock whose holder is
+        no longer running — the writer crashed — is stolen; a live holder
+        raises :class:`ExperimentError` instead of letting two sweeps
+        interleave appends into the same ``runs.jsonl``.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        while True:
+            try:
+                fd = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+                break
+            except FileExistsError:
+                holder = self.lock_holder()
+                if holder is None or not _pid_alive(holder):
+                    # Crashed writer: steal the stale lock and try again.
+                    try:
+                        self.lock_path.unlink()
+                    except FileNotFoundError:
+                        pass
+                    continue
+                raise ExperimentError(
+                    f"result store at {self.root} is locked by running "
+                    f"process {holder}; a store accepts one writer at a time"
+                )
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+            os.close(fd)
+            yield self
+        finally:
+            try:
+                self.lock_path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def lock_holder(self) -> Optional[int]:
+        """PID in the lock file, or None when unlocked/unreadable."""
+        try:
+            text = self.lock_path.read_text(encoding="ascii").strip()
+            return int(text) if text else None
+        except (FileNotFoundError, ValueError, OSError):
+            return None
+
     # ---------------------------------------------------------------- writes
-    def _append(self, record: dict) -> None:
+    def _write_line(self, line: str) -> None:
+        """Append one record line, durably, recovering from torn tails.
+
+        A writer that died mid-append can leave ``runs.jsonl`` ending in a
+        partial line with no newline; blindly appending would glue the next
+        record onto that fragment and lose *both*.  So the tail is probed
+        first and a separating newline inserted when needed — the fragment
+        then quarantines as its own unparseable line instead of corrupting
+        its successor.
+        """
+        needs_newline = False
+        try:
+            with open(self.runs_path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                needs_newline = fh.read(1) != b"\n"
+        except (FileNotFoundError, OSError):
+            pass  # no file yet, or empty: nothing to separate from
         with open(self.runs_path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            if needs_newline:
+                fh.write("\n")
+            fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())
+
+    def _append(self, record: dict) -> None:
+        record = dict(record)
+        record["checksum"] = record_checksum(record)
+        self._write_line(json.dumps(record, sort_keys=True))
         if self._records is not None:
-            self._index(record)
+            if record.get("kind") == "failure":
+                self._failures.append(record)
+            else:
+                self._index(record)
 
     def _index(self, record: dict) -> None:
         key = self._key_of(record)
@@ -196,29 +428,135 @@ class ResultStore:
                 replication=replication,
             )
 
+    def record_failure(
+        self, *, volume: float, seeds: int, index: int, attempts: int, error: str
+    ) -> None:
+        """Append an explicit failure record for a retry-exhausted cell.
+
+        Failure records are first-class — distinguishable from results by
+        ``"kind": "failure"`` and reported by :meth:`failures` and the
+        integrity report — but they never satisfy a resume lookup, so a
+        later ``sweep --resume`` re-runs the failed cell from scratch.
+        """
+        self._append(
+            {
+                "kind": "failure",
+                "volume": volume,
+                "seeds": seeds,
+                "index": index,
+                "attempts": attempts,
+                "error": str(error),
+            }
+        )
+
+    def write_health(self, health: SweepHealth) -> None:
+        """Persist the sweep's :class:`SweepHealth` report (atomically)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.health_path, health.as_dict())
+
     # ----------------------------------------------------------------- reads
+    def _quarantine(self, line_no: int, reason: str) -> None:
+        self._quarantined.append({"line": line_no, "reason": reason})
+
     def records(self) -> Dict[_RecordKey, dict]:
-        """All stored records keyed by (volume, seeds, replication).
+        """All stored *result* records keyed by (volume, seeds, replication).
 
         Later lines win (a cell re-run after an interruption simply
-        supersedes its partial records), and a torn trailing line from an
-        interrupted write is ignored.
+        supersedes its partial records).  Lines that cannot be parsed (torn
+        writes), fail their checksum, or are missing their key fields are
+        quarantined: skipped and counted — a warning summarizes them once,
+        and :meth:`integrity_report` lists every one.  Failure records are
+        collected separately (:meth:`failures`).
         """
         if self._records is None:
             self._records = {}
             self._volume_index = {}
+            self._failures = []
+            self._quarantined = []
+            self._checksummed = 0
+            self._legacy_records = 0
             if self.runs_path.is_file():
                 with open(self.runs_path, "r", encoding="utf-8") as fh:
-                    for line in fh:
+                    for line_no, line in enumerate(fh, start=1):
                         line = line.strip()
                         if not line:
                             continue
                         try:
                             record = json.loads(line)
                         except json.JSONDecodeError:
-                            continue  # torn write from an interrupted run
+                            self._quarantine(
+                                line_no, "unparseable JSON (torn write?)"
+                            )
+                            continue
+                        if not isinstance(record, dict):
+                            self._quarantine(line_no, "record is not an object")
+                            continue
+                        stored_sum = record.get("checksum")
+                        if stored_sum is not None:
+                            if stored_sum != record_checksum(record):
+                                self._quarantine(line_no, "checksum mismatch")
+                                continue
+                            self._checksummed += 1
+                        else:
+                            self._legacy_records += 1
+                        if record.get("kind") == "failure":
+                            self._failures.append(record)
+                            continue
+                        if not {"volume", "seeds", "replication"} <= record.keys():
+                            self._quarantine(
+                                line_no, "missing volume/seeds/replication key"
+                            )
+                            continue
                         self._index(record)
+            if self._quarantined:
+                warnings.warn(
+                    f"result store at {self.root}: quarantined "
+                    f"{len(self._quarantined)} corrupt record(s); run "
+                    f"'repro-count store-check {self.root}' for details "
+                    "(quarantined cells are re-run on resume)",
+                    stacklevel=3,
+                )
         return self._records
+
+    def failures(self) -> List[dict]:
+        """All stored failure records (cells that exhausted their retries)."""
+        self.records()
+        return list(self._failures)
+
+    def quarantined(self) -> List[dict]:
+        """Quarantined-record descriptions (``{"line", "reason"}``)."""
+        self.records()
+        return list(self._quarantined)
+
+    def integrity_report(self) -> IntegrityReport:
+        """Re-read the store from disk and report its integrity (fsck).
+
+        Caches are dropped first so the report reflects the files as they
+        are now, not as this process last left them.
+        """
+        self._manifest = None
+        self._records = None
+        manifest_ok, manifest_error = True, None
+        try:
+            self.manifest()
+        except ExperimentError as exc:
+            manifest_ok, manifest_error = False, str(exc)
+        records: Dict[_RecordKey, dict] = {}
+        if self.runs_path.is_file():
+            records = self.records()
+        holder = self.lock_holder()
+        return IntegrityReport(
+            root=str(self.root),
+            manifest_ok=manifest_ok,
+            manifest_error=manifest_error,
+            result_records=len(records),
+            failure_records=len(self._failures),
+            checksummed=self._checksummed,
+            legacy_records=self._legacy_records,
+            quarantined=list(self._quarantined),
+            locked_by=holder,
+            lock_stale=holder is not None and not _pid_alive(holder),
+        )
 
     def load_cell(
         self, volume: float, seeds: int, replications: int
@@ -308,6 +646,24 @@ def _diff_runs(stored: RunResult, fresh: RunResult, label: str) -> List[str]:
     ]
 
 
+def _diff_cells(s_cell: SweepCell, f_cell: SweepCell, label: str) -> List[str]:
+    """Field-level diffs of one stored cell against its fresh counterpart.
+
+    A replication-count mismatch is an explicit mismatch line — ``zip``
+    alone would silently truncate the comparison to the shorter side and
+    report two differently-sized cells as equal.
+    """
+    mismatches: List[str] = []
+    if len(s_cell.runs) != len(f_cell.runs):
+        mismatches.append(
+            f"{label}: stored has {len(s_cell.runs)} run(s), "
+            f"fresh has {len(f_cell.runs)}"
+        )
+    for rep, (s_run, f_run) in enumerate(zip(s_cell.runs, f_cell.runs)):
+        mismatches.extend(_diff_runs(s_run, f_run, f"{label}run{rep}/"))
+    return mismatches
+
+
 @dataclass
 class ReplayReport:
     """Outcome of replaying a stored experiment against a fresh run."""
@@ -369,8 +725,7 @@ def replay(
             if s_cell is None or f_cell is None:
                 mismatches.append(f"{label}: missing from {'store' if s_cell is None else 'fresh run'}")
                 continue
-            for rep, (s_run, f_run) in enumerate(zip(s_cell.runs, f_cell.runs)):
-                mismatches.extend(_diff_runs(s_run, f_run, f"{label}run{rep}/"))
+            mismatches.extend(_diff_cells(s_cell, f_cell, label))
     return ReplayReport(
         store_root=str(store.root), stored=stored, fresh=fresh, mismatches=sorted(mismatches)
     )

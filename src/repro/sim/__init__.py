@@ -2,9 +2,16 @@
 
 from .config import MobilityConfig, ScenarioConfig, WirelessConfig
 from .metrics import AccuracyReport, summarize_run
-from .results import AggregateStat, RunResult, SweepCell, SweepResult
+from .results import (
+    AggregateStat,
+    FailedCell,
+    RunResult,
+    SweepCell,
+    SweepHealth,
+    SweepResult,
+)
 from .rng import RngFactory
-from .runner import ExperimentRunner, SweepSpec, run_single
+from .runner import ExperimentRunner, RetryPolicy, SweepSpec, run_single
 from .simulator import Simulation
 
 __all__ = [
@@ -17,8 +24,11 @@ __all__ = [
     "RunResult",
     "SweepCell",
     "SweepResult",
+    "FailedCell",
+    "SweepHealth",
     "RngFactory",
     "ExperimentRunner",
+    "RetryPolicy",
     "SweepSpec",
     "run_single",
     "Simulation",

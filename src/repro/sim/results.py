@@ -8,7 +8,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..units import seconds_to_minutes
 
-__all__ = ["RunResult", "AggregateStat", "SweepCell", "SweepResult", "volumes_close"]
+__all__ = [
+    "RunResult",
+    "AggregateStat",
+    "SweepCell",
+    "SweepResult",
+    "FailedCell",
+    "SweepHealth",
+    "volumes_close",
+]
 
 
 def volumes_close(a: float, b: float) -> bool:
@@ -193,12 +201,85 @@ class SweepCell:
         return all(run.converged for run in self.runs)
 
 
+@dataclass(frozen=True)
+class FailedCell:
+    """One sweep cell that exhausted its retry budget (``keep_going`` mode)."""
+
+    volume_fraction: float
+    num_seeds: int
+    index: int
+    attempts: int
+    error: str
+
+    def as_dict(self) -> dict:
+        return {
+            "volume_fraction": self.volume_fraction,
+            "num_seeds": self.num_seeds,
+            "index": self.index,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+@dataclass
+class SweepHealth:
+    """Supervision report of one sweep: what it took to finish it.
+
+    A clean sweep reads ``attempts == cells, everything else zero``.  Any
+    other shape is the executable record of the faults the sweep absorbed —
+    the runner counts every attempt, retry, reaped hang and pool restart,
+    and lists the cells that exhausted their retries (only possible under
+    ``keep_going``; otherwise the sweep aborts on the first such cell).
+    Because cell results are pure functions of their coordinates, none of
+    these events can change a completed cell — health describes the
+    *execution*, never the *data*.
+    """
+
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    serial_fallback: bool = False
+    failed_cells: List[FailedCell] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every cell of the sweep ultimately completed."""
+        return not self.failed_cells
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (written to ``health.json`` by stored sweeps)."""
+        return {
+            "ok": self.ok,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_restarts": self.pool_restarts,
+            "serial_fallback": self.serial_fallback,
+            "failed_cells": [cell.as_dict() for cell in self.failed_cells],
+        }
+
+    def describe(self) -> str:
+        """One line for CLI output."""
+        parts = [
+            f"{self.attempts} attempt(s)",
+            f"{self.retries} retry(s)",
+            f"{self.timeouts} timeout(s)",
+            f"{self.pool_restarts} pool restart(s)",
+        ]
+        if self.serial_fallback:
+            parts.append("degraded to serial")
+        parts.append(f"{len(self.failed_cells)} failed cell(s)")
+        return "sweep health: " + ", ".join(parts)
+
+
 @dataclass
 class SweepResult:
     """All cells of a (volume x seeds) sweep, as the figures need them."""
 
     name: str
     cells: List[SweepCell] = field(default_factory=list)
+    health: Optional[SweepHealth] = None
 
     def cell(self, volume_fraction: float, num_seeds: int) -> SweepCell:
         """The cell at ``(volume_fraction, num_seeds)``.

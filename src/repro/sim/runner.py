@@ -1,4 +1,4 @@
-"""Experiment runner: parameter sweeps with replications.
+"""Experiment runner: parameter sweeps with replications, under supervision.
 
 The paper's evaluation sweeps two axes — traffic volume (10–100 % of the
 daily average) and number of seeds (1–10) — and reports max / min / average
@@ -13,6 +13,20 @@ derives its RNG seed deterministically from the cell coordinates), so the
 runner can fan them out over a :class:`concurrent.futures.ProcessPoolExecutor`
 with ``parallel=True`` — the results are identical to the serial order,
 cell for cell.
+
+Execution is *supervised*: a :class:`RetryPolicy` gives each cell a bounded
+number of attempts with deterministic exponential backoff, an optional
+per-cell wall-clock timeout (enforced with ``future.result(timeout=...)``
+on the pool path — a hung worker is killed and the pool respawned instead of
+blocking the sweep forever), a pool-restart budget after which execution
+degrades to the serial path, and ``keep_going`` semantics under which a cell
+that exhausts its retries is recorded as a failure instead of aborting the
+sweep.  What the supervisor did is reported in the
+:class:`~repro.sim.results.SweepHealth` attached to every sweep's result.
+Because a cell's result is a pure function of its coordinates, no amount of
+retrying, pool-restarting or reordering can change a completed cell — the
+chaos test suite proves it by injecting deterministic fault schedules
+(see :mod:`repro.experiments.faults`) and comparing bit for bit.
 """
 
 from __future__ import annotations
@@ -20,19 +34,27 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 from ..roadnet.graph import RoadNetwork
 from .config import ScenarioConfig
-from .results import RunResult, SweepCell, SweepResult
+from .results import FailedCell, RunResult, SweepCell, SweepHealth, SweepResult
 from .simulator import Simulation, notify_observers, notify_observers_stop
 
-__all__ = ["SweepSpec", "ExperimentRunner", "run_single", "replication_seed"]
+__all__ = [
+    "SweepSpec",
+    "RetryPolicy",
+    "ExperimentRunner",
+    "run_single",
+    "replication_seed",
+]
 
 NetworkFactory = Callable[[], RoadNetwork]
 
@@ -99,6 +121,80 @@ class SweepSpec:
         return [(volume, seeds) for volume in self.volumes for seeds in self.seed_counts]
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the runner fights to complete each sweep cell.
+
+    The default policy is the historical behavior: one attempt, no timeout,
+    first failure aborts the sweep.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per cell (1 = no retries).  Retrying is always safe:
+        a cell's result is a pure function of its coordinates, so attempt
+        N returns bit-for-bit what attempt 1 would have.
+    backoff_base_s, backoff_factor:
+        Deterministic exponential backoff between a cell's attempts:
+        attempt ``n`` failing sleeps ``base * factor**(n-1)`` seconds before
+        the next try.  No jitter — reliability code must be as reproducible
+        as the simulation it supervises.
+    cell_timeout_s:
+        Per-cell wall-clock budget, enforced on the pool path via
+        ``future.result(timeout=...)``: a chunk that exceeds its budget has
+        its workers killed and the pool respawned, and the timed-out cell is
+        charged one attempt.  ``None`` disables the watchdog.  The serial
+        path cannot preempt a running cell, so the timeout only protects
+        pool execution.
+    pool_restart_budget:
+        How many times a broken or hung pool is respawned before the
+        remaining cells degrade to the serial path.
+    keep_going:
+        When a cell exhausts ``max_attempts``: record it as a
+        :class:`~repro.sim.results.FailedCell` in the sweep's health and
+        carry on (True) or abort the sweep with :class:`ExperimentError`
+        (False).
+    """
+
+    max_attempts: int = 1
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    cell_timeout_s: Optional[float] = None
+    pool_restart_budget: int = 2
+    keep_going: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExperimentError("max_attempts must be at least 1")
+        if self.backoff_base_s < 0:
+            raise ExperimentError("backoff_base_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ExperimentError("backoff_factor must be at least 1")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ExperimentError("cell_timeout_s must be positive")
+        if self.pool_restart_budget < 0:
+            raise ExperimentError("pool_restart_budget must be non-negative")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before the attempt after ``attempt`` failed (1-based)."""
+        if self.backoff_base_s == 0.0:
+            return 0.0
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form."""
+        from ..serde import shallow_asdict
+
+        return shallow_asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        """Inverse of :meth:`to_dict`; missing keys use the defaults."""
+        from ..serde import kwargs_from
+
+        return cls(**kwargs_from(cls, data))
+
+
 def run_single(
     network_factory: NetworkFactory,
     config: ScenarioConfig,
@@ -148,19 +244,38 @@ def replication_seed(
 def _run_cells_chunk_job(
     network_factory: NetworkFactory,
     base_config: ScenarioConfig,
-    axes: Sequence[Tuple[float, int]],
+    items: Sequence[Tuple[int, float, int, int]],
     replications: int,
-) -> List[SweepCell]:
-    """Run a chunk of (volume, seeds) cells in one worker task.
+    fault_plan: Optional[object] = None,
+) -> List[Tuple[int, str, object]]:
+    """Run a chunk of cells in one worker task, salvaging partial progress.
 
-    Chunking amortizes the per-task pickling/IPC overhead that made the
-    one-future-per-cell fan-out no faster than the serial loop on short
-    cells; each cell's result is still a pure function of its coordinates.
+    ``items`` are ``(cell_index, volume, seeds, attempt)`` tuples.  Each
+    cell is attempted independently and reported as ``(index, "ok", cell)``
+    or ``(index, "error", message)`` — one raising cell does not discard its
+    chunk-mates' finished work (partial-chunk salvage).  Chunking amortizes
+    the per-task pickling/IPC overhead that made the one-future-per-cell
+    fan-out no faster than the serial loop on short cells; each cell's
+    result is still a pure function of its coordinates.
+
+    ``fault_plan`` is the chaos-testing hook (see
+    :mod:`repro.experiments.faults`); a scheduled ``hang`` or ``kill`` fault
+    escapes this function by construction, exactly like the real stall or
+    worker death it simulates.
     """
-    return [
-        _run_cell_job(network_factory, base_config, volume, seeds, replications)
-        for volume, seeds in axes
-    ]
+    out: List[Tuple[int, str, object]] = []
+    for index, volume, seeds, attempt in items:
+        try:
+            if fault_plan is not None:
+                fault_plan.apply(index, attempt)
+            cell = _run_cell_job(
+                network_factory, base_config, volume, seeds, replications
+            )
+        except Exception as exc:  # salvaged per cell; supervisor decides retry
+            out.append((index, "error", f"{type(exc).__name__}: {exc}"))
+        else:
+            out.append((index, "ok", cell))
+    return out
 
 
 def _run_cell_job(
@@ -192,6 +307,25 @@ def _run_cell_job(
     )
 
 
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool whose workers may be hung or already dead.
+
+    ``shutdown`` alone would block behind a hung worker forever, so the
+    worker processes are killed first (via the executor's process table —
+    there is no public API for this, but the attribute has been stable
+    across every supported CPython) and the executor is then torn down
+    without waiting.
+    """
+    processes = getattr(pool, "_processes", None)
+    if processes:
+        for proc in list(processes.values()):
+            try:
+                proc.kill()
+            except Exception:
+                pass  # already dead
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 class ExperimentRunner:
     """Runs a (volume x seeds x replication) sweep of one base scenario.
 
@@ -213,6 +347,13 @@ class ExperimentRunner:
     max_workers:
         Pool size cap for ``parallel=True``; defaults to
         ``min(#cells, os.cpu_count())``.
+    retry:
+        The :class:`RetryPolicy` supervising cell execution; the default is
+        the historical fail-fast behavior (one attempt, no timeout).
+    fault_plan:
+        Chaos-testing hook (a :class:`repro.experiments.faults.FaultPlan`):
+        injects deterministic failures into chosen cell attempts.  Never set
+        outside fault-injection tests.
     """
 
     def __init__(
@@ -223,12 +364,16 @@ class ExperimentRunner:
         name: Optional[str] = None,
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[object] = None,
     ) -> None:
         self.network_factory = network_factory
         self.base_config = base_config
         self.name = name or base_config.name
         self.parallel = bool(parallel)
         self.max_workers = max_workers
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_plan = fault_plan
         #: Whether the most recent :meth:`run_sweep` actually executed cells
         #: on a process pool (observed, not predicted: stays False when the
         #: parallel heuristics, the pickling checks or a broken pool forced
@@ -253,17 +398,22 @@ class ExperimentRunner:
     ) -> SweepResult:
         """Run the full sweep and return the aggregated result.
 
-        Cells appear in volume-major order regardless of execution mode.
+        Cells appear in volume-major order regardless of execution mode, and
+        the returned :class:`SweepResult` carries a
+        :class:`~repro.sim.results.SweepHealth` describing what supervision
+        had to do (attempts, retries, reaped timeouts, pool restarts, failed
+        cells under ``keep_going``).
 
         ``observers`` are notified at cell granularity (duck-typed; see
         ``repro.experiments.observers``): ``on_sweep_start(spec, total)``
         once, ``on_cell_done(cell, index, total)`` for every finished cell
-        (index in volume-major order) and ``on_sweep_end(result)`` at the
-        end.  An ``on_cell_done`` callback returning a truthy value cancels
-        the remaining cells; the partial :class:`SweepResult` holds the cells
-        completed so far — a store-backed resume can finish it later, cell
-        for cell identical to an uninterrupted run, because every cell's
-        result is a pure function of its coordinates.
+        (index in volume-major order), ``on_cell_failed(exc, attempt, index,
+        total)`` for every failed attempt, and ``on_sweep_end(result)`` at
+        the end.  An ``on_cell_done`` callback returning a truthy value
+        cancels the remaining cells; the partial :class:`SweepResult` holds
+        the cells completed so far — a store-backed resume can finish it
+        later, cell for cell identical to an uninterrupted run, because
+        every cell's result is a pure function of its coordinates.
 
         ``skip`` implements that resume: a callable mapping ``(volume,
         seeds)`` to an already-known :class:`SweepCell` (or None).  Skipped
@@ -273,6 +423,7 @@ class ExperimentRunner:
         cells_axes = spec.cell_axes
         total = len(cells_axes)
         self.used_process_pool = False
+        health = SweepHealth()
         notify_observers(observers, "on_sweep_start", spec, total)
         cells: List[Optional[SweepCell]] = [None] * total
         pending: List[int] = []
@@ -289,13 +440,15 @@ class ExperimentRunner:
         if not stopped and pending:
             if self.parallel and self._worth_parallelizing(len(pending)):
                 self._run_pending_parallel(
-                    cells, pending, cells_axes, spec.replications, observers, total
+                    cells, pending, cells_axes, spec.replications, observers, total,
+                    health,
                 )
             else:
                 self._run_pending_serial(
-                    cells, pending, cells_axes, spec.replications, observers, total
+                    cells, pending, cells_axes, spec.replications, observers, total,
+                    health,
                 )
-        result = SweepResult(name=self.name)
+        result = SweepResult(name=self.name, health=health)
         result.cells.extend(cell for cell in cells if cell is not None)
         notify_observers(observers, "on_sweep_end", result)
         return result
@@ -319,6 +472,42 @@ class ExperimentRunner:
             return False
         return (os.cpu_count() or 1) > 1
 
+    # ------------------------------------------------------------ supervision
+    def _cell_error(
+        self, idx: int, volume: float, seeds: int, attempts: int, message: str
+    ) -> ExperimentError:
+        return ExperimentError(
+            f"sweep cell {idx} (volume={volume:g}, seeds={seeds}) failed after "
+            f"{attempts} attempt(s): {message}"
+        )
+
+    def _handle_exhausted(
+        self,
+        cells_axes: List[Tuple[float, int]],
+        idx: int,
+        attempts: int,
+        message: str,
+        health: SweepHealth,
+        last_exc: Optional[BaseException] = None,
+    ) -> None:
+        """Final failure of one cell: record it or abort the sweep."""
+        volume, seeds = cells_axes[idx]
+        error = self._cell_error(idx, volume, seeds, attempts, message)
+        if self.retry.keep_going:
+            health.failed_cells.append(
+                FailedCell(
+                    volume_fraction=volume,
+                    num_seeds=seeds,
+                    index=idx,
+                    attempts=attempts,
+                    error=message,
+                )
+            )
+            return
+        if last_exc is not None:
+            raise error from last_exc
+        raise error
+
     def _run_pending_serial(
         self,
         cells: List[Optional[SweepCell]],
@@ -327,10 +516,50 @@ class ExperimentRunner:
         replications: int,
         observers: Sequence[object],
         total: int,
+        health: SweepHealth,
+        prior_attempts: Optional[Dict[int, int]] = None,
     ) -> None:
+        """The serial path, with per-cell retries.
+
+        ``prior_attempts`` carries attempt counts already consumed on the
+        pool path when execution degrades to serial mid-sweep, so a cell's
+        total budget is honored across the transition.
+        """
+        policy = self.retry
         for idx in pending:
             volume, seeds = cells_axes[idx]
-            cell = self.run_cell(volume, seeds, replications)
+            used = (prior_attempts or {}).get(idx, 0)
+            cell: Optional[SweepCell] = None
+            last_exc: Optional[BaseException] = None
+            attempt = used
+            while cell is None and attempt < policy.max_attempts:
+                attempt += 1
+                health.attempts += 1
+                try:
+                    if self.fault_plan is not None:
+                        self.fault_plan.apply(idx, attempt)
+                    cell = _run_cell_job(
+                        self.network_factory, self.base_config,
+                        volume, seeds, replications,
+                    )
+                except Exception as exc:
+                    last_exc = exc
+                    notify_observers(
+                        observers, "on_cell_failed", exc, attempt, idx, total
+                    )
+                    if attempt < policy.max_attempts:
+                        health.retries += 1
+                        backoff = policy.backoff_s(attempt)
+                        if backoff > 0:
+                            time.sleep(backoff)
+            if cell is None:
+                # Same "Type: message" shape the chunk jobs report, so a
+                # failure reads identically whichever path produced it.
+                message = f"{type(last_exc).__name__}: {last_exc}"
+                self._handle_exhausted(
+                    cells_axes, idx, attempt, message, health, last_exc
+                )
+                continue
             cells[idx] = cell
             if notify_observers_stop(observers, "on_cell_done", cell, idx, total):
                 return
@@ -343,9 +572,22 @@ class ExperimentRunner:
         replications: int,
         observers: Sequence[object],
         total: int,
+        health: SweepHealth,
     ) -> None:
+        """The supervised pool path.
+
+        Work is submitted in rounds: every still-unfinished cell is chunked
+        across the workers and awaited in submission order.  A cell that
+        raises is salvaged per cell inside its chunk and retried next round;
+        a chunk that exceeds its wall-clock budget or loses its worker
+        (``BrokenProcessPool``) gets the pool killed and respawned, charging
+        the implicated cells one attempt.  When the restart budget runs out,
+        the remaining cells degrade to the serial path with their attempt
+        counts intact.
+        """
+        policy = self.retry
         try:
-            pickle.dumps((self.network_factory, self.base_config))
+            pickle.dumps((self.network_factory, self.base_config, self.fault_plan))
         except Exception as exc:  # lambdas, closures, open handles, ...
             warnings.warn(
                 f"parallel sweep disabled: factory/config not picklable ({exc}); "
@@ -353,69 +595,213 @@ class ExperimentRunner:
                 stacklevel=4,
             )
             return self._run_pending_serial(
-                cells, pending, cells_axes, replications, observers, total
+                cells, pending, cells_axes, replications, observers, total, health
             )
         workers = self.max_workers or min(len(pending), os.cpu_count() or 1)
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                try:
-                    # A factory that pickles by reference locally can still
-                    # fail to unpickle inside a worker (e.g. defined in
-                    # __main__ under the spawn start method).  Prove the
-                    # round trip with a no-op task first, so that a genuine
-                    # error raised by a real cell later is never mistaken
-                    # for a transport problem.
-                    pool.submit(
-                        _deserialization_canary, self.network_factory, self.base_config
-                    ).result()
-                except Exception as exc:
-                    warnings.warn(
-                        f"parallel sweep disabled: factory/config does not survive "
-                        f"the worker round trip ({exc}); running serially",
-                        stacklevel=4,
-                    )
-                    return self._run_pending_serial(
-                        cells, pending, cells_axes, replications, observers, total
-                    )
-                # Chunk the pending cells across the workers (a few chunks
-                # per worker so a slow chunk cannot straggle the pool) and
-                # submit chunks, not cells: one pickle round trip per chunk.
-                chunk_size = max(1, -(-len(pending) // (workers * 4)))
-                chunks = [
-                    pending[i: i + chunk_size]
-                    for i in range(0, len(pending), chunk_size)
-                ]
-                futures = [
-                    (
-                        chunk,
-                        pool.submit(
-                            _run_cells_chunk_job, self.network_factory,
-                            self.base_config,
-                            [cells_axes[idx] for idx in chunk], replications,
-                        ),
-                    )
-                    for chunk in chunks
-                ]
-                self.used_process_pool = True
-                for pos, (chunk, future) in enumerate(futures):
-                    chunk_cells = future.result()
-                    for idx, cell in zip(chunk, chunk_cells):
-                        cells[idx] = cell
-                        if notify_observers_stop(
-                            observers, "on_cell_done", cell, idx, total
-                        ):
-                            # Stop exactly like the serial path: the rest of
-                            # this chunk (already computed, but not yet
-                            # reported) is discarded, later chunks cancelled.
-                            for _chunk, later in futures[pos + 1:]:
-                                later.cancel()
-                            return
-        except (BrokenProcessPool, OSError, pickle.PicklingError) as exc:
-            warnings.warn(
-                f"parallel sweep failed ({exc}); rerunning serially", stacklevel=4
-            )
-            self.used_process_pool = False
+        #: attempts already consumed per still-unfinished cell index
+        attempts: Dict[int, int] = {idx: 0 for idx in pending}
+        restarts_left = policy.pool_restart_budget
+        pool: Optional[ProcessPoolExecutor] = None
+
+        def fall_back_serial(reason: str) -> None:
+            warnings.warn(reason, stacklevel=5)
+            health.serial_fallback = True
+            self.used_process_pool = self.used_process_pool or False
             remaining = [idx for idx in pending if cells[idx] is None]
-            return self._run_pending_serial(
-                cells, remaining, cells_axes, replications, observers, total
+            remaining = [idx for idx in remaining if idx in attempts]
+            self._run_pending_serial(
+                cells, remaining, cells_axes, replications, observers, total,
+                health, prior_attempts=attempts,
             )
+
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            try:
+                # A factory that pickles by reference locally can still
+                # fail to unpickle inside a worker (e.g. defined in
+                # __main__ under the spawn start method).  Prove the
+                # round trip with a no-op task first, so that a genuine
+                # error raised by a real cell later is never mistaken
+                # for a transport problem.
+                pool.submit(
+                    _deserialization_canary, self.network_factory, self.base_config
+                ).result()
+            except Exception as exc:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+                return fall_back_serial(
+                    f"parallel sweep disabled: factory/config does not survive "
+                    f"the worker round trip ({exc}); running serially"
+                )
+
+            while attempts:
+                # One round: chunk every unfinished cell across the workers.
+                # Under a cell timeout each chunk holds a single cell, so
+                # ``future.result(timeout=...)`` is an exact per-cell budget;
+                # without one, a few chunks per worker amortize pickling/IPC
+                # while keeping stragglers short.
+                order = sorted(attempts)
+                if policy.cell_timeout_s is not None:
+                    chunk_size = 1
+                else:
+                    chunk_size = max(1, -(-len(order) // (workers * 4)))
+                chunks = [
+                    order[i: i + chunk_size]
+                    for i in range(0, len(order), chunk_size)
+                ]
+                round_backoff = 0.0
+                for idx in order:
+                    if attempts[idx] > 0:
+                        round_backoff = max(
+                            round_backoff, policy.backoff_s(attempts[idx])
+                        )
+                if round_backoff > 0:
+                    time.sleep(round_backoff)
+                futures = []
+                for chunk in chunks:
+                    items = [
+                        (idx, *cells_axes[idx], attempts[idx] + 1) for idx in chunk
+                    ]
+                    futures.append(
+                        (
+                            chunk,
+                            pool.submit(
+                                _run_cells_chunk_job, self.network_factory,
+                                self.base_config, items, replications,
+                                self.fault_plan,
+                            ),
+                        )
+                    )
+                self.used_process_pool = True
+
+                incident: Optional[Tuple[str, List[int]]] = None
+                for pos, (chunk, future) in enumerate(futures):
+                    chunk_timeout = (
+                        None
+                        if policy.cell_timeout_s is None
+                        else policy.cell_timeout_s * len(chunk)
+                    )
+                    try:
+                        outcomes = future.result(timeout=chunk_timeout)
+                    except FutureTimeoutError:
+                        health.timeouts += 1
+                        incident = ("hung", chunk)
+                        break
+                    except BrokenProcessPool:
+                        incident = ("died", chunk)
+                        break
+                    if self._absorb_outcomes(
+                        outcomes, cells, cells_axes, attempts, observers, total,
+                        health,
+                    ):
+                        # Early stop requested: discard the not-yet-reported
+                        # remainder exactly like the serial path.
+                        for _chunk, later in futures[pos + 1:]:
+                            later.cancel()
+                        return
+
+                if incident is None:
+                    continue  # next round retries any salvaged failures
+
+                # The pool is compromised (hung worker or dead process).
+                # Kill it first — completed futures keep their results, and
+                # nothing below may block behind a hung worker — then
+                # harvest every chunk that did complete, charge the
+                # implicated chunk one attempt, and respawn.
+                _kill_pool(pool)
+                pool = None
+                health.pool_restarts += 1
+                kind, bad_chunk = incident
+                for chunk, future in futures:
+                    if chunk == bad_chunk or not future.done() or future.cancelled():
+                        continue
+                    try:
+                        outcomes = future.result(timeout=0)
+                    except Exception:
+                        continue  # died with the pool; not charged
+                    if self._absorb_outcomes(
+                        outcomes, cells, cells_axes, attempts, observers, total,
+                        health,
+                    ):
+                        return
+                for idx in bad_chunk:
+                    if idx not in attempts:
+                        continue
+                    attempts[idx] += 1
+                    volume, seeds = cells_axes[idx]
+                    health.attempts += 1
+                    message = (
+                        f"cell attempt exceeded the {policy.cell_timeout_s:g}s "
+                        "wall-clock budget (worker killed)"
+                        if kind == "hung"
+                        else "worker process died mid-cell"
+                    )
+                    exc = self._cell_error(
+                        idx, volume, seeds, attempts[idx], message
+                    )
+                    notify_observers(
+                        observers, "on_cell_failed", exc, attempts[idx], idx, total
+                    )
+                    if attempts[idx] >= policy.max_attempts:
+                        del attempts[idx]
+                        self._handle_exhausted(
+                            cells_axes, idx, policy.max_attempts, message, health
+                        )
+                    else:
+                        health.retries += 1
+                if restarts_left == 0:
+                    return fall_back_serial(
+                        "parallel sweep: pool restart budget exhausted; "
+                        "running the remaining cells serially"
+                    )
+                restarts_left -= 1
+                pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, pickle.PicklingError) as exc:
+            return fall_back_serial(
+                f"parallel sweep failed ({exc}); rerunning serially"
+            )
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    def _absorb_outcomes(
+        self,
+        outcomes: Sequence[Tuple[int, str, object]],
+        cells: List[Optional[SweepCell]],
+        cells_axes: List[Tuple[float, int]],
+        attempts: Dict[int, int],
+        observers: Sequence[object],
+        total: int,
+        health: SweepHealth,
+    ) -> bool:
+        """Fold one chunk's per-cell outcomes into the sweep state.
+
+        Returns True when an observer requested an early stop.
+        """
+        policy = self.retry
+        for idx, status, payload in outcomes:
+            if idx not in attempts:
+                continue  # duplicate report after a restart race
+            attempts[idx] += 1
+            health.attempts += 1
+            if status == "ok":
+                del attempts[idx]
+                cells[idx] = payload
+                if notify_observers_stop(
+                    observers, "on_cell_done", payload, idx, total
+                ):
+                    return True
+                continue
+            volume, seeds = cells_axes[idx]
+            exc = self._cell_error(idx, volume, seeds, attempts[idx], str(payload))
+            notify_observers(
+                observers, "on_cell_failed", exc, attempts[idx], idx, total
+            )
+            if attempts[idx] >= policy.max_attempts:
+                del attempts[idx]
+                self._handle_exhausted(
+                    cells_axes, idx, policy.max_attempts, str(payload), health
+                )
+            else:
+                health.retries += 1
+        return False

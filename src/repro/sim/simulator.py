@@ -15,7 +15,8 @@ component instances derived from them, and it knows how to
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,17 +40,64 @@ from .rng import RngFactory
 __all__ = ["Simulation", "notify_observers", "notify_observers_stop"]
 
 
+#: Attribute marking an observer whose callback raised: it is skipped for
+#: the rest of the run instead of aborting the simulation/sweep.
+_OBSERVER_DISABLED = "_repro_observer_disabled"
+
+#: Class attribute opting an observer *out* of the disable-on-raise guard.
+#: For load-bearing observers (the result store's cell recorder): their
+#: failures are real failures — a store that cannot persist a cell must
+#: abort the sweep, not be silently muted like a buggy progress reporter.
+_OBSERVER_ESSENTIAL = "_repro_observer_essential"
+
+
+def _observer_call(obs: object, hook: str, args: Tuple[object, ...]) -> object:
+    """Invoke one observer hook, disabling the observer if it raises.
+
+    Observers watch a run; they must never be able to kill it.  Before this
+    guard, one raising observer aborted the whole sweep and discarded every
+    completed-but-unstored cell.  Now the exception is caught, a warning
+    names the offender once, and the observer is disabled for the rest of
+    the run (an ad-hoc attribute, so duck-typed observers work too).
+    ``KeyboardInterrupt`` and friends still propagate — only ``Exception``
+    is an observer bug rather than a user intention.  Observers marked
+    ``_repro_observer_essential`` (the store recorder) are exempt: their
+    exceptions propagate.
+    """
+    if getattr(obs, _OBSERVER_DISABLED, False):
+        return None
+    callback = getattr(obs, hook, None)
+    if callback is None:
+        return None
+    if getattr(obs, _OBSERVER_ESSENTIAL, False):
+        return callback(*args)
+    try:
+        return callback(*args)
+    except Exception as exc:
+        try:
+            setattr(obs, _OBSERVER_DISABLED, True)
+        except Exception:
+            pass  # observers with __slots__: warn every time instead
+        warnings.warn(
+            f"observer {type(obs).__name__}.{hook} raised "
+            f"{type(exc).__name__}: {exc}; disabling this observer for the "
+            "rest of the run",
+            stacklevel=4,
+        )
+        return None
+
+
 def notify_observers(observers: Sequence[object], hook: str, *args: object) -> None:
     """Invoke ``hook`` on every observer that defines it (duck-typed).
 
     Observers are any objects exposing the callbacks they care about (see
     ``repro.experiments.observers.Observer`` for the reference base class);
     missing hooks are simply skipped, so ad-hoc callback holders work too.
+    A raising observer is disabled (with a warning) rather than allowed to
+    abort the run — see :func:`_observer_call`.
     """
     for obs in observers:
-        callback = getattr(obs, hook, None)
-        if callback is not None:
-            callback(*args)
+        _observer_call(obs, hook, args)
 
 
 def notify_observers_stop(observers: Sequence[object], hook: str, *args: object) -> bool:
@@ -61,8 +109,7 @@ def notify_observers_stop(observers: Sequence[object], hook: str, *args: object)
     """
     stop = False
     for obs in observers:
-        callback = getattr(obs, hook, None)
-        if callback is not None and callback(*args):
+        if _observer_call(obs, hook, args):
             stop = True
     return stop
 

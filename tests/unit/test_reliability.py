@@ -1,0 +1,416 @@
+"""Reliability layer units: RetryPolicy, FaultPlan, crash-safe store, locks.
+
+The end-to-end guarantees (a faulted sweep completes bit-for-bit identical
+to an undisturbed one) live in ``tests/chaos/test_fault_injection.py`` and
+``tests/property/test_store_truncation.py``; this module covers the pieces.
+"""
+
+import json
+import os
+import pickle
+import subprocess
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ExperimentError, ReproError, StoreCorruptionError
+from repro.experiments import (
+    ExperimentSpec,
+    FaultPlan,
+    InjectedFault,
+    NetworkSpec,
+    ResultStore,
+    RetryPolicy,
+    record_checksum,
+)
+from repro.experiments.store import _diff_cells
+from repro.mobility.demand import DemandConfig
+from repro.sim.config import ScenarioConfig
+from repro.sim.results import FailedCell, RunResult, SweepCell, SweepHealth
+from repro.sim.runner import SweepSpec
+
+
+# --------------------------------------------------------------- helpers
+def _tiny_spec(*, volumes=(0.5,), seed_counts=(1,), replications=1):
+    return ExperimentSpec(
+        network=NetworkSpec("grid", args=(3, 3), kwargs={"lanes": 1}),
+        config=ScenarioConfig(
+            name="reliability-unit",
+            rng_seed=11,
+            demand=DemandConfig(volume_fraction=0.5),
+        ),
+        sweep=SweepSpec(
+            volumes=volumes, seed_counts=seed_counts, replications=replications
+        ),
+    )
+
+
+def _make_result(**overrides):
+    defaults = dict(
+        scenario_name="x",
+        rng_seed=3,
+        volume_fraction=0.5,
+        num_seeds=1,
+        open_system=False,
+        constitution_time_s=120.0,
+        constitution_min_s=30.0,
+        constitution_avg_s=60.0,
+        collection_time_s=240.0,
+        simulated_s=300.0,
+        ground_truth=40,
+        protocol_count=40,
+        collected_count=40,
+        adjustments=2,
+        inside_at_end=40,
+        converged=True,
+        collection_converged=True,
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+# ----------------------------------------------------------- RetryPolicy
+class TestRetryPolicy:
+    def test_defaults_are_historical_fail_fast(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 1
+        assert policy.cell_timeout_s is None
+        assert not policy.keep_going
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_attempts=0),
+            dict(backoff_base_s=-1.0),
+            dict(backoff_factor=0.5),
+            dict(cell_timeout_s=0.0),
+            dict(cell_timeout_s=-5.0),
+            dict(pool_restart_budget=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ExperimentError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_is_deterministic_exponential(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base_s=0.5, backoff_factor=3.0)
+        assert policy.backoff_s(1) == 0.5
+        assert policy.backoff_s(2) == 1.5
+        assert policy.backoff_s(3) == 4.5
+        # zero base: never sleeps, whatever the factor
+        assert RetryPolicy(max_attempts=2).backoff_s(7) == 0.0
+
+    def test_round_trip(self):
+        policy = RetryPolicy(
+            max_attempts=3, backoff_base_s=0.1, cell_timeout_s=30.0,
+            pool_restart_budget=1, keep_going=True,
+        )
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+# ------------------------------------------------------------- FaultPlan
+class TestFaultPlan:
+    def test_lookup_and_validation(self):
+        plan = FaultPlan(faults=((0, 1, "raise"), (2, 2, "hang")))
+        assert plan.fault_for(0, 1) == "raise"
+        assert plan.fault_for(2, 2) == "hang"
+        assert plan.fault_for(0, 2) is None
+        assert plan.fault_for(1, 1) is None
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultPlan(faults=((0, 1, "segfault"),))
+        with pytest.raises(ReproError, match="1-based"):
+            FaultPlan(faults=((0, 0, "raise"),))
+
+    def test_apply_raise(self):
+        plan = FaultPlan(faults=((3, 1, "raise"),))
+        with pytest.raises(InjectedFault, match="cell 3"):
+            plan.apply(3, 1)
+        plan.apply(3, 2)  # unscheduled attempt: no-op
+
+    def test_hang_and_kill_downgrade_in_origin_process(self):
+        # A hang/kill fired in the authoring (supervisor) process must not
+        # stall or kill the suite: it downgrades to a raise.
+        plan = FaultPlan(faults=((0, 1, "kill"), (1, 1, "hang")), hang_s=60.0)
+        with pytest.raises(InjectedFault, match="downgraded"):
+            plan.apply(0, 1)
+        with pytest.raises(InjectedFault, match="downgraded"):
+            plan.apply(1, 1)
+
+    def test_round_trip_and_pickle(self):
+        plan = FaultPlan(
+            faults=((0, 1, "raise"), (4, 2, "kill")),
+            torn_records=(3,), hang_s=9.0, exit_code=5,
+        )
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again.faults == plan.faults
+        assert again.torn_records == plan.torn_records
+        assert again.hang_s == plan.hang_s
+        # pickling carries origin_pid (workers must see the author's pid)
+        assert pickle.loads(pickle.dumps(plan)).origin_pid == plan.origin_pid
+
+    def test_random_is_seed_deterministic(self):
+        a = FaultPlan.random(42, 20, rate=0.5, kinds=("raise", "hang"), max_attempt=2)
+        b = FaultPlan.random(42, 20, rate=0.5, kinds=("raise", "hang"), max_attempt=2)
+        c = FaultPlan.random(43, 20, rate=0.5, kinds=("raise", "hang"), max_attempt=2)
+        assert a.faults == b.faults
+        assert a.faults != c.faults
+        assert all(idx < 20 and kind in ("raise", "hang") for idx, _, kind in a.faults)
+
+
+# ----------------------------------------------------- store crash safety
+class TestStoreIntegrity:
+    def test_truncated_manifest_raises_store_corruption_error(self, tmp_path):
+        # Regression: a half-written manifest used to surface as a raw
+        # json.JSONDecodeError with no mention of which store or what to do.
+        store = ResultStore(tmp_path / "s")
+        store.initialize(_tiny_spec())
+        text = store.manifest_path.read_text()
+        store.manifest_path.write_text(text[: len(text) // 2])
+        fresh = ResultStore(tmp_path / "s")
+        with pytest.raises(StoreCorruptionError, match="store-check") as excinfo:
+            fresh.manifest()
+        assert str(tmp_path / "s") in str(excinfo.value)
+        assert isinstance(excinfo.value, ExperimentError)  # hierarchy intact
+        report = ResultStore(tmp_path / "s").integrity_report()
+        assert not report.manifest_ok and not report.ok
+
+    def test_checksum_mismatch_quarantines_record(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.initialize(_tiny_spec())
+        store.record_run(_make_result(), volume=0.5, seeds=1, replication=0)
+        store.record_run(_make_result(volume_fraction=0.7), volume=0.7, seeds=1,
+                         replication=0)
+        # flip the stored ground truth in record 1 without fixing its checksum
+        lines = store.runs_path.read_text().splitlines()
+        lines[0] = lines[0].replace('"ground_truth": 40', '"ground_truth": 41')
+        store.runs_path.write_text("\n".join(lines) + "\n")
+        fresh = ResultStore(tmp_path / "s")
+        with pytest.warns(UserWarning, match="quarantined 1 corrupt record"):
+            records = fresh.records()
+        assert len(records) == 1  # the untampered record survives
+        assert fresh.quarantined() == [{"line": 1, "reason": "checksum mismatch"}]
+        # a quarantined cell is absent, so resume would re-run it
+        assert fresh.load_cell(0.5, 1, 1) is None
+        assert fresh.load_cell(0.7, 1, 1) is not None
+
+    def test_legacy_records_without_checksum_still_load(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.initialize(_tiny_spec())
+        record = {"volume": 0.5, "seeds": 1, "replication": 0,
+                  "result": _make_result().as_dict()}
+        with open(store.runs_path, "w") as fh:
+            fh.write(json.dumps(record) + "\n")
+        fresh = ResultStore(tmp_path / "s")
+        assert fresh.load_cell(0.5, 1, 1) is not None
+        report = fresh.integrity_report()
+        assert report.ok and report.legacy_records == 1 and report.checksummed == 0
+
+    def test_record_checksum_ignores_checksum_field(self):
+        record = {"volume": 0.5, "seeds": 1, "replication": 0, "result": {}}
+        digest = record_checksum(record)
+        assert record_checksum({**record, "checksum": digest}) == digest
+        assert record_checksum({**record, "volume": 0.6}) != digest
+
+    def test_torn_tail_does_not_corrupt_next_append(self, tmp_path):
+        # A writer that died mid-append leaves a partial line without a
+        # newline; the next append must not glue onto it.
+        store = ResultStore(tmp_path / "s")
+        store.initialize(_tiny_spec())
+        store.record_run(_make_result(), volume=0.5, seeds=1, replication=0)
+        with open(store.runs_path, "a") as fh:
+            fh.write('{"volume": 0.7, "seeds": 1, "repl')  # torn, no newline
+        store2 = ResultStore(tmp_path / "s")
+        store2.record_run(_make_result(volume_fraction=0.9), volume=0.9, seeds=1,
+                          replication=0)
+        fresh = ResultStore(tmp_path / "s")
+        with pytest.warns(UserWarning, match="quarantined"):
+            records = fresh.records()
+        assert set(records) == {(0.5, 1, 0), (0.9, 1, 0)}
+        assert [q["reason"] for q in fresh.quarantined()] == [
+            "unparseable JSON (torn write?)"
+        ]
+
+    def test_failure_records_are_first_class_but_never_resume(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.initialize(_tiny_spec())
+        store.record_failure(volume=0.5, seeds=1, index=0, attempts=3,
+                             error="InjectedFault: boom")
+        fresh = ResultStore(tmp_path / "s")
+        assert fresh.load_cell(0.5, 1, 1) is None  # failures never satisfy resume
+        (failure,) = fresh.failures()
+        assert failure["kind"] == "failure" and failure["attempts"] == 3
+        report = ResultStore(tmp_path / "s").integrity_report()
+        assert report.ok and report.failure_records == 1 and report.result_records == 0
+
+    def test_write_health_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        health = SweepHealth(attempts=5, retries=2, timeouts=1, pool_restarts=1)
+        health.failed_cells.append(FailedCell(
+            volume_fraction=0.5, num_seeds=1, index=0, attempts=3, error="boom"))
+        store.write_health(health)
+        on_disk = json.loads(store.health_path.read_text())
+        assert on_disk == health.as_dict()
+        assert not on_disk["ok"] and on_disk["failed_cells"][0]["error"] == "boom"
+
+
+# -------------------------------------------------------------- write lock
+class TestWriterLock:
+    def test_lock_is_exclusive_and_released(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with store.writer_lock():
+            assert store.lock_holder() == os.getpid()
+            with pytest.raises(ExperimentError, match="one writer at a time"):
+                with ResultStore(tmp_path / "s").writer_lock():
+                    pass  # pragma: no cover
+        assert store.lock_holder() is None
+        with ResultStore(tmp_path / "s").writer_lock():  # reacquirable
+            pass
+
+    def test_stale_lock_of_dead_process_is_stolen(self, tmp_path):
+        proc = subprocess.Popen(["sleep", "0"])
+        proc.wait()
+        store = ResultStore(tmp_path / "s")
+        store.root.mkdir(parents=True)
+        store.lock_path.write_text(f"{proc.pid}\n")
+        report_before = store.integrity_report()
+        assert report_before.locked_by == proc.pid and report_before.lock_stale
+        with store.writer_lock():  # steals instead of raising
+            assert store.lock_holder() == os.getpid()
+
+    def test_spec_run_holds_the_lock(self, tmp_path):
+        spec = _tiny_spec()
+        store = ResultStore(tmp_path / "s")
+        with store.writer_lock():
+            with pytest.raises(ExperimentError, match="one writer at a time"):
+                spec.run(store=ResultStore(tmp_path / "s"))
+
+
+# -------------------------------------------------- supervised sweep units
+class TestSupervisedSweep:
+    def test_health_attached_to_undisturbed_sweep(self):
+        result = _tiny_spec(volumes=(0.4, 0.6)).run()
+        assert result.health is not None and result.health.ok
+        assert result.health.attempts == 2
+        assert result.health.retries == 0 and result.health.timeouts == 0
+        assert "0 failed cell(s)" in result.health.describe()
+
+    def test_retry_recovers_and_notifies_on_cell_failed(self):
+        spec = _tiny_spec(volumes=(0.4, 0.6))
+        failures = []
+
+        class Watcher:
+            def on_cell_failed(self, exc, attempt, index, total):
+                failures.append((attempt, index, total, str(exc)))
+
+        baseline = spec.run()
+        plan = FaultPlan(faults=((1, 1, "raise"),))
+        result = spec.run(retry=RetryPolicy(max_attempts=2), fault_plan=plan,
+                          observers=[Watcher()])
+        assert [c.runs for c in result.cells] == [c.runs for c in baseline.cells]
+        assert result.health.retries == 1 and result.health.attempts == 3
+        ((attempt, index, total, message),) = failures
+        assert (attempt, index, total) == (1, 1, 2)
+        assert "injected failure" in message
+
+    def test_exhausted_cell_aborts_without_keep_going(self):
+        spec = _tiny_spec(volumes=(0.4, 0.6))
+        plan = FaultPlan(faults=((0, 1, "raise"), (0, 2, "raise")))
+        with pytest.raises(ExperimentError, match="failed after 2 attempt"):
+            spec.run(retry=RetryPolicy(max_attempts=2), fault_plan=plan)
+
+    def test_keep_going_records_failure_and_resume_completes(self, tmp_path):
+        spec = _tiny_spec(volumes=(0.4, 0.6))
+        baseline = spec.run()
+        plan = FaultPlan(faults=((0, 1, "raise"), (0, 2, "raise")))
+        store = ResultStore(tmp_path / "s")
+        result = spec.run(
+            store=store,
+            retry=RetryPolicy(max_attempts=2, keep_going=True),
+            fault_plan=plan,
+        )
+        assert len(result.cells) == 1
+        (failed,) = result.health.failed_cells
+        assert failed.index == 0 and failed.attempts == 2
+        fresh = ResultStore(tmp_path / "s")
+        assert len(fresh.failures()) == 1
+        assert json.loads(fresh.health_path.read_text())["ok"] is False
+        # resume re-runs only the failed cell and converges on the baseline
+        resumed = spec.run(store=ResultStore(tmp_path / "s"), resume=True)
+        assert [c.runs for c in resumed.cells] == [c.runs for c in baseline.cells]
+        assert resumed.health.ok
+
+    def test_poison_observer_is_disabled_not_fatal(self, tmp_path):
+        spec = _tiny_spec(volumes=(0.4, 0.6))
+        calls = []
+
+        class Poison:
+            def on_cell_done(self, cell, index, total):
+                calls.append(index)
+                raise RuntimeError("observer bug")
+
+        store = ResultStore(tmp_path / "s")
+        with pytest.warns(UserWarning, match="disabling this observer"):
+            result = spec.run(observers=[Poison()], store=store)
+        # fired once, then muted; the sweep and the store are unharmed
+        assert calls == [0]
+        assert len(result.cells) == 2
+        assert ResultStore(tmp_path / "s").integrity_report().result_records == 2
+
+
+# ------------------------------------------------------------ replay diffs
+class TestReplayDiff:
+    def test_replication_count_mismatch_is_explicit(self):
+        # Regression: zip() over runs silently truncated the comparison, so
+        # a stored 2-replication cell matched a fresh 1-replication cell.
+        run = _make_result()
+        stored = SweepCell(volume_fraction=0.5, num_seeds=1, runs=(run, run))
+        fresh = SweepCell(volume_fraction=0.5, num_seeds=1, runs=(run,))
+        mismatches = _diff_cells(stored, fresh, "cell/")
+        assert mismatches == ["cell/: stored has 2 run(s), fresh has 1"]
+        assert _diff_cells(stored, stored, "cell/") == []
+
+
+# ------------------------------------------------------------------ CLI
+class TestCli:
+    def test_store_check_verb_exit_codes(self, tmp_path, capsys):
+        spec = _tiny_spec()
+        store = ResultStore(tmp_path / "s")
+        spec.run(store=store)
+        assert main(["store-check", str(tmp_path / "s")]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "1 result(s)" in out
+        # damage a record -> exit 1
+        lines = store.runs_path.read_text().splitlines()
+        store.runs_path.write_text(lines[0][: len(lines[0]) // 2] + "\n")
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert main(["store-check", str(tmp_path / "s")]) == 1
+        assert "DAMAGED" in capsys.readouterr().out
+        # missing store -> exit 2
+        assert main(["store-check", str(tmp_path / "missing")]) == 2
+
+    def test_store_check_json_output(self, tmp_path, capsys):
+        spec = _tiny_spec()
+        spec.run(store=ResultStore(tmp_path / "s"))
+        assert main(["store-check", str(tmp_path / "s"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] and payload["result_records"] == 1
+
+    def test_sweep_flags_build_policy_and_report_health(self, tmp_path, capsys):
+        spec = _tiny_spec(volumes=(0.4, 0.6))
+        spec_path = tmp_path / "spec.json"
+        spec.save(spec_path)
+        out_dir = tmp_path / "out"
+        rc = main([
+            "sweep", "--spec", str(spec_path), "--out", str(out_dir),
+            "--retries", "1", "--keep-going",
+        ])
+        assert rc == 0
+        assert "sweep health:" in capsys.readouterr().out
+        assert (out_dir / "health.json").is_file()
+
+    def test_sweep_rejects_negative_retries(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        _tiny_spec().save(spec_path)
+        assert main(["sweep", "--spec", str(spec_path), "--retries", "-1"]) == 2
+        assert "--retries" in capsys.readouterr().err
