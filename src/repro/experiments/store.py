@@ -26,8 +26,9 @@ reproduce — an experiment after the process that ran it is gone:
     attempts, retries, reaped timeouts, pool restarts, failed cells.
 ``store.lock``
     Single-writer lock: ``spec.run(store=...)`` holds it for the duration
-    of the run, so two writers cannot interleave records.  A lock left by a
-    dead process is detected (the holder PID is probed) and stolen.
+    of the run, so two writers cannot interleave records.  On POSIX it is
+    an ``fcntl.flock`` the kernel releases the moment the holder dies, so
+    a crashed writer never wedges the store.
 
 Because a run's result is a pure function of (spec, cell coordinates), a
 stored experiment supports two strong operations:
@@ -49,6 +50,11 @@ import math
 import os
 import time
 import warnings
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -303,41 +309,81 @@ class ResultStore:
     def writer_lock(self):
         """Hold the store's single-writer lock for the ``with`` body.
 
-        The lock is a file created with ``O_CREAT | O_EXCL`` (atomic on
-        every platform) holding the writer's PID.  A lock whose holder is
-        no longer running — the writer crashed — is stolen; a live holder
-        raises :class:`ExperimentError` instead of letting two sweeps
+        On POSIX the lock is an ``fcntl.flock`` on a persistent
+        ``store.lock`` file.  The kernel drops the lock the instant the
+        holding process dies, so a crashed writer can never wedge the
+        store — and there is no stale-lock *stealing*, which is where
+        unlink-based schemes go wrong (two stores judging the same lock
+        stale can unlink each other's fresh locks and both write).  The
+        holder's PID is kept in the file for diagnostics only
+        (:meth:`lock_holder`, the integrity report); the file is
+        truncated, never unlinked, on release, so every contender always
+        locks the same inode.  A live holder raises
+        :class:`ExperimentError` instead of letting two sweeps
         interleave appends into the same ``runs.jsonl``.
         """
         self.root.mkdir(parents=True, exist_ok=True)
-        while True:
+        if fcntl is not None:
+            fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
             try:
-                fd = os.open(
-                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
-                )
-                break
-            except FileExistsError:
-                holder = self.lock_holder()
-                if holder is None or not _pid_alive(holder):
-                    # Crashed writer: steal the stale lock and try again.
-                    try:
-                        self.lock_path.unlink()
-                    except FileNotFoundError:
-                        pass
-                    continue
-                raise ExperimentError(
-                    f"result store at {self.root} is locked by running "
-                    f"process {holder}; a store accepts one writer at a time"
-                )
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    holder = self.lock_holder()
+                    raise ExperimentError(
+                        f"result store at {self.root} is locked by running "
+                        f"process {holder if holder is not None else '(unknown)'}; "
+                        "a store accepts one writer at a time"
+                    ) from None
+                os.truncate(fd, 0)
+                os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+                try:
+                    yield self
+                finally:
+                    # Empty the file so lock_holder() reads "unlocked";
+                    # closing the fd releases the flock.
+                    os.truncate(fd, 0)
+            finally:
+                os.close(fd)
+            return
+        # Fallback without flock: the lock file *appears* atomically with
+        # the PID already inside (written to a private temp file, then
+        # hard-linked into place — link fails like O_EXCL when the path
+        # exists, but there is never a moment where the lock exists
+        # empty).  A stale lock is stolen by atomically renaming it
+        # aside, so of several concurrent stealers exactly one wins; the
+        # losers simply retry the link.
+        tmp = self.lock_path.with_name(
+            f"{self.lock_path.name}.{os.getpid()}.tmp"
+        )
+        tmp.write_text(f"{os.getpid()}\n", encoding="ascii")
         try:
-            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
-            os.close(fd)
-            yield self
-        finally:
+            while True:
+                try:
+                    os.link(tmp, self.lock_path)
+                    break
+                except FileExistsError:
+                    holder = self.lock_holder()
+                    if holder is not None and _pid_alive(holder):
+                        raise ExperimentError(
+                            f"result store at {self.root} is locked by "
+                            f"running process {holder}; a store accepts "
+                            "one writer at a time"
+                        )
+                    stale = self.lock_path.with_name(
+                        f"{self.lock_path.name}.{os.getpid()}.stale"
+                    )
+                    try:
+                        os.replace(self.lock_path, stale)
+                    except FileNotFoundError:
+                        continue  # another contender stole it first; retry
+                    stale.unlink(missing_ok=True)
             try:
-                self.lock_path.unlink()
-            except FileNotFoundError:
-                pass
+                yield self
+            finally:
+                self.lock_path.unlink(missing_ok=True)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     def lock_holder(self) -> Optional[int]:
         """PID in the lock file, or None when unlocked/unreadable."""
@@ -541,9 +587,11 @@ class ResultStore:
             self.manifest()
         except ExperimentError as exc:
             manifest_ok, manifest_error = False, str(exc)
-        records: Dict[_RecordKey, dict] = {}
-        if self.runs_path.is_file():
-            records = self.records()
+        # records() handles a missing runs.jsonl itself and, crucially,
+        # resets the sidecar counters (_failures, _quarantined, ...) —
+        # guarding on is_file() here would leave them stale from a prior
+        # read if the file has since been deleted.
+        records = self.records()
         holder = self.lock_holder()
         return IntegrityReport(
             root=str(self.root),

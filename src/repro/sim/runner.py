@@ -16,9 +16,9 @@ cell for cell.
 
 Execution is *supervised*: a :class:`RetryPolicy` gives each cell a bounded
 number of attempts with deterministic exponential backoff, an optional
-per-cell wall-clock timeout (enforced with ``future.result(timeout=...)``
-on the pool path — a hung worker is killed and the pool respawned instead of
-blocking the sweep forever), a pool-restart budget after which execution
+per-await timeout (enforced with ``future.result(timeout=...)`` on the pool
+path — a hung worker is killed and the pool respawned instead of blocking
+the sweep forever), a pool-restart budget after which execution
 degrades to the serial path, and ``keep_going`` semantics under which a cell
 that exhausts its retries is recorded as a failure instead of aborting the
 sweep.  What the supervisor did is reported in the
@@ -140,12 +140,16 @@ class RetryPolicy:
         the next try.  No jitter — reliability code must be as reproducible
         as the simulation it supervises.
     cell_timeout_s:
-        Per-cell wall-clock budget, enforced on the pool path via
-        ``future.result(timeout=...)``: a chunk that exceeds its budget has
-        its workers killed and the pool respawned, and the timed-out cell is
-        charged one attempt.  ``None`` disables the watchdog.  The serial
-        path cannot preempt a running cell, so the timeout only protects
-        pool execution.
+        Hang-detection budget, enforced on the pool path via
+        ``future.result(timeout=...)``: a chunk whose await exceeds the
+        budget has its workers killed and the pool respawned, and the
+        timed-out cell is charged one attempt.  The budget is applied to
+        each await in turn, not to a cell's own wall clock — a cell whose
+        future is harvested late (behind slow-but-healthy cells) may run
+        longer than the budget before its await even begins, but once the
+        sweep is otherwise quiet a hung worker is reaped within one budget.
+        ``None`` disables the watchdog.  The serial path cannot preempt a
+        running cell, so the timeout only protects pool execution.
     pool_restart_budget:
         How many times a broken or hung pool is respawned before the
         remaining cells degrade to the serial path.
@@ -579,7 +583,7 @@ class ExperimentRunner:
         Work is submitted in rounds: every still-unfinished cell is chunked
         across the workers and awaited in submission order.  A cell that
         raises is salvaged per cell inside its chunk and retried next round;
-        a chunk that exceeds its wall-clock budget or loses its worker
+        a chunk whose await exceeds the timeout budget or loses its worker
         (``BrokenProcessPool``) gets the pool killed and respawned, charging
         the implicated cells one attempt.  When the restart budget runs out,
         the remaining cells degrade to the serial path with their attempt
@@ -636,10 +640,15 @@ class ExperimentRunner:
 
             while attempts:
                 # One round: chunk every unfinished cell across the workers.
-                # Under a cell timeout each chunk holds a single cell, so
-                # ``future.result(timeout=...)`` is an exact per-cell budget;
-                # without one, a few chunks per worker amortize pickling/IPC
-                # while keeping stragglers short.
+                # Under a cell timeout each chunk holds a single cell and
+                # ``future.result(timeout=...)`` bounds each await.  The
+                # budget is per-await, not per-cell wall clock: futures are
+                # harvested in submission order, so a later cell's clock
+                # only starts once every earlier future has resolved, and a
+                # hang there is detected within one budget of *its* await
+                # rather than of the cell starting.  Without a timeout, a
+                # few chunks per worker amortize pickling/IPC while keeping
+                # stragglers short.
                 order = sorted(attempts)
                 if policy.cell_timeout_s is not None:
                     chunk_size = 1
@@ -675,6 +684,7 @@ class ExperimentRunner:
                 self.used_process_pool = True
 
                 incident: Optional[Tuple[str, List[int]]] = None
+                incident_pos = -1
                 for pos, (chunk, future) in enumerate(futures):
                     chunk_timeout = (
                         None
@@ -686,9 +696,11 @@ class ExperimentRunner:
                     except FutureTimeoutError:
                         health.timeouts += 1
                         incident = ("hung", chunk)
+                        incident_pos = pos
                         break
                     except BrokenProcessPool:
                         incident = ("died", chunk)
+                        incident_pos = pos
                         break
                     if self._absorb_outcomes(
                         outcomes, cells, cells_axes, attempts, observers, total,
@@ -706,14 +718,18 @@ class ExperimentRunner:
                 # The pool is compromised (hung worker or dead process).
                 # Kill it first — completed futures keep their results, and
                 # nothing below may block behind a hung worker — then
-                # harvest every chunk that did complete, charge the
-                # implicated chunk one attempt, and respawn.
+                # harvest the chunks that completed but were never awaited,
+                # charge the implicated chunk one attempt, and respawn.
+                # Only futures *after* the incident qualify: everything
+                # before it was already absorbed in the await loop, and
+                # absorbing a salvaged failure twice would double-charge
+                # its attempt counter (exhausting its retry budget early).
                 _kill_pool(pool)
                 pool = None
                 health.pool_restarts += 1
                 kind, bad_chunk = incident
-                for chunk, future in futures:
-                    if chunk == bad_chunk or not future.done() or future.cancelled():
+                for chunk, future in futures[incident_pos + 1:]:
+                    if not future.done() or future.cancelled():
                         continue
                     try:
                         outcomes = future.result(timeout=0)
@@ -762,7 +778,12 @@ class ExperimentRunner:
             )
         finally:
             if pool is not None:
-                pool.shutdown(wait=True, cancel_futures=True)
+                # Never a waiting shutdown here: this path is also reached
+                # by early-stop and abort exits that may leave a hung
+                # worker behind, and shutdown(wait=True) would block on it
+                # forever.  On a clean exit every future has resolved, so
+                # the hard kill is instant and discards nothing.
+                _kill_pool(pool)
 
     def _absorb_outcomes(
         self,

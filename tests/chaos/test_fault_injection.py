@@ -144,6 +144,24 @@ def test_hung_worker_is_reaped_within_the_cell_budget(spec, baseline):
     assert elapsed < 25.0, f"sweep took {elapsed:.1f}s — the hang was not reaped"
 
 
+def test_salvaged_failure_before_a_hang_is_not_double_charged(spec, baseline):
+    # Regression: cell 0's attempt-1 raise is absorbed in the await loop
+    # before cell 2's hang breaks the round.  The post-incident harvest
+    # must only touch futures that were never awaited — re-absorbing
+    # cell 0's outcome double-charged its attempt counter, exhausting its
+    # retry budget without ever retrying it and aborting a sweep that
+    # still had budget to complete.
+    plan = FaultPlan(faults=((0, 1, "raise"), (2, 1, "hang")), hang_s=30.0)
+    result = spec.run(
+        parallel=True, max_workers=2,
+        retry=RetryPolicy(max_attempts=2, cell_timeout_s=3.0), fault_plan=plan,
+    )
+    assert _canonical(result) == baseline
+    assert result.health.ok
+    assert result.health.timeouts == 1 and result.health.pool_restarts == 1
+    assert result.health.retries >= 2  # cell 0 (raise) and cell 2 (hang)
+
+
 def test_restart_budget_exhaustion_degrades_to_serial(spec, baseline):
     # Two kill faults against a budget of one restart: the pool dies, is
     # respawned once, dies again, and the remaining cells must degrade to

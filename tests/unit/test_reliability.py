@@ -243,6 +243,23 @@ class TestStoreIntegrity:
         report = ResultStore(tmp_path / "s").integrity_report()
         assert report.ok and report.failure_records == 1 and report.result_records == 0
 
+    def test_integrity_report_forgets_a_deleted_runs_file(self, tmp_path):
+        # Regression: integrity_report() only rebuilt the sidecar counters
+        # when runs.jsonl existed, so deleting the file after a cached read
+        # left the report showing the previous load's failures/quarantine.
+        store = ResultStore(tmp_path / "s")
+        store.initialize(_tiny_spec())
+        store.record_failure(volume=0.5, seeds=1, index=0, attempts=3,
+                             error="boom")
+        with open(store.runs_path, "a") as fh:
+            fh.write('{"torn')  # quarantines on read
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert store.integrity_report().failure_records == 1
+        store.runs_path.unlink()
+        report = store.integrity_report()
+        assert report.result_records == 0 and report.failure_records == 0
+        assert report.quarantined == [] and report.legacy_records == 0
+
     def test_write_health_round_trips(self, tmp_path):
         store = ResultStore(tmp_path / "s")
         health = SweepHealth(attempts=5, retries=2, timeouts=1, pool_restarts=1)
