@@ -48,6 +48,13 @@ persisted to a result store and replayed bit for bit.
     ``--quick`` flag uses the reduced sweep the benchmarks use; without it
     the full 10x10 grid of the paper is run (slow).
 
+``import-network`` / ``export-network`` / ``gen-city``
+    Tabular networks (:mod:`repro.roadnet.tabular`): validate a nodes/links
+    file and summarize it, write any registry-built network as tables, or
+    generate a seeded synthetic city (:func:`repro.roadnet.synth.synthetic_city`)
+    straight to disk.  Imported files run as
+    ``NetworkSpec("tabular", kwargs={"path": ...})`` in specs and sweeps.
+
 ``validate``
     Run a battery of correctness checks — the four classic configurations
     (closed, open, lossy, one-way) plus every scenario in the registry —
@@ -69,6 +76,9 @@ Examples
     repro-count export-spec lossy-grid --out lossy.json
     repro-count figure 2 --quick
     repro-count validate --registry-only
+    repro-count gen-city --districts 3 --out city.json
+    repro-count import-network city.json
+    repro-count export-network midtown --kwarg scale=0.3 --out midtown.nodes.csv
 """
 
 from __future__ import annotations
@@ -228,6 +238,49 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--quick", action="store_true", help="reduced sweep (fast)")
     fig.add_argument("--scale", type=float, default=0.3, help="midtown region scale")
     fig.add_argument("--replications", type=int, default=2, help="runs per sweep cell")
+
+    imp = sub.add_parser(
+        "import-network",
+        help="validate a tabular network file (nodes/links) and summarize it",
+    )
+    imp.add_argument("path", metavar="FILE",
+                     help="network tables: .json, or either file of a "
+                     ".nodes.csv/.links.csv (or .parquet) pair")
+    imp.add_argument("--name", default=None, help="override the network name")
+    imp.add_argument("--json", action="store_true",
+                     help="print the machine-readable summary")
+
+    exn = sub.add_parser(
+        "export-network",
+        help="write a registry-built network as tabular nodes/links files",
+    )
+    exn.add_argument("builder", help="builder name (e.g. grid, midtown, "
+                     "synthetic-city; see the builder registry)")
+    exn.add_argument("--arg", action="append", default=[], metavar="JSON",
+                     help="positional builder argument, JSON-encoded "
+                     "(repeatable, in order)")
+    exn.add_argument("--kwarg", action="append", default=[], metavar="K=JSON",
+                     help="keyword builder argument, value JSON-encoded "
+                     "(repeatable)")
+    exn.add_argument("--out", required=True, metavar="PATH",
+                     help="output path or prefix")
+    exn.add_argument("--format", choices=("json", "csv", "parquet"),
+                     default=None, help="serialization (default: from suffix)")
+
+    gen = sub.add_parser(
+        "gen-city", help="generate a synthetic city and write it as tables"
+    )
+    gen.add_argument("--districts", type=int, default=3,
+                     help="macro-grid side (districts x districts)")
+    gen.add_argument("--district-size", type=int, default=18,
+                     help="street-grid side per district")
+    gen.add_argument("--gates", type=int, default=0,
+                     help="border gates to declare (0 = closed system)")
+    gen.add_argument("--seed", type=int, default=0, help="generator seed")
+    gen.add_argument("--out", required=True, metavar="PATH",
+                     help="output path or prefix")
+    gen.add_argument("--format", choices=("json", "csv", "parquet"),
+                     default=None, help="serialization (default: from suffix)")
 
     val = sub.add_parser("validate", help="run the correctness battery (observation 1)")
     val.add_argument(
@@ -482,6 +535,96 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0 if result.all_exact else 1
 
 
+def _network_summary(net) -> dict:
+    return {
+        "name": net.name,
+        "nodes": net.num_nodes,
+        "segments": net.num_segments,
+        "total_km": round(net.total_length_m() / 1000.0, 3),
+        "gates": len(net.gates),
+        "open_system": net.is_open_system,
+    }
+
+
+def _describe_network(net) -> str:
+    s = _network_summary(net)
+    kind = "open" if s["open_system"] else "closed"
+    return (
+        f"{s['name']}: {s['nodes']} intersections, {s['segments']} directed "
+        f"segments, {s['total_km']:.1f} km [{kind}, {s['gates']} gates]"
+    )
+
+
+def _cmd_import_network(args: argparse.Namespace) -> int:
+    from .roadnet.tabular import load_network
+
+    try:
+        net = load_network(args.path, name=args.name)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(_network_summary(net), sort_keys=True))
+    else:
+        print(_describe_network(net))
+    return 0
+
+
+def _cmd_export_network(args: argparse.Namespace) -> int:
+    from .roadnet.tabular import export_network
+
+    try:
+        builder_args = []
+        for raw in args.arg:
+            try:
+                builder_args.append(json.loads(raw))
+            except ValueError:
+                raise ReproError(f"--arg {raw!r} is not valid JSON") from None
+        builder_kwargs = {}
+        for raw in args.kwarg:
+            key, sep, value = raw.partition("=")
+            if not sep:
+                raise ReproError(f"--kwarg {raw!r} must look like key=JSON")
+            try:
+                builder_kwargs[key] = json.loads(value)
+            except ValueError:
+                raise ReproError(
+                    f"--kwarg {raw!r}: value is not valid JSON "
+                    "(quote strings, e.g. name='\"city\"')"
+                ) from None
+        spec = NetworkSpec(args.builder, args=tuple(builder_args), kwargs=builder_kwargs)
+        net = spec.build()
+        paths = export_network(net, args.out, fmt=args.format)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(_describe_network(net))
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_gen_city(args: argparse.Namespace) -> int:
+    from .roadnet.synth import synthetic_city
+    from .roadnet.tabular import export_network
+
+    try:
+        net = synthetic_city(
+            args.districts,
+            args.district_size,
+            gates=args.gates,
+            seed=args.seed,
+        )
+        paths = export_network(net, args.out, fmt=args.format)
+    except (ReproError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(_describe_network(net))
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .sim.config import MobilityConfig, WirelessConfig
 
@@ -579,6 +722,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "export-spec": _cmd_export_spec,
         "list-scenarios": _cmd_list_scenarios,
         "figure": _cmd_figure,
+        "import-network": _cmd_import_network,
+        "export-network": _cmd_export_network,
+        "gen-city": _cmd_gen_city,
         "validate": _cmd_validate,
     }
     handler = handlers.get(args.command)

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ProtocolError
 
@@ -150,6 +150,14 @@ class Checkpoint:
         #: present means "p(neighbour) is known here".
         self.known_parents: Dict[object, Optional[object]] = {}
 
+        # --- protocol-level observers -------------------------------------------
+        #: fired at most once each (activation and stabilization are
+        #: monotone); the protocol uses them to maintain O(1) incremental
+        #: all-active / all-stable counters instead of scanning every
+        #: checkpoint per simulation step.
+        self.on_first_active: Optional[Callable[["Checkpoint"], None]] = None
+        self.on_first_stable: Optional[Callable[["Checkpoint"], None]] = None
+
     # ---------------------------------------------------------------- phases
     def activate_as_seed(self, time_s: float, tree_id: Optional[object] = None) -> None:
         """Phase 1: initialize an inactive seed checkpoint."""
@@ -194,6 +202,8 @@ class Checkpoint:
         self.pending_labels = {v: True for v in self.outbound}
         if self.is_border:
             self.interaction_active = True
+        if self.on_first_active is not None:
+            self.on_first_active(self)
         self.refresh_stability(time_s)
 
     def receive_label(
@@ -338,6 +348,8 @@ class Checkpoint:
         """Record the stabilization time the first time :attr:`stable` holds."""
         if self.stabilized_at is None and self.stable:
             self.stabilized_at = time_s
+            if self.on_first_stable is not None:
+                self.on_first_stable(self)
 
     def counting_directions(self) -> List[object]:
         """Inbound directions whose counting is still in progress.

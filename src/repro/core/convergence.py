@@ -50,6 +50,9 @@ class ConvergenceMonitor:
         self._counting_since: Dict[Tuple[object, object], float] = {}
         self._all_active_at: Optional[float] = None
         self._all_stable_at: Optional[float] = None
+        #: protocol activation revision at our last counting scan; -1 forces
+        #: the first observe() to scan.
+        self._seen_activation_rev = -1
 
     # ------------------------------------------------------------------ feed
     def note_traffic(self, from_node: Optional[object], node: object, time_s: float) -> None:
@@ -67,6 +70,14 @@ class ConvergenceMonitor:
             # Stability is monotone: once every checkpoint stabilized there
             # are no counting segments left to record, so skip the scan.
             return
+        # Counting directions only appear when a checkpoint activates
+        # (afterwards they can only stop), so the O(checkpoints) scan runs
+        # once per activation instead of once per step — at most
+        # len(checkpoints) scans per run, however long convergence takes.
+        rev = self.protocol.activation_rev
+        if rev == self._seen_activation_rev:
+            return
+        self._seen_activation_rev = rev
         for origin, node in self.protocol.counting_in_progress():
             self._counting_since.setdefault((origin, node), time_s)
 

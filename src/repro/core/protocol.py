@@ -239,6 +239,19 @@ class CountingProtocol:
             )
             self.cameras[node] = IntersectionCamera(node, recognizer)
 
+        # Incremental convergence counters.  Activation and stabilization are
+        # monotone and each checkpoint reports them exactly once, so
+        # all_active()/all_stable() are O(1) comparisons instead of per-step
+        # scans over every checkpoint (which dominated city-scale steps).
+        # ``activation_rev`` lets observers (ConvergenceMonitor) rescan the
+        # counting directions only when a new checkpoint actually activated.
+        self._n_active = 0
+        self._n_stable = 0
+        self._activation_rev = 0
+        for cp in self.checkpoints.values():
+            cp.on_first_active = self._note_first_active
+            cp.on_first_stable = self._note_first_stable
+
         for seed in self.seeds:
             self.checkpoints[seed].activate_as_seed(0.0, tree_id=seed)
 
@@ -775,14 +788,31 @@ class CountingProtocol:
         """The checkpoint deployed at ``node``."""
         return self.checkpoints[node]
 
+    def _note_first_active(self, _cp: Checkpoint) -> None:
+        self._n_active += 1
+        self._activation_rev += 1
+
+    def _note_first_stable(self, _cp: Checkpoint) -> None:
+        self._n_stable += 1
+
+    @property
+    def activation_rev(self) -> int:
+        """Bumped once per checkpoint activation.
+
+        New counting directions appear only at activation (``_counting``
+        otherwise only shrinks), so an observer whose last scan saw this
+        revision has seen every counting segment that will ever exist.
+        """
+        return self._activation_rev
+
     def all_active(self) -> bool:
         """Whether the frontier wave has reached every checkpoint."""
-        return all(cp.active for cp in self.checkpoints.values())
+        return self._n_active == len(self.checkpoints)
 
     def all_stable(self) -> bool:
         """Whether every checkpoint's local counting has stabilized
         (the closed system's convergence / the open system's complete status)."""
-        return all(cp.stable for cp in self.checkpoints.values())
+        return self._n_stable == len(self.checkpoints)
 
     def stabilization_times(self) -> Dict[object, Optional[float]]:
         """Per-checkpoint stabilization time (``None`` when not yet stable)."""

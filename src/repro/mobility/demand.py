@@ -439,6 +439,32 @@ class DemandConfig:
             kwargs["profile"] = profile_from_dict(data["profile"])
         return cls(**kwargs)
 
+    @classmethod
+    def for_fleet_size(
+        cls, net: "RoadNetwork", target_vehicles: int, **overrides: object
+    ) -> "DemandConfig":
+        """A config whose closed fleet on ``net`` is ``target_vehicles``.
+
+        Solves ``full_density_veh_per_km`` for the network's total directed
+        length at 100% volume, so city-scale experiments can say "100k
+        concurrent vehicles on this network" instead of hand-tuning a
+        density.  Any other field can be overridden by keyword; overriding
+        ``volume_fraction`` scales the density to compensate, keeping the
+        realised fleet at ``target_vehicles``.
+        """
+        if target_vehicles < 1:
+            raise ConfigurationError(
+                f"target_vehicles must be >= 1, got {target_vehicles!r}"
+            )
+        km = net.total_length_m() / 1000.0
+        if km <= 0:
+            raise ConfigurationError("network has no driveable length")
+        volume = float(overrides.get("volume_fraction", 1.0))
+        if volume <= 0:
+            raise ConfigurationError("volume_fraction override must be positive")
+        overrides["full_density_veh_per_km"] = target_vehicles / (km * volume)
+        return cls(**overrides)  # type: ignore[arg-type]
+
 
 class DemandModel:
     """Generates vehicle specifications for a network at a given volume."""
@@ -472,7 +498,7 @@ class DemandModel:
                 )
             self._gate_probs = weights / total
 
-    def precompute_routes(self) -> int:
+    def precompute_routes(self, *, max_routes: Optional[int] = None) -> int:
         """Warm the network's gate-to-gate route table (optional).
 
         Through-traffic spawning builds a :class:`FixedTripRouter` toward a
@@ -481,9 +507,10 @@ class DemandModel:
         shortest_path` reaches the same steady state lazily after one spawn
         per gate pair).  Purely a cache warm-up: spawned routes are
         bit-for-bit identical either way.  Returns the number of resident
-        routes.
+        routes.  ``max_routes`` bounds the precompute on gate-heavy
+        city-scale networks (the rest populates lazily).
         """
-        return warm_gate_routes(self.net)
+        return warm_gate_routes(self.net, max_routes=max_routes)
 
     # ----------------------------------------------------------- fleet size
     def closed_fleet_size(self) -> int:

@@ -215,7 +215,7 @@ class TrafficEngine:
         self._is_head = np.empty(0, dtype=bool)
         self._ml = np.empty(0, dtype=bool)
         n_edges = len(self._state_by_index)
-        self._gather_cache: List[Optional[List[int]]] = [None] * n_edges
+        self._gather_cache: List[Optional[np.ndarray]] = [None] * n_edges
         #: per-edge overtake ranking slots (ascending (pos, vid)), kept
         #: index-parallel to ``_ranked``'s vehicle lists; None = dirty.
         self._ranked_cache: List[Optional[List[int]]] = [None] * n_edges
@@ -571,13 +571,13 @@ class TrafficEngine:
         return out
 
     # ------------------------------------------- segment dynamics (batched)
-    def _rebuild_gather(self, ei: int) -> List[int]:
-        """Rebuild one edge's gathered slot list (and lane-head flags).
+    def _rebuild_gather(self, ei: int) -> np.ndarray:
+        """Rebuild one edge's gathered slot array (and lane-head flags).
 
         Only called for edges whose lane lists changed since their last
         gather (place / removal / lane change); every other edge reuses its
-        cached list, so the step's gather extends resident index lists
-        rather than re-packing per-vehicle attributes.
+        cached array, so the step's gather concatenates resident index
+        arrays rather than re-packing per-vehicle attributes.
         """
         lanes = self._state_by_index[ei][2]
         is_head = self._is_head
@@ -589,8 +589,9 @@ class TrafficEngine:
                     is_head[v.slot] = head
                     head = False
                     slots.append(v.slot)
-        self._gather_cache[ei] = slots
-        return slots
+        part = np.array(slots, dtype=np.intp)
+        self._gather_cache[ei] = part
+        return part
 
     def _advance_segments_batch(self, events: List[TrafficEvent]) -> None:
         """Advance every occupied segment in one structure-of-arrays pass.
@@ -742,10 +743,12 @@ class TrafficEngine:
         When ``watch_ei`` is a list, the multilane segments eligible for
         lane changes / overtake checks are recorded in the three parallel
         span lists (edge index, gather start, gather end).  One
-        ``np.array`` over the flat resident lists is cheaper than
-        concatenating hundreds of small per-edge arrays.
+        ``np.concatenate`` over the resident per-edge arrays scales to
+        city-size networks: flattening through a Python list first costs
+        O(vehicles) interpreter-level appends per step, which dominated the
+        gather at 100k vehicles.
         """
-        flat: List[int] = []
+        parts: List[np.ndarray] = []
         cache = self._gather_cache
         rebuild = self._rebuild_gather
         if watch_ei is None:
@@ -753,7 +756,7 @@ class TrafficEngine:
                 part = cache[ei]
                 if part is None:
                     part = rebuild(ei)
-                flat += part
+                parts.append(part)
         else:
             state_by_index = self._state_by_index
             base = 0
@@ -761,16 +764,19 @@ class TrafficEngine:
                 part = cache[ei]
                 if part is None:
                     part = rebuild(ei)
-                count = len(part)
+                count = part.shape[0]
                 if count > 1 and state_by_index[ei][3]:  # multilane
                     watch_ei.append(ei)
                     w_lo.append(base)
                     w_hi.append(base + count)
-                flat += part
+                parts.append(part)
                 base += count
-        if not flat:
+        if not parts:
             return None
-        return np.array(flat, dtype=np.intp)
+        out = np.concatenate(parts)
+        if out.shape[0] == 0:
+            return None
+        return out
 
     def _lane_change_batch(
         self,

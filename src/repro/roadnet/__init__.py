@@ -20,6 +20,8 @@ from .builders import (
 )
 from .manhattan import MidtownSpec, build_midtown_grid, midtown_landmarks
 from .registry import NetworkSpec, builder_names, get_builder, register_builder
+from .synth import synthetic_city
+from .tabular import export_network, load_network
 from .routing import (
     FixedTripRouter,
     RandomTurnRouter,
@@ -49,6 +51,9 @@ __all__ = [
     "builder_names",
     "get_builder",
     "register_builder",
+    "synthetic_city",
+    "export_network",
+    "load_network",
     "FixedTripRouter",
     "RandomTurnRouter",
     "RandomWaypointRouter",

@@ -289,6 +289,78 @@ def two_district_network(
     return net.freeze()
 
 
+#: Above this many nodes the all-pairs candidate graph (O(n^2) edges) is
+#: replaced by a spatial-hash k-nearest-neighbour search.
+_ALL_PAIRS_MAX = 512
+
+
+def _knn_candidate_graph(pts: "np.ndarray", k: int) -> "nx.Graph":
+    """Near-pair candidate edges via a uniform-grid spatial hash.
+
+    Buckets the points into a grid of ~2 points per cell, then for each
+    point expands square rings of cells until at least ``k`` neighbours are
+    in view and links it to its ``k`` nearest.  Pure numpy — no scipy —
+    deterministic, and O(n * k) edges instead of the O(n^2) all-pairs graph.
+    The result is made connected (a requirement for the MST step) by
+    linking residual components through their closest point pairs.
+    """
+    n = pts.shape[0]
+    k = max(1, min(k, n - 1))
+    lo = pts.min(axis=0)
+    extent = float(max(pts.max(axis=0) - lo))
+    if extent <= 0.0:  # all points coincide; fall back to a star
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for i in range(1, n):
+            g.add_edge(0, i, weight=0.0)
+        return g
+    ncells = max(1, int(np.sqrt(n / 2.0)))
+    cell = extent / ncells
+    cix = np.minimum(((pts - lo) / cell).astype(np.intp), ncells - 1)
+    buckets: dict = {}
+    for i in range(n):
+        buckets.setdefault((int(cix[i, 0]), int(cix[i, 1])), []).append(i)
+
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for i in range(n):
+        cx, cy = int(cix[i, 0]), int(cix[i, 1])
+        ring = 1
+        neigh = [j for j in buckets.get((cx, cy), ()) if j != i]
+        while len(neigh) < k and ring < ncells:
+            for dx in range(-ring, ring + 1):
+                for dy in range(-ring, ring + 1):
+                    if max(abs(dx), abs(dy)) != ring:
+                        continue  # only the new outer ring of cells
+                    neigh.extend(buckets.get((cx + dx, cy + dy), ()))
+            ring += 1
+        if not neigh:
+            continue
+        cand = np.array(neigh, dtype=np.intp)
+        dists = np.hypot(*(pts[cand] - pts[i]).T)
+        order = np.argsort(dists, kind="stable")[:k]
+        for j, d in zip(cand[order], dists[order]):
+            g.add_edge(i, int(j), weight=float(d))
+
+    # k-NN graphs of uniform points are connected in practice, but the MST
+    # step requires it, so stitch any residual components together.
+    components = sorted(nx.connected_components(g), key=min)
+    while len(components) > 1:
+        comp = min(components, key=len)
+        inside = np.array(sorted(comp), dtype=np.intp)
+        outside = np.array(
+            sorted(set(range(n)) - comp), dtype=np.intp
+        )
+        d = np.hypot(
+            pts[inside, 0][:, None] - pts[outside, 0][None, :],
+            pts[inside, 1][:, None] - pts[outside, 1][None, :],
+        )
+        a, b = np.unravel_index(int(np.argmin(d)), d.shape)
+        g.add_edge(int(inside[a]), int(outside[b]), weight=float(d[a, b]))
+        components = sorted(nx.connected_components(g), key=min)
+    return g
+
+
 def random_planar_network(
     n_nodes: int,
     *,
@@ -326,27 +398,49 @@ def random_planar_network(
     rng = np.random.default_rng(seed)
     pts = rng.uniform(0.0, area_m, size=(n_nodes, 2))
 
-    # Build candidate undirected edges: MST for connectivity + nearest pairs.
-    complete = nx.Graph()
-    for i in range(n_nodes):
-        complete.add_node(i)
-    for i in range(n_nodes):
-        for j in range(i + 1, n_nodes):
-            d = float(np.hypot(*(pts[i] - pts[j])))
-            complete.add_edge(i, j, weight=d)
-    mst = nx.minimum_spanning_tree(complete)
+    # Candidate undirected edges: MST for connectivity + nearest pairs.
+    # Small networks use the historical all-pairs graph (byte-identical for
+    # existing seeds); above _ALL_PAIRS_MAX the all-pairs build is O(n^2)
+    # in time and memory (50M weighted edges at 10k nodes), so candidates
+    # come from a spatial-hash k-nearest-neighbour search instead.
+    if n_nodes <= _ALL_PAIRS_MAX:
+        candidate_graph = nx.Graph()
+        for i in range(n_nodes):
+            candidate_graph.add_node(i)
+        for i in range(n_nodes):
+            for j in range(i + 1, n_nodes):
+                d = float(np.hypot(*(pts[i] - pts[j])))
+                candidate_graph.add_edge(i, j, weight=d)
+    else:
+        candidate_graph = _knn_candidate_graph(pts, k=max(8, int(target_degree) + 4))
+    mst = nx.minimum_spanning_tree(candidate_graph)
     chosen = set(frozenset(e) for e in mst.edges())
 
     n_extra_target = max(0, int(round(target_degree * n_nodes / 2.0)) - len(chosen))
     candidates = sorted(
         (data["weight"], u, v)
-        for u, v, data in complete.edges(data=True)
+        for u, v, data in candidate_graph.edges(data=True)
         if frozenset((u, v)) not in chosen
     )
-    for _w, u, v in candidates[: n_extra_target * 3]:
-        if len(chosen) >= len(mst.edges()) + n_extra_target:
+    # Walk the whole candidate list (shortest first) instead of a truncated
+    # window, so the realised average degree does not silently fall short of
+    # target_degree; if the k-NN candidate pool itself runs dry, widen the
+    # neighbourhood and keep going.
+    quota = len(mst.edges()) + n_extra_target
+    for _w, u, v in candidates:
+        if len(chosen) >= quota:
             break
         chosen.add(frozenset((u, v)))
+    k_widen = max(8, int(target_degree) + 4)
+    while len(chosen) < quota and k_widen < n_nodes - 1:
+        k_widen = min(k_widen * 2, n_nodes - 1)
+        wider = _knn_candidate_graph(pts, k=k_widen)
+        for w, u, v in sorted(
+            (data["weight"], u, v) for u, v, data in wider.edges(data=True)
+        ):
+            if len(chosen) >= quota:
+                break
+            chosen.add(frozenset((u, v)))
 
     net = RoadNetwork(name=f"random-{n_nodes}-s{seed}")
     for i in range(n_nodes):

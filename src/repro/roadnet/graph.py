@@ -37,6 +37,10 @@ __all__ = [
     "RoadNetwork",
 ]
 
+#: Default bound on resident route-cache entries per network; see
+#: :attr:`RoadNetwork.route_cache_limit`.
+DEFAULT_ROUTE_CACHE_LIMIT = 65536
+
 #: Intersections are identified by small hashable objects (ints, strings or
 #: ``(row, col)`` tuples for grids).
 NodeId = object
@@ -136,6 +140,13 @@ class RoadNetwork:
         self._revision = 0
         self._route_cache: Dict[Tuple[object, object], Tuple[object, ...]] = {}
         self._route_cache_rev = 0
+        #: Maximum resident route-cache entries (``None`` = unbounded).
+        #: Insertion beyond the limit evicts oldest-first (see
+        #: :func:`repro.roadnet.routing.shortest_path`); since cached and
+        #: recomputed paths are identical, the cap only bounds memory — at
+        #: city scale an unbounded (origin, destination) memo grows without
+        #: limit under waypoint demand.
+        self.route_cache_limit: Optional[int] = DEFAULT_ROUTE_CACHE_LIMIT
 
     # ------------------------------------------------------------------ build
     def add_intersection(self, node: object, pos: Optional[Tuple[float, float]] = None) -> None:
@@ -451,6 +462,7 @@ class RoadNetwork:
 
     def _copy(self, *, gates: bool, name: str) -> "RoadNetwork":
         net = RoadNetwork(name=name)
+        net.route_cache_limit = self.route_cache_limit
         for node in self._out:
             net.add_intersection(node, self._positions.get(node))
         for seg in self._segments.values():

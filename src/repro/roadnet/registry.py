@@ -35,6 +35,8 @@ from .builders import (
 )
 from .graph import RoadNetwork
 from .manhattan import build_midtown_grid
+from .synth import synthetic_city
+from .tabular import load_network
 
 __all__ = [
     "register_builder",
@@ -81,6 +83,10 @@ register_builder("arterial", arterial_network)
 register_builder("two-district", two_district_network)
 register_builder("random-planar", random_planar_network)
 register_builder("midtown", build_midtown_grid)
+register_builder("synthetic-city", synthetic_city)
+# File-backed networks: NetworkSpec("tabular", kwargs={"path": "city.json"})
+# flows through spec JSON / sweeps / stores like any generated network.
+register_builder("tabular", load_network)
 
 
 @dataclass(frozen=True)

@@ -60,6 +60,13 @@ def shortest_path(net: RoadNetwork, origin: object, destination: object) -> List
     if hit is not None:
         return list(hit)
     path = shortest_path_uncached(net, origin, destination)
+    limit = net.route_cache_limit
+    if limit is not None and len(cache) >= limit:
+        # Evict oldest-inserted entries (dict preserves insertion order).
+        # Purely a memory bound: a cached path and a recomputed path are
+        # identical, so eviction never changes routing results.
+        while len(cache) >= limit:
+            del cache[next(iter(cache))]
     cache[key] = tuple(path)
     return path
 
@@ -81,7 +88,7 @@ def shortest_path_uncached(
     return path
 
 
-def warm_gate_routes(net: RoadNetwork) -> int:
+def warm_gate_routes(net: RoadNetwork, *, max_routes: Optional[int] = None) -> int:
     """Precompute the all-gates route table (open systems).
 
     Fills the network's route cache with the shortest path from every
@@ -91,7 +98,15 @@ def warm_gate_routes(net: RoadNetwork) -> int:
     memoization alone reaches the same steady state after one spawn per
     pair.  Unreachable pairs are skipped.  Returns the number of routes now
     resident in the cache.
+
+    The full table is O(gates²) paths; on city-scale networks that is more
+    memory and warm-up time than it is worth, so ``max_routes`` bounds the
+    precompute (the remaining pairs populate lazily through the route-cache
+    memoization, with identical paths).  ``None`` keeps the historical
+    warm-everything behaviour.
     """
+    if max_routes is not None and max_routes < 0:
+        raise RoutingError(f"max_routes must be >= 0, got {max_routes!r}")
     inbound = [g.node for g in net.gates.values() if g.inbound]
     outbound = [g.node for g in net.gates.values() if g.outbound]
     count = 0
@@ -99,6 +114,8 @@ def warm_gate_routes(net: RoadNetwork) -> int:
         for destination in outbound:
             if origin == destination:
                 continue
+            if max_routes is not None and count >= max_routes:
+                return count
             try:
                 shortest_path(net, origin, destination)
             except RoutingError:

@@ -1,0 +1,233 @@
+"""Deterministic synthetic city generator.
+
+The builders in :mod:`repro.roadnet.builders` top out around midtown size
+(dozens of edges); scaling experiments need networks two orders of magnitude
+bigger with realistic structure, not just huge uniform grids.
+:func:`synthetic_city` composes three layers:
+
+* **Districts** — a ``districts x districts`` macro-grid of dense street
+  grids (``district_size x district_size`` intersections, two-way blocks).
+* **Arterials** — multi-lane, higher-speed connectors between facing edges
+  of adjacent districts (``arterials_per_border`` evenly spaced crossings).
+* **Ring & bridges** — a multi-lane ring road around the city perimeter
+  linking the outer districts' corner regions, plus diagonal bridges from
+  the ring into the central district when the macro-grid is 3x3 or larger.
+
+The generator is fully deterministic in ``seed`` (street lengths are jittered
+with a dedicated ``numpy`` Generator; node order and topology are
+seed-independent) and scales smoothly: the default 3x3 city of 18x18
+districts has ~11.1k directed segments, and ``districts=5`` exceeds 30k.
+Demand sizing for such networks lives in
+:meth:`repro.mobility.demand.DemandConfig.for_fleet_size`.
+
+Node ids are tuples ``(di, dj, r, c)`` — district row/column plus the
+intersection's row/column inside the district — so they survive the tabular
+round-trip (:mod:`repro.roadnet.tabular`) like every other tuple id.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import mph_to_mps
+from .graph import Gate, RoadNetwork
+
+__all__ = ["synthetic_city"]
+
+#: Local streets: 15 mph.  Arterials/ring: 30/45 mph.
+_STREET_MPS = mph_to_mps(15.0)
+_ARTERIAL_MPS = mph_to_mps(30.0)
+_RING_MPS = mph_to_mps(45.0)
+
+NodeId = Tuple[int, int, int, int]
+
+
+def synthetic_city(
+    districts: int = 3,
+    district_size: int = 18,
+    *,
+    block_m: float = 100.0,
+    arterial_gap_m: float = 400.0,
+    arterials_per_border: int = 3,
+    length_jitter: float = 0.1,
+    gates: int = 0,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> RoadNetwork:
+    """A seeded city of gridded districts, arterials and a ring road.
+
+    Parameters
+    ----------
+    districts:
+        Side of the macro-grid of districts (``districts**2`` districts).
+    district_size:
+        Side of each district's street grid (intersections per side).
+    block_m:
+        Nominal street-block length in metres (jittered per block).
+    arterial_gap_m:
+        Distance between facing district edges, i.e. arterial length.
+    arterials_per_border:
+        Arterial crossings between each pair of adjacent districts.
+    length_jitter:
+        Relative street-length jitter (uniform in ``±length_jitter``).
+    gates:
+        Number of border gates to declare (makes the network an open
+        system); gates are placed round-robin on the ring corners.
+    seed:
+        Seeds the jitter RNG; same seed, same network, bit for bit.
+    """
+    if districts < 1:
+        raise ConfigurationError(f"districts must be >= 1, got {districts!r}")
+    if district_size < 2:
+        raise ConfigurationError(
+            f"district_size must be >= 2, got {district_size!r}"
+        )
+    if arterials_per_border < 1:
+        raise ConfigurationError(
+            f"arterials_per_border must be >= 1, got {arterials_per_border!r}"
+        )
+    if not 0.0 <= length_jitter < 1.0:
+        raise ConfigurationError(
+            f"length_jitter must be in [0, 1), got {length_jitter!r}"
+        )
+    rng = np.random.default_rng(seed)
+    n = district_size
+    span = (n - 1) * block_m
+    pitch = span + arterial_gap_m
+    net = RoadNetwork(
+        name=name or f"synthetic-city-{districts}x{districts}-{n}(seed {seed})"
+    )
+
+    def jittered(nominal: float) -> float:
+        if length_jitter <= 0.0:
+            return nominal
+        return float(nominal * (1.0 + rng.uniform(-length_jitter, length_jitter)))
+
+    # --- districts: dense two-way street grids -------------------------------
+    for di in range(districts):
+        for dj in range(districts):
+            x0 = dj * pitch
+            y0 = di * pitch
+            for r in range(n):
+                for c in range(n):
+                    net.add_intersection(
+                        (di, dj, r, c), (x0 + c * block_m, y0 + r * block_m)
+                    )
+            for r in range(n):
+                for c in range(n):
+                    if c + 1 < n:
+                        net.add_bidirectional(
+                            (di, dj, r, c),
+                            (di, dj, r, c + 1),
+                            jittered(block_m),
+                            speed_limit_mps=_STREET_MPS,
+                        )
+                    if r + 1 < n:
+                        net.add_bidirectional(
+                            (di, dj, r, c),
+                            (di, dj, r + 1, c),
+                            jittered(block_m),
+                            speed_limit_mps=_STREET_MPS,
+                        )
+
+    # --- arterials between adjacent districts --------------------------------
+    # Evenly spaced crossing rows/columns, the same on both sides so the
+    # arterial is straight.  Small districts can round two requested
+    # crossings onto the same row — dedupe so each crossing carries exactly
+    # one arterial.
+    crossings = sorted(
+        {
+            round(i * (n - 1) / (arterials_per_border + 1))
+            for i in range(1, arterials_per_border + 1)
+        }
+    )
+    for di in range(districts):
+        for dj in range(districts):
+            if dj + 1 < districts:  # east-west arterial
+                for r in crossings:
+                    net.add_bidirectional(
+                        (di, dj, r, n - 1),
+                        (di, dj + 1, r, 0),
+                        jittered(arterial_gap_m),
+                        lanes=2,
+                        speed_limit_mps=_ARTERIAL_MPS,
+                    )
+            if di + 1 < districts:  # north-south arterial
+                for c in crossings:
+                    net.add_bidirectional(
+                        (di, dj, n - 1, c),
+                        (di + 1, dj, 0, c),
+                        jittered(arterial_gap_m),
+                        lanes=2,
+                        speed_limit_mps=_ARTERIAL_MPS,
+                    )
+
+    # --- ring road around the perimeter --------------------------------------
+    ring = _ring_nodes(districts, n)
+    last = districts - 1
+    for a, b in zip(ring, ring[1:] + ring[:1]):
+        if a == b or net.has_segment(a, b):
+            # districts == 1 degenerates: corners may coincide or already be
+            # joined by a street block.
+            continue
+        (adi, adj, ar, ac), (bdi, bdj, br, bc) = a, b
+        ax, ay = adj * pitch + ac * block_m, adi * pitch + ar * block_m
+        bx, by = bdj * pitch + bc * block_m, bdi * pitch + br * block_m
+        length = max(block_m, float(np.hypot(bx - ax, by - ay)))
+        net.add_bidirectional(
+            a, b, jittered(length), lanes=2, speed_limit_mps=_RING_MPS
+        )
+    # Bridges from the ring's corner districts into the city centre.
+    if districts >= 3:
+        mid = districts // 2
+        centre = (mid, mid, n // 2, n // 2)
+        for corner in ((0, 0, 0, 0), (last, last, n - 1, n - 1)):
+            (cdi, cdj, cr, cc) = corner
+            cx, cy = cdj * pitch + cc * block_m, cdi * pitch + cr * block_m
+            mx = my = mid * pitch + (n // 2) * block_m
+            length = max(block_m, float(np.hypot(mx - cx, my - cy)))
+            net.add_bidirectional(
+                corner, centre, jittered(length), lanes=2,
+                speed_limit_mps=_RING_MPS,
+            )
+
+    # --- gates ----------------------------------------------------------------
+    if gates:
+        candidates = ring if len(ring) > 1 else [(0, 0, 0, 0)]
+        if gates > len(candidates):
+            raise ConfigurationError(
+                f"cannot place {gates} gates: the {districts}x{districts} "
+                f"ring only offers {len(candidates)} corner nodes"
+            )
+        step = len(candidates) / gates
+        for k in range(gates):
+            node = candidates[int(k * step)]
+            net.add_gate(Gate(node=node, name=f"gate-{k}"))
+
+    return net.freeze()
+
+
+def _ring_nodes(districts: int, n: int) -> List[NodeId]:
+    """Perimeter corner nodes, clockwise from the north-west corner."""
+    last = districts - 1
+    ring: List[NodeId] = []
+    for dj in range(districts):  # north edge, west -> east
+        ring.append((0, dj, 0, 0))
+        ring.append((0, dj, 0, n - 1))
+    for di in range(districts):  # east edge, north -> south
+        ring.append((di, last, 0, n - 1))
+        ring.append((di, last, n - 1, n - 1))
+    for dj in range(last, -1, -1):  # south edge, east -> west
+        ring.append((last, dj, n - 1, n - 1))
+        ring.append((last, dj, n - 1, 0))
+    for di in range(last, -1, -1):  # west edge, south -> north
+        ring.append((di, 0, n - 1, 0))
+        ring.append((di, 0, 0, 0))
+    deduped: List[NodeId] = []
+    for node in ring:
+        if not deduped or (node != deduped[-1] and node != deduped[0]):
+            deduped.append(node)
+    return deduped

@@ -1,0 +1,536 @@
+"""Tabular road-network ingest and export (nodes/links tables).
+
+Real road networks arrive as *data*, not as builder calls: a table of nodes
+(id, coordinates, gate flags) and a table of directed links (tail, head,
+length, lanes, speed limit).  This module defines that format — modelled on
+the network-wrangler roadway format (nodes/links tables plus a standalone
+validator) — with three physical serializations sharing one logical schema:
+
+``<name>.json``
+    A single document: ``{"format": "repro-roadnet/1", "name": ...,
+    "nodes": [...], "links": [...]}``.
+``<prefix>.nodes.csv`` + ``<prefix>.links.csv``
+    A CSV pair.  Node ids are JSON-encoded per cell so int, string and
+    tuple ids (``(row, col)`` grids) round-trip exactly.
+``<prefix>.nodes.parquet`` + ``<prefix>.links.parquet``
+    Optional; requires :mod:`pyarrow`.  Same columns as the CSV pair.
+
+:func:`load_network` validates hard before anything touches the graph:
+unknown node references, redeclared directed links, non-positive lengths /
+lanes / speeds, gate rows with both direction flags cleared, gates on nodes
+without a matching inbound/outbound segment, and strong connectivity (with a
+per-component report).  Every rejection is a
+:class:`~repro.errors.RoadNetworkError` that names the offending row — a
+loader for hand-authored data must say *which* line is wrong, not raise a
+raw ``KeyError``.  :func:`export_network` is lossless for any existing
+:class:`RoadNetwork`: export → import reproduces nodes, segments, gates and
+positions exactly (a property test pins this for every registry builder).
+
+The loader doubles as a :mod:`repro.roadnet.registry` builder (``tabular``),
+so a file-backed network flows through ``NetworkSpec`` JSON, scenario
+definitions and the sweep/store machinery like any generated one.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import RoadNetworkError
+from ..serde import from_jsonable, to_jsonable
+from ..units import SPEED_LIMIT_15_MPH
+from .graph import Gate, RoadNetwork
+
+__all__ = [
+    "FORMAT_TAG",
+    "network_to_tables",
+    "network_from_tables",
+    "load_network",
+    "export_network",
+]
+
+#: Format tag carried by every JSON document (and checked on load).
+FORMAT_TAG = "repro-roadnet/1"
+
+#: Column order of the CSV/parquet serializations.
+NODE_COLUMNS = ("id", "x", "y", "gate_inbound", "gate_outbound", "gate_name")
+LINK_COLUMNS = ("a", "b", "length_m", "lanes", "speed_limit_mps")
+
+
+# ------------------------------------------------------------------ encoding
+def _encode_id(node: object) -> str:
+    """Lossless single-cell encoding of a node id (int/str/tuple)."""
+    return json.dumps(to_jsonable(node), separators=(",", ":"))
+
+
+def _decode_id(cell: str, *, table: str, row: int) -> object:
+    try:
+        return from_jsonable(json.loads(cell))
+    except (ValueError, TypeError):
+        raise RoadNetworkError(
+            f"{table} row {row}: node id {cell!r} is not valid JSON "
+            "(ids are JSON-encoded per cell; quote strings, e.g. '\"hub\"')"
+        ) from None
+
+
+# ------------------------------------------------------- logical table codec
+def network_to_tables(net: RoadNetwork) -> Dict[str, Any]:
+    """The logical nodes/links document of ``net`` (JSON-ready, lossless).
+
+    Node order is the network's insertion order and link order its segment
+    declaration order, so export is deterministic.  Positions are emitted
+    only for nodes that have one; gates inline on their node row.
+    """
+    positions = net.positions()
+    gates = net.gates
+    nodes: List[Dict[str, Any]] = []
+    for node in net.nodes:
+        row: Dict[str, Any] = {"id": to_jsonable(node)}
+        pos = positions.get(node)
+        if pos is not None:
+            row["x"] = pos[0]
+            row["y"] = pos[1]
+        gate = gates.get(node)
+        if gate is not None:
+            row["gate"] = {
+                "inbound": gate.inbound,
+                "outbound": gate.outbound,
+                "name": gate.name,
+            }
+        nodes.append(row)
+    links = [
+        {
+            "a": to_jsonable(seg.tail),
+            "b": to_jsonable(seg.head),
+            "length_m": seg.length_m,
+            "lanes": seg.lanes,
+            "speed_limit_mps": seg.speed_limit_mps,
+        }
+        for seg in net.segments()
+    ]
+    return {
+        "format": FORMAT_TAG,
+        "name": net.name,
+        "nodes": nodes,
+        "links": links,
+    }
+
+
+def network_from_tables(
+    doc: Mapping[str, Any], *, name: Optional[str] = None
+) -> RoadNetwork:
+    """Build and validate a frozen :class:`RoadNetwork` from a document.
+
+    Every malformation raises :class:`RoadNetworkError` naming the offending
+    row (0-based, in table order).  See the module docstring for the rules.
+    """
+    fmt = doc.get("format")
+    if fmt is not None and fmt != FORMAT_TAG:
+        raise RoadNetworkError(
+            f"unsupported network format tag {fmt!r} (expected {FORMAT_TAG!r})"
+        )
+    node_rows = doc.get("nodes")
+    link_rows = doc.get("links")
+    if not isinstance(node_rows, (list, tuple)) or not node_rows:
+        raise RoadNetworkError("network document needs a non-empty 'nodes' table")
+    if not isinstance(link_rows, (list, tuple)) or not link_rows:
+        raise RoadNetworkError("network document needs a non-empty 'links' table")
+
+    net = RoadNetwork(name=name or str(doc.get("name") or "tabular-network"))
+
+    declared: Dict[object, int] = {}
+    gate_rows: List[Tuple[int, object, Gate]] = []
+    for i, row in enumerate(node_rows):
+        if "id" not in row:
+            raise RoadNetworkError(f"nodes row {i}: missing 'id' column")
+        node = from_jsonable(row["id"])
+        if node in declared:
+            raise RoadNetworkError(
+                f"nodes row {i}: node {node!r} already declared in row "
+                f"{declared[node]}"
+            )
+        declared[node] = i
+        pos = None
+        if row.get("x") is not None or row.get("y") is not None:
+            try:
+                pos = (float(row["x"]), float(row["y"]))
+            except (KeyError, TypeError, ValueError):
+                raise RoadNetworkError(
+                    f"nodes row {i} ({node!r}): 'x' and 'y' must both be "
+                    "numbers when either is given"
+                ) from None
+        net.add_intersection(node, pos)
+        gate_doc = row.get("gate")
+        if gate_doc is not None:
+            inbound = bool(gate_doc.get("inbound", True))
+            outbound = bool(gate_doc.get("outbound", True))
+            if not (inbound or outbound):
+                raise RoadNetworkError(
+                    f"nodes row {i} ({node!r}): gate must allow at least one "
+                    "of inbound/outbound"
+                )
+            gate_rows.append(
+                (
+                    i,
+                    node,
+                    Gate(
+                        node=node,
+                        inbound=inbound,
+                        outbound=outbound,
+                        name=str(gate_doc.get("name", "")),
+                    ),
+                )
+            )
+
+    seen_links: Dict[Tuple[object, object], int] = {}
+    for i, row in enumerate(link_rows):
+        for column in ("a", "b", "length_m"):
+            if column not in row:
+                raise RoadNetworkError(f"links row {i}: missing {column!r} column")
+        tail = from_jsonable(row["a"])
+        head = from_jsonable(row["b"])
+        label = f"links row {i} ({tail!r}->{head!r})"
+        for end, which in ((tail, "a"), (head, "b")):
+            if end not in declared:
+                raise RoadNetworkError(
+                    f"{label}: column {which!r} references undeclared node {end!r}"
+                )
+        if tail == head:
+            raise RoadNetworkError(f"{label}: self-loop links are not allowed")
+        key = (tail, head)
+        if key in seen_links:
+            raise RoadNetworkError(
+                f"{label}: directed link already declared in row {seen_links[key]}"
+            )
+        seen_links[key] = i
+        try:
+            length_m = float(row["length_m"])
+            lanes = int(row.get("lanes", 1))
+            speed = float(row.get("speed_limit_mps", SPEED_LIMIT_15_MPH))
+        except (TypeError, ValueError):
+            raise RoadNetworkError(
+                f"{label}: length_m/lanes/speed_limit_mps must be numeric"
+            ) from None
+        if length_m <= 0:
+            raise RoadNetworkError(f"{label}: non-positive length {length_m!r}")
+        if lanes < 1:
+            raise RoadNetworkError(f"{label}: must have at least one lane, got {lanes!r}")
+        if speed <= 0:
+            raise RoadNetworkError(f"{label}: non-positive speed limit {speed!r}")
+        net.add_segment(tail, head, length_m, lanes=lanes, speed_limit_mps=speed)
+
+    for i, node, gate in gate_rows:
+        if gate.inbound and not net.outbound_neighbors(node):
+            raise RoadNetworkError(
+                f"nodes row {i} ({node!r}): inbound gate needs an outbound "
+                "link for entering traffic to drive onto"
+            )
+        if gate.outbound and not net.inbound_neighbors(node):
+            raise RoadNetworkError(
+                f"nodes row {i} ({node!r}): outbound gate needs an inbound "
+                "link for departing traffic to arrive on"
+            )
+        net.add_gate(gate)
+    for node, i in declared.items():
+        if not net.outbound_neighbors(node):
+            raise RoadNetworkError(
+                f"nodes row {i}: node {node!r} has no outbound link "
+                "(every intersection must be enterable and leavable)"
+            )
+        if not net.inbound_neighbors(node):
+            raise RoadNetworkError(
+                f"nodes row {i}: node {node!r} has no inbound link "
+                "(every intersection must be enterable and leavable)"
+            )
+
+    _check_strongly_connected(net)
+    return net.freeze()
+
+
+def _check_strongly_connected(net: RoadNetwork) -> None:
+    """Strong-connectivity gate with a per-component report."""
+    g = net.to_networkx()
+    if nx.is_strongly_connected(g):
+        return
+    components = sorted(nx.strongly_connected_components(g), key=len, reverse=True)
+    parts = []
+    for comp in components[:4]:
+        sample = ", ".join(repr(n) for n in sorted(comp, key=repr)[:4])
+        suffix = ", ..." if len(comp) > 4 else ""
+        parts.append(f"[{len(comp)} nodes: {sample}{suffix}]")
+    if len(components) > 4:
+        parts.append(f"... and {len(components) - 4} more")
+    raise RoadNetworkError(
+        f"network is not strongly connected: {len(components)} components "
+        + " ".join(parts)
+    )
+
+
+# ------------------------------------------------------------ physical files
+def _csv_paths(prefix: str) -> Tuple[str, str]:
+    return f"{prefix}.nodes.csv", f"{prefix}.links.csv"
+
+
+def _parquet_paths(prefix: str) -> Tuple[str, str]:
+    return f"{prefix}.nodes.parquet", f"{prefix}.links.parquet"
+
+
+def _strip_suffix(path: str) -> Tuple[str, Optional[str]]:
+    """Split a path into ``(prefix, format)`` by its serialization suffix."""
+    for suffix, fmt in (
+        (".nodes.csv", "csv"),
+        (".links.csv", "csv"),
+        (".nodes.parquet", "parquet"),
+        (".links.parquet", "parquet"),
+        (".json", "json"),
+    ):
+        if path.endswith(suffix):
+            return path[: -len(suffix)], fmt
+    return path, None
+
+
+def _node_row_to_csv(row: Mapping[str, Any]) -> Dict[str, str]:
+    gate = row.get("gate")
+    return {
+        "id": json.dumps(row["id"], separators=(",", ":")),
+        "x": "" if row.get("x") is None else repr(float(row["x"])),
+        "y": "" if row.get("y") is None else repr(float(row["y"])),
+        "gate_inbound": "" if gate is None else str(bool(gate["inbound"])).lower(),
+        "gate_outbound": "" if gate is None else str(bool(gate["outbound"])).lower(),
+        "gate_name": "" if gate is None else str(gate.get("name", "")),
+    }
+
+
+def _link_row_to_csv(row: Mapping[str, Any]) -> Dict[str, str]:
+    return {
+        "a": json.dumps(row["a"], separators=(",", ":")),
+        "b": json.dumps(row["b"], separators=(",", ":")),
+        "length_m": repr(float(row["length_m"])),
+        "lanes": str(int(row.get("lanes", 1))),
+        "speed_limit_mps": repr(float(row["speed_limit_mps"])),
+    }
+
+
+def _parse_bool(cell: str, *, table: str, row: int, column: str) -> bool:
+    value = cell.strip().lower()
+    if value in ("true", "1", "yes"):
+        return True
+    if value in ("false", "0", "no"):
+        return False
+    raise RoadNetworkError(
+        f"{table} row {row}: column {column!r} must be true/false, got {cell!r}"
+    )
+
+
+def _node_row_from_csv(row: Mapping[str, str], i: int) -> Dict[str, Any]:
+    if not (row.get("id") or "").strip():
+        raise RoadNetworkError(f"nodes row {i}: missing 'id' column")
+    out: Dict[str, Any] = {"id": _decode_csv_json(row["id"], table="nodes", row=i)}
+    for axis in ("x", "y"):
+        cell = (row.get(axis) or "").strip()
+        if cell:
+            try:
+                out[axis] = float(cell)
+            except ValueError:
+                raise RoadNetworkError(
+                    f"nodes row {i}: column {axis!r} must be a number, got {cell!r}"
+                ) from None
+    flags = [(row.get("gate_inbound") or "").strip(), (row.get("gate_outbound") or "").strip()]
+    if any(flags):
+        out["gate"] = {
+            "inbound": _parse_bool(flags[0] or "true", table="nodes", row=i, column="gate_inbound"),
+            "outbound": _parse_bool(flags[1] or "true", table="nodes", row=i, column="gate_outbound"),
+            "name": (row.get("gate_name") or "").strip(),
+        }
+    return out
+
+
+def _decode_csv_json(cell: str, *, table: str, row: int) -> Any:
+    try:
+        return json.loads(cell)
+    except ValueError:
+        raise RoadNetworkError(
+            f"{table} row {row}: node id {cell!r} is not valid JSON "
+            "(ids are JSON-encoded per cell; quote strings, e.g. '\"hub\"')"
+        ) from None
+
+
+def _link_row_from_csv(row: Mapping[str, str], i: int) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for column in ("a", "b"):
+        cell = (row.get(column) or "").strip()
+        if not cell:
+            raise RoadNetworkError(f"links row {i}: missing {column!r} column")
+        out[column] = _decode_csv_json(cell, table="links", row=i)
+    for column, cast in (("length_m", float), ("lanes", int), ("speed_limit_mps", float)):
+        cell = (row.get(column) or "").strip()
+        if not cell:
+            if column == "length_m":
+                raise RoadNetworkError(f"links row {i}: missing 'length_m' column")
+            continue
+        try:
+            out[column] = cast(cell)
+        except ValueError:
+            raise RoadNetworkError(
+                f"links row {i}: column {column!r} must be numeric, got {cell!r}"
+            ) from None
+    return out
+
+
+def _read_csv_table(path: str, columns: Sequence[str]) -> List[Dict[str, str]]:
+    if not os.path.exists(path):
+        raise RoadNetworkError(f"network table file not found: {path}")
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise RoadNetworkError(f"{path}: empty file (expected a header row)")
+        missing = [c for c in columns if c in ("id", "a", "b", "length_m") and c not in reader.fieldnames]
+        if missing:
+            raise RoadNetworkError(
+                f"{path}: header is missing required column(s) {missing} "
+                f"(found {reader.fieldnames})"
+            )
+        return list(reader)
+
+
+def _load_csv(prefix: str, *, name: Optional[str]) -> RoadNetwork:
+    nodes_path, links_path = _csv_paths(prefix)
+    node_rows = _read_csv_table(nodes_path, NODE_COLUMNS)
+    link_rows = _read_csv_table(links_path, LINK_COLUMNS)
+    doc = {
+        "format": FORMAT_TAG,
+        "name": name or os.path.basename(prefix),
+        "nodes": [_node_row_from_csv(r, i) for i, r in enumerate(node_rows)],
+        "links": [_link_row_from_csv(r, i) for i, r in enumerate(link_rows)],
+    }
+    return network_from_tables(doc, name=name)
+
+
+def _require_pyarrow():
+    try:
+        import pyarrow  # noqa: F401
+        import pyarrow.parquet as pq
+
+        return pyarrow, pq
+    except ImportError:
+        raise RoadNetworkError(
+            "parquet network tables require the optional 'pyarrow' package; "
+            "use the JSON or CSV serialization instead"
+        ) from None
+
+
+def _load_parquet(prefix: str, *, name: Optional[str]) -> RoadNetwork:
+    _pa, pq = _require_pyarrow()
+    nodes_path, links_path = _parquet_paths(prefix)
+    for path in (nodes_path, links_path):
+        if not os.path.exists(path):
+            raise RoadNetworkError(f"network table file not found: {path}")
+    node_rows = pq.read_table(nodes_path).to_pylist()
+    link_rows = pq.read_table(links_path).to_pylist()
+    str_rows = lambda rows: [  # noqa: E731 - parquet cells arrive typed or str
+        {k: "" if v is None else str(v) for k, v in row.items()} for row in rows
+    ]
+    doc = {
+        "format": FORMAT_TAG,
+        "name": name or os.path.basename(prefix),
+        "nodes": [_node_row_from_csv(r, i) for i, r in enumerate(str_rows(node_rows))],
+        "links": [_link_row_from_csv(r, i) for i, r in enumerate(str_rows(link_rows))],
+    }
+    return network_from_tables(doc, name=name)
+
+
+def load_network(path: str, *, name: Optional[str] = None) -> RoadNetwork:
+    """Load, validate and freeze a network from a tabular file (or pair).
+
+    ``path`` may be a ``.json`` document, either file of a
+    ``.nodes.csv``/``.links.csv`` pair (or their common prefix), or either
+    file of a ``.parquet`` pair.  ``name`` overrides the stored network
+    name.  This is the ``tabular`` entry of the builder registry, so
+    ``NetworkSpec("tabular", kwargs={"path": ...})`` round-trips file-backed
+    networks through experiment specs and sweeps.
+    """
+    prefix, fmt = _strip_suffix(str(path))
+    if fmt == "json" or (fmt is None and str(path).endswith(".json")):
+        if not os.path.exists(path):
+            raise RoadNetworkError(f"network file not found: {path}")
+        with open(path) as fh:
+            try:
+                doc = json.load(fh)
+            except ValueError as exc:
+                raise RoadNetworkError(f"{path}: not valid JSON ({exc})") from None
+        if not isinstance(doc, dict):
+            raise RoadNetworkError(f"{path}: expected a JSON object document")
+        return network_from_tables(doc, name=name)
+    if fmt == "csv":
+        return _load_csv(prefix, name=name)
+    if fmt == "parquet":
+        return _load_parquet(prefix, name=name)
+    # A bare prefix: prefer JSON, then CSV, then parquet.
+    if os.path.exists(f"{prefix}.json"):
+        return load_network(f"{prefix}.json", name=name)
+    if os.path.exists(_csv_paths(prefix)[0]):
+        return _load_csv(prefix, name=name)
+    if os.path.exists(_parquet_paths(prefix)[0]):
+        return _load_parquet(prefix, name=name)
+    raise RoadNetworkError(
+        f"no network tables found for {path!r} (tried .json, .nodes.csv "
+        "and .nodes.parquet)"
+    )
+
+
+def export_network(
+    net: RoadNetwork, path: str, *, fmt: Optional[str] = None
+) -> List[str]:
+    """Write ``net`` as tabular files; returns the paths written.
+
+    ``fmt`` is ``"json"``, ``"csv"`` or ``"parquet"``; when omitted it is
+    inferred from ``path``'s suffix (defaulting to JSON).  Lossless:
+    :func:`load_network` on the written files reproduces the network's
+    nodes, segments, gates and positions exactly.
+    """
+    prefix, inferred = _strip_suffix(str(path))
+    fmt = fmt or inferred or "json"
+    doc = network_to_tables(net)
+    parent = os.path.dirname(prefix)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    if fmt == "json":
+        target = f"{prefix}.json"
+        with open(target, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        return [target]
+    if fmt == "csv":
+        nodes_path, links_path = _csv_paths(prefix)
+        with open(nodes_path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(NODE_COLUMNS))
+            writer.writeheader()
+            for row in doc["nodes"]:
+                writer.writerow(_node_row_to_csv(row))
+        with open(links_path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(LINK_COLUMNS))
+            writer.writeheader()
+            for row in doc["links"]:
+                writer.writerow(_link_row_to_csv(row))
+        return [nodes_path, links_path]
+    if fmt == "parquet":
+        pa, pq = _require_pyarrow()
+        nodes_path, links_path = _parquet_paths(prefix)
+        node_rows = [_node_row_to_csv(row) for row in doc["nodes"]]
+        link_rows = [_link_row_to_csv(row) for row in doc["links"]]
+        pq.write_table(
+            pa.Table.from_pylist(node_rows or [{c: "" for c in NODE_COLUMNS}]),
+            nodes_path,
+        )
+        pq.write_table(
+            pa.Table.from_pylist(link_rows or [{c: "" for c in LINK_COLUMNS}]),
+            links_path,
+        )
+        return [nodes_path, links_path]
+    raise RoadNetworkError(
+        f"unknown network export format {fmt!r} (expected json, csv or parquet)"
+    )

@@ -1,0 +1,98 @@
+"""City-scale smoke: a 10k+-edge synthetic city must actually run.
+
+Not a benchmark — a regression tripwire.  Both engines step a fixed horizon
+on the full-size default city inside a generous wall-clock budget; a
+reintroduced per-step O(edges) or O(nodes) scan (the cliffs fixed in the
+scale PR: gather-list rebuilds, convergence rescans, unbounded route cache)
+blows the budget long before it would show up in anyone's local benchmark
+run.  The real throughput numbers live in ``benchmarks/bench_scale.py`` and
+``BENCH_engine.json``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.demand import DemandConfig, DemandModel
+from repro.mobility.engine import TrafficEngine
+from repro.roadnet.synth import synthetic_city
+
+#: Per-engine wall-clock budget (seconds).  Local runs finish in a small
+#: fraction of this; the slack is for shared CI runners.
+BUDGET_S = 90.0
+HORIZON_STEPS = 20
+FLEET = 8_000
+
+
+@pytest.fixture(scope="module")
+def city():
+    net = synthetic_city(seed=0)
+    assert net.num_segments >= 10_000
+    return net
+
+
+@pytest.mark.parametrize("vectorized", [True, False], ids=["vectorized", "scalar"])
+def test_city_scale_fixed_horizon_within_budget(city, vectorized):
+    engine = TrafficEngine(city, np.random.default_rng(0), vectorized=vectorized)
+    demand = DemandModel(
+        city,
+        DemandConfig.for_fleet_size(city, FLEET, random_turn_fraction=1.0),
+        np.random.default_rng(1),
+    )
+    engine.spawn_initial(demand.initial_fleet())
+    assert engine.active_count() == FLEET
+    start = time.perf_counter()
+    for _ in range(HORIZON_STEPS):
+        engine.step()
+    elapsed = time.perf_counter() - start
+    assert engine.active_count() == FLEET  # closed system: nobody vanished
+    assert elapsed < BUDGET_S, (
+        f"{HORIZON_STEPS} steps took {elapsed:.1f}s (budget {BUDGET_S}s) — "
+        "a scaling cliff is back"
+    )
+
+
+def test_engines_agree_on_the_city(city):
+    """Spot-check that the two engines see the same city the same way."""
+    engines = []
+    for vectorized in (True, False):
+        engine = TrafficEngine(city, np.random.default_rng(5), vectorized=vectorized)
+        demand = DemandModel(
+            city,
+            DemandConfig.for_fleet_size(city, 500, random_turn_fraction=1.0),
+            np.random.default_rng(6),
+        )
+        engine.spawn_initial(demand.initial_fleet())
+        for _ in range(10):
+            engine.step()
+        engines.append(engine)
+    vec, scalar = engines
+    assert vec.active_count() == scalar.active_count()
+    assert vec.time_s == scalar.time_s
+
+
+class TestForFleetSize:
+    def test_exact_fleet_on_a_small_city(self):
+        net = synthetic_city(1, 8)
+        for target in (100, 5_000, 100_000):
+            config = DemandConfig.for_fleet_size(net, target)
+            model = DemandModel(net, config, np.random.default_rng(0))
+            assert model.closed_fleet_size() == target
+
+    def test_overrides_are_respected(self):
+        net = synthetic_city(1, 8)
+        config = DemandConfig.for_fleet_size(
+            net, 1_000, volume_fraction=0.5, random_turn_fraction=1.0
+        )
+        model = DemandModel(net, config, np.random.default_rng(0))
+        assert model.closed_fleet_size() == 1_000
+        assert config.random_turn_fraction == 1.0
+
+    def test_bad_target_rejected(self):
+        net = synthetic_city(1, 8)
+        with pytest.raises(ConfigurationError):
+            DemandConfig.for_fleet_size(net, 0)
+        with pytest.raises(ConfigurationError):
+            DemandConfig.for_fleet_size(net, 100, volume_fraction=0.0)

@@ -176,3 +176,58 @@ class TestCli:
     def test_main_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestNetworkCliVerbs:
+    def test_gen_city_then_import(self, tmp_path, capsys):
+        out = tmp_path / "city.json"
+        assert main([
+            "gen-city", "--districts", "1", "--district-size", "5",
+            "--seed", "3", "--out", str(out),
+        ]) == 0
+        assert out.exists()
+        assert main(["import-network", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "intersections" in printed and "directed segments" in printed
+
+    def test_export_network_csv_pair(self, tmp_path, capsys):
+        prefix = tmp_path / "g"
+        assert main([
+            "export-network", "grid", "--arg", "3", "--arg", "3",
+            "--out", str(prefix), "--format", "csv",
+        ]) == 0
+        assert (tmp_path / "g.nodes.csv").exists()
+        assert (tmp_path / "g.links.csv").exists()
+        assert main(["import-network", str(prefix), "--json"]) == 0
+        import json as _json
+
+        summary = _json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert summary["nodes"] == 9 and summary["segments"] == 24
+
+    def test_export_network_kwarg_json(self, tmp_path):
+        assert main([
+            "export-network", "grid", "--arg", "2", "--arg", "2",
+            "--kwarg", "gates_on_border=true", "--out", str(tmp_path / "open.json"),
+        ]) == 0
+        from repro.roadnet.tabular import load_network
+
+        assert load_network(str(tmp_path / "open.json")).is_open_system
+
+    def test_import_invalid_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "repro-roadnet/1", "nodes": [], "links": []}')
+        assert main(["import-network", str(bad)]) == 2
+        assert "nodes" in capsys.readouterr().err
+
+    def test_export_unknown_builder_exits_2(self, tmp_path, capsys):
+        assert main([
+            "export-network", "no-such-builder", "--out", str(tmp_path / "x.json"),
+        ]) == 2
+        assert "known builders" in capsys.readouterr().err
+
+    def test_bad_kwarg_syntax_exits_2(self, tmp_path, capsys):
+        assert main([
+            "export-network", "grid", "--arg", "2", "--arg", "2",
+            "--kwarg", "gates_on_border", "--out", str(tmp_path / "x.json"),
+        ]) == 2
+        assert capsys.readouterr().err

@@ -1,0 +1,101 @@
+"""Synthetic city generator: determinism, structure and scale."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.roadnet.registry import NetworkSpec
+from repro.roadnet.synth import synthetic_city
+
+
+class TestStructure:
+    def test_small_city_strongly_connected(self):
+        net = synthetic_city(2, 6)
+        assert nx.is_strongly_connected(net.to_networkx())
+
+    def test_node_and_segment_counts_scale_with_districts(self):
+        small = synthetic_city(1, 6)
+        large = synthetic_city(3, 6)
+        assert small.num_nodes == 36
+        assert large.num_nodes == 9 * 36
+        assert large.num_segments > 9 * small.num_segments * 0.9
+
+    def test_default_city_clears_ten_thousand_edges(self):
+        net = synthetic_city()
+        assert net.num_segments >= 10_000
+        assert net.num_nodes == 2916
+
+    def test_arterials_faster_and_wider_than_streets(self):
+        net = synthetic_city(2, 6)
+        speeds = {}
+        lanes = {}
+        for seg in net.segments():
+            speeds.setdefault(seg.speed_limit_mps, 0)
+            speeds[seg.speed_limit_mps] += 1
+            lanes.setdefault(seg.lanes, 0)
+            lanes[seg.lanes] += 1
+        # Three road classes: streets, arterials, ring.
+        assert len(speeds) == 3
+        street_mps = min(speeds)
+        assert speeds[street_mps] == max(speeds.values())  # streets dominate
+        assert set(lanes) == {1, 2}
+
+    def test_positions_are_assigned_everywhere(self):
+        net = synthetic_city(2, 5)
+        assert len(net.positions()) == net.num_nodes
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        a = synthetic_city(2, 6, seed=7)
+        b = synthetic_city(2, 6, seed=7)
+        assert a.nodes == b.nodes
+        assert [(s.key, s.length_m) for s in a.segments()] == [
+            (s.key, s.length_m) for s in b.segments()
+        ]
+
+    def test_different_seed_jitters_lengths(self):
+        a = synthetic_city(2, 6, seed=7)
+        b = synthetic_city(2, 6, seed=8)
+        assert {s.key for s in a.segments()} == {s.key for s in b.segments()}
+        assert [s.length_m for s in a.segments()] != [s.length_m for s in b.segments()]
+
+    def test_zero_jitter_exact_lengths(self):
+        net = synthetic_city(1, 4, length_jitter=0.0, block_m=120.0)
+        street_lengths = {s.length_m for s in net.segments() if s.lanes == 1}
+        assert street_lengths == {120.0}
+
+
+class TestGates:
+    def test_gates_on_ring_corners(self):
+        net = synthetic_city(2, 6, gates=3)
+        assert net.is_open_system
+        assert len(net.gates) == 3
+        assert all(g.inbound and g.outbound for g in net.gates.values())
+        assert sorted(g.name for g in net.gates.values()) == [
+            "gate-0", "gate-1", "gate-2"
+        ]
+
+    def test_too_many_gates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_city(1, 4, gates=99)
+
+    def test_closed_by_default(self):
+        assert not synthetic_city(1, 4).is_open_system
+
+
+class TestValidation:
+    def test_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_city(0, 6)
+        with pytest.raises(ConfigurationError):
+            synthetic_city(2, 1)
+
+
+def test_registry_spec_builds_and_round_trips():
+    spec = NetworkSpec("synthetic-city", (2, 5), {"seed": 3, "gates": 2})
+    net = spec.build()
+    assert net.is_open_system
+    again = NetworkSpec.from_dict(spec.to_dict()).build()
+    assert again.nodes == net.nodes
+    assert [s.key for s in again.segments()] == [s.key for s in net.segments()]

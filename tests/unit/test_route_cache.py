@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.errors import RoutingError
 from repro.roadnet.builders import arterial_network, grid_network, ring_network
-from repro.roadnet.graph import Gate, RoadNetwork
+from repro.roadnet.graph import DEFAULT_ROUTE_CACHE_LIMIT, Gate, RoadNetwork
 from repro.roadnet.routing import (
     shortest_path,
     shortest_path_uncached,
@@ -147,3 +147,63 @@ class TestWarmGateRoutes:
         # origins: (0,0) and (2,2); destinations: (2,2) and (0,2), minus
         # the origin==destination pair.
         assert count == 3
+
+    def test_max_routes_caps_warming(self):
+        net = grid_network(3, 3, gates_on_border=True)
+        assert warm_gate_routes(net, max_routes=5) == 5
+        assert len(net.route_cache()) == 5
+
+    def test_max_routes_zero_warms_nothing(self):
+        net = grid_network(3, 3, gates_on_border=True)
+        assert warm_gate_routes(net, max_routes=0) == 0
+        assert not net.route_cache()
+
+    def test_negative_max_routes_rejected(self):
+        net = grid_network(3, 3, gates_on_border=True)
+        with pytest.raises(RoutingError):
+            warm_gate_routes(net, max_routes=-1)
+
+
+# ------------------------------------------------------------------- eviction
+class TestRouteCacheLimit:
+    """The memoized-route dict is bounded: oldest entries are evicted once
+    the limit is reached.  Eviction is *transparent* — an evicted pair is
+    simply recomputed, and Dijkstra is deterministic, so results never
+    change; only memory does."""
+
+    def test_default_limit_is_bounded(self):
+        net = grid_network(2, 2)
+        assert net.route_cache_limit == DEFAULT_ROUTE_CACHE_LIMIT
+
+    def test_eviction_keeps_cache_at_limit(self):
+        net = grid_network(3, 4)
+        net.route_cache_limit = 8
+        for origin, dest in _all_pairs(net, limit=30):
+            shortest_path(net, origin, dest)
+        assert len(net.route_cache()) == 8
+
+    def test_evicted_pair_recomputes_identically(self):
+        net = grid_network(3, 4)
+        net.route_cache_limit = 4
+        pairs = _all_pairs(net, limit=12)
+        first = {p: shortest_path(net, *p) for p in pairs}
+        # The early pairs were evicted; asking again recomputes, evicting
+        # the newer entries in turn — every answer must be unchanged.
+        for pair in pairs:
+            assert shortest_path(net, *pair) == first[pair]
+            assert shortest_path(net, *pair) == shortest_path_uncached(net, *pair)
+        assert len(net.route_cache()) == 4
+
+    def test_unlimited_cache_opt_out(self):
+        net = grid_network(3, 4)
+        net.route_cache_limit = None
+        pairs = _all_pairs(net)
+        for pair in pairs:
+            shortest_path(net, *pair)
+        assert len(net.route_cache()) == len(pairs)
+
+    def test_limit_survives_open_copy(self):
+        net = grid_network(3, 3)
+        net.route_cache_limit = 17
+        opened = net.open_copy([Gate(node=(0, 0))])
+        assert opened.route_cache_limit == 17
