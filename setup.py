@@ -1,11 +1,49 @@
-"""Setuptools shim.
+"""Package metadata and build configuration.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works in fully offline environments (legacy editable
-installs do not require an isolated build environment or the ``wheel``
-package).
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so that
+``pip install -e .`` works in fully offline environments: legacy editable
+installs need neither an isolated build environment nor the ``wheel``
+package.  The version lives in ``src/repro/_version.py`` (single source of
+truth, importable without installing).
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import find_packages, setup
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _read_version() -> str:
+    version = {}
+    path = os.path.join(_HERE, "src", "repro", "_version.py")
+    with open(path, "r", encoding="utf-8") as fh:
+        exec(fh.read(), version)  # noqa: S102 - trusted in-tree file
+    return str(version["__version__"])
+
+
+setup(
+    name="repro-vehicle-counting",
+    version=_read_version(),
+    description=(
+        "Reproduction of infrastructure-less city-scale vehicle counting "
+        "(ICPP 2014): deterministic simulator, experiment harness, and "
+        "the reprolint determinism static analyzer"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    # PEP 561: the package ships inline type annotations; without this
+    # marker downstream mypy treats every ``repro`` import as Any.
+    package_data={"repro": ["py.typed"]},
+    zip_safe=False,  # py.typed must be readable from the filesystem
+    install_requires=[
+        "numpy",
+        "networkx",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro-count = repro.cli:main",
+        ],
+    },
+)

@@ -62,6 +62,14 @@ persisted to a result store and replayed bit for bit.
     paper's observation 1.  ``--registry-only`` restricts the battery to
     the registry sweep (the CI smoke step).
 
+``lint``
+    Run ``reprolint`` (:mod:`repro.devtools`), the determinism-invariant
+    static analyzer, over the installed package (or explicit paths):
+    unseeded RNGs, wall-clock reads in the deterministic core, unordered
+    iteration, float ``==``, non-atomic writes, plus the semantic
+    registry-completeness check.  ``--json`` prints the machine-readable
+    report; exit code 1 on any finding.
+
 Examples
 --------
 ::
@@ -76,6 +84,7 @@ Examples
     repro-count export-spec lossy-grid --out lossy.json
     repro-count figure 2 --quick
     repro-count validate --registry-only
+    repro-count lint --json
     repro-count gen-city --districts 3 --out city.json
     repro-count import-network city.json
     repro-count export-network midtown --kwarg scale=0.3 --out midtown.nodes.csv
@@ -86,7 +95,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from .analysis.figures import figure2, figure3, figure4, figure5, midtown_scenario
 from .analysis.report import correctness_summary, describe_run, describe_sweep
@@ -282,6 +291,18 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--format", choices=("json", "csv", "parquet"),
                      default=None, help="serialization (default: from suffix)")
 
+    lnt = sub.add_parser(
+        "lint", help="run the determinism-invariant static analyzer (reprolint)"
+    )
+    lnt.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lnt.add_argument("--json", action="store_true",
+                     help="print the machine-readable report")
+    lnt.add_argument("--no-semantic", action="store_true",
+                     help="skip the S1 registry-completeness check")
+
     val = sub.add_parser("validate", help="run the correctness battery (observation 1)")
     val.add_argument(
         "--rng-seed", type=int, default=7,
@@ -410,7 +431,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.all_exact else 1
 
 
-def _sweep_record(sweep) -> dict:
+def _sweep_record(sweep) -> Dict[str, Any]:
     return {
         "name": sweep.name,
         "cells": [
@@ -535,7 +556,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0 if result.all_exact else 1
 
 
-def _network_summary(net) -> dict:
+def _network_summary(net) -> Dict[str, Any]:
     return {
         "name": net.name,
         "nodes": net.num_nodes,
@@ -623,6 +644,17 @@ def _cmd_gen_city(args: argparse.Namespace) -> int:
     for path in paths:
         print(f"wrote {path}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools import reprolint
+
+    argv = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.no_semantic:
+        argv.append("--no-semantic")
+    return reprolint.main(argv)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -725,6 +757,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "import-network": _cmd_import_network,
         "export-network": _cmd_export_network,
         "gen-city": _cmd_gen_city,
+        "lint": _cmd_lint,
         "validate": _cmd_validate,
     }
     handler = handlers.get(args.command)

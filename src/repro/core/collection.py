@@ -25,9 +25,10 @@ and has received a report from every known child (see DESIGN.md note 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import CollectionError
+from ..mobility.vehicle import Vehicle
 from ..wireless.exchange import ExchangeService
 from ..wireless.messages import CounterReport, StatusDigest
 from .checkpoint import Checkpoint
@@ -44,7 +45,7 @@ class CollectionStats:
     reports_via_patrol: int = 0
     attach_failures: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "reports_sent": self.reports_sent,
             "reports_delivered": self.reports_delivered,
@@ -164,7 +165,9 @@ class CollectionManager:
         return max(self.seed_completed_at[seed] for seed in self.seeds)
 
     # ------------------------------------------------------------- transport
-    def on_departure(self, cp: Checkpoint, to_node: object, vehicle, time_s: float) -> None:
+    def on_departure(
+        self, cp: Checkpoint, to_node: object, vehicle: Vehicle, time_s: float
+    ) -> None:
         """Alg. 2 phase 2: attach the aggregate to a vehicle leaving toward
         the predecessor."""
         if not self.enabled or vehicle.is_patrol:
@@ -185,7 +188,7 @@ class CollectionManager:
         self.report_sent[cp.node] = True
         self.stats.reports_sent += 1
 
-    def deliver_from_vehicle(self, cp: Checkpoint, vehicle, time_s: float) -> None:
+    def deliver_from_vehicle(self, cp: Checkpoint, vehicle: Vehicle, time_s: float) -> None:
         """Alg. 2 phase 1: receive the reports a vehicle carried to this node."""
         if not self.enabled:
             return

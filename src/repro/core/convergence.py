@@ -19,7 +19,7 @@ answers three operational questions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .protocol import CountingProtocol
 
@@ -140,7 +140,7 @@ class ConvergenceMonitor:
             chains[node] = chain
         return chains
 
-    def summary(self, now_s: float) -> dict:
+    def summary(self, now_s: float) -> Dict[str, Any]:
         """A compact dictionary for logging / reports."""
         return {
             "all_active_at": self._all_active_at,

@@ -26,7 +26,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 import networkx as nx
@@ -160,12 +160,12 @@ class PatrolPlan:
         if self.speed_factor <= 0:
             raise PatrolError("speed_factor must be positive")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (see ``repro.serde`` for the conventions)."""
         return {"num_cars": self.num_cars, "speed_factor": self.speed_factor}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "PatrolPlan":
+    def from_dict(cls, data: Mapping[str, Any]) -> "PatrolPlan":
         """Inverse of :meth:`to_dict`; missing keys use the defaults."""
         from ..serde import kwargs_from
 

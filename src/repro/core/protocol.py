@@ -55,7 +55,7 @@ Adjustment modes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -120,7 +120,7 @@ class ProtocolConfig:
                 f"adjustment_mode must be one of {AdjustmentMode.ALL}, got {self.adjustment_mode!r}"
             )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (see ``repro.serde`` for the conventions)."""
         return {
             "adjustment_mode": self.adjustment_mode,
@@ -133,7 +133,7 @@ class ProtocolConfig:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ProtocolConfig":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProtocolConfig":
         """Inverse of :meth:`to_dict`; missing keys use the defaults."""
         from ..serde import kwargs_from
 
@@ -160,7 +160,7 @@ class ProtocolStats:
     interaction_exits: int = 0
     early_exit_corrections: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "crossings_processed": self.crossings_processed,
             "labels_installed": self.labels_installed,
@@ -271,7 +271,9 @@ class CountingProtocol:
         #: the recognizer per vehicle.
         self._recognition_trivial = (
             (target is None or target.is_wildcard)
+            # repro-lint: ignore[D4] -- exact sentinel: 0.0 means "noise disabled"
             and self.config.recognition_false_negative == 0.0
+            # repro-lint: ignore[D4] -- exact sentinel: 0.0 means "noise disabled"
             and self.config.recognition_false_positive == 0.0
         )
         #: the batched pipeline block-draws the wireless stream ahead of

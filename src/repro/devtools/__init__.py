@@ -1,0 +1,37 @@
+"""Developer tooling: the ``reprolint`` determinism-invariant analyzer.
+
+Everything this repository guarantees dynamically — bit-for-bit golden
+traces, cell-identical sweeps, crash-safe stores — rests on a handful of
+coding invariants (seeded RNG streams, no wall-clock reads in the
+deterministic core, ordered iteration, atomic writes).  ``repro.devtools``
+encodes those invariants as statically checkable rules so violations are
+caught at diff time instead of trace-divergence time.
+
+Entry points:
+
+* CLI — ``repro-count lint [PATHS] [--json]``;
+* API — :func:`lint_paths` returning a :class:`LintReport`.
+
+See DESIGN.md "Static analysis & determinism invariants" for the rule
+catalogue and the suppression policy.
+"""
+
+from .reprolint import (
+    Finding,
+    LintReport,
+    RULES,
+    Rule,
+    lint_paths,
+    main,
+)
+from .registry_check import check_registries
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "lint_paths",
+    "main",
+    "check_registries",
+]

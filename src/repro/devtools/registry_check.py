@@ -1,0 +1,186 @@
+"""Rule S1: semantic registry-completeness check.
+
+Unlike rules D1–D5 this is not an AST pattern: it *imports* the package's
+registries — the network-builder registry, the demand-profile type-tag
+registry and the serializable config classes the experiment API is built on
+— and verifies, for every registered class, that its ``to_dict`` /
+``from_dict`` pair is a **total field round-trip**:
+
+* ``to_dict()`` emits every declared dataclass field (a field silently
+  dropped from serialization is exactly the bug that turns a saved sweep
+  spec into a *different* experiment on replay);
+* the emitted dict survives a real JSON encode/decode;
+* ``from_dict(to_dict(x)) == x``.
+
+Builders must additionally be picklable module-level callables, because the
+parallel sweep runner ships them to worker processes.
+
+New config classes become checked automatically when they enter a registry
+(profiles) or are reachable from :class:`ScenarioConfig`; standalone
+classes are listed in ``_EXTRA_EXAMPLES``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import json
+import pickle
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from .reprolint import Finding
+
+__all__ = ["check_registries"]
+
+
+def _location(obj: object) -> Tuple[str, int]:
+    """(relpath-within-package, line) of a class/function definition."""
+    try:
+        source = inspect.getsourcefile(obj)  # type: ignore[arg-type]
+        line = inspect.getsourcelines(obj)[1]  # type: ignore[arg-type]
+    except (TypeError, OSError):
+        return "<registry>", 1
+    if source is None:
+        return "<registry>", 1
+    path = Path(source).resolve()
+    package_root = Path(__file__).resolve().parents[1]
+    try:
+        return path.relative_to(package_root).as_posix(), line
+    except ValueError:
+        return path.name, line
+
+
+def _finding(obj: object, message: str) -> Finding:
+    path, line = _location(obj)
+    return Finding(rule="S1", path=path, line=line, col=1, message=message)
+
+
+def _examples() -> Iterator[Tuple[type, Dict[str, Any], Optional[Callable[[Dict[str, Any]], Any]]]]:
+    """(class, constructor kwargs, decoder) triples to round-trip.
+
+    ``decoder`` overrides ``cls.from_dict`` for classes that decode through
+    a registry dispatcher (demand profiles).
+    """
+    from ..core.patrol import PatrolPlan
+    from ..core.protocol import ProtocolConfig
+    from ..experiments.spec import ExperimentSpec
+    from ..mobility.demand import _PROFILE_TYPES, DemandConfig, profile_from_dict
+    from ..roadnet.registry import NetworkSpec
+    from ..sim.config import MobilityConfig, ScenarioConfig, WirelessConfig
+    from ..sim.runner import RetryPolicy, SweepSpec
+    from ..surveillance.attributes import ExteriorSignature
+
+    for _tag, profile_cls in sorted(_PROFILE_TYPES.items()):
+        yield profile_cls, {}, profile_from_dict
+
+    network = {"builder": "grid", "args": (2, 2)}
+    yield NetworkSpec, network, None
+    for config_cls in (
+        DemandConfig,
+        MobilityConfig,
+        WirelessConfig,
+        ProtocolConfig,
+        PatrolPlan,
+        ScenarioConfig,
+        SweepSpec,
+        RetryPolicy,
+    ):
+        yield config_cls, {}, None
+    yield ExteriorSignature, {"color": "white", "body_type": "van"}, None
+    # ExperimentSpec both without a sweep (the optional field may be omitted
+    # from the dict) and with one (then it must round-trip).
+    spec_kwargs = {
+        "network": NetworkSpec(**network),
+        "config": ScenarioConfig(),
+    }
+    yield ExperimentSpec, spec_kwargs, None
+    yield ExperimentSpec, {**spec_kwargs, "sweep": SweepSpec()}, None
+
+
+def _check_roundtrip(
+    cls: type,
+    kwargs: Dict[str, Any],
+    decoder: Optional[Callable[[Dict[str, Any]], Any]],
+) -> List[Finding]:
+    findings: List[Finding] = []
+    if not hasattr(cls, "to_dict"):
+        return [_finding(cls, f"{cls.__name__} is registered but has no to_dict()")]
+    decode = decoder if decoder is not None else getattr(cls, "from_dict", None)
+    if decode is None:
+        return [_finding(cls, f"{cls.__name__} is registered but has no from_dict()")]
+    try:
+        instance = cls(**kwargs)
+    except Exception as exc:  # noqa: BLE001 - reported as a finding
+        return [_finding(cls, f"{cls.__name__} example does not construct: {exc!r}")]
+    try:
+        encoded = instance.to_dict()
+    except Exception as exc:  # noqa: BLE001 - reported as a finding
+        return [_finding(cls, f"{cls.__name__}.to_dict() raised {exc!r}")]
+    if dataclasses.is_dataclass(cls):
+        for f in dataclasses.fields(cls):
+            if f.name in encoded:
+                continue
+            if getattr(instance, f.name) is None:
+                continue  # optional field, omitted-when-None is lossless
+            findings.append(
+                _finding(
+                    cls,
+                    f"{cls.__name__}.to_dict() drops field {f.name!r} — the "
+                    "serialized form is not total",
+                )
+            )
+    try:
+        wire = json.loads(json.dumps(encoded))
+    except (TypeError, ValueError) as exc:
+        findings.append(
+            _finding(cls, f"{cls.__name__}.to_dict() is not JSON-encodable: {exc}")
+        )
+        return findings
+    try:
+        rebuilt = decode(wire)
+    except Exception as exc:  # noqa: BLE001 - reported as a finding
+        findings.append(
+            _finding(cls, f"{cls.__name__} does not decode its own to_dict(): {exc!r}")
+        )
+        return findings
+    if rebuilt != instance:
+        findings.append(
+            _finding(
+                cls,
+                f"{cls.__name__} round-trip is lossy: "
+                f"from_dict(to_dict(x)) != x ({rebuilt!r} != {instance!r})",
+            )
+        )
+    return findings
+
+
+def _check_builders() -> List[Finding]:
+    from ..roadnet import registry
+
+    findings: List[Finding] = []
+    for name in registry.builder_names():
+        builder = registry.get_builder(name)
+        if not callable(builder):  # pragma: no cover - registry enforces this
+            findings.append(_finding(registry.register_builder, f"builder {name!r} is not callable"))
+            continue
+        try:
+            pickle.dumps(builder)
+        except Exception as exc:  # noqa: BLE001 - reported as a finding
+            findings.append(
+                _finding(
+                    builder,
+                    f"builder {name!r} does not pickle ({exc!r}); the parallel "
+                    "sweep runner ships builders to worker processes",
+                )
+            )
+    return findings
+
+
+def check_registries() -> List[Finding]:
+    """Run the S1 semantic check; one :class:`Finding` per broken contract."""
+    findings: List[Finding] = []
+    for cls, kwargs, decoder in _examples():
+        findings.extend(_check_roundtrip(cls, kwargs, decoder))
+    findings.extend(_check_builders())
+    return findings

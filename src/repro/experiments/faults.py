@@ -32,9 +32,12 @@ import os
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ReproError
+
+if TYPE_CHECKING:
+    from .store import ResultStore
 
 __all__ = ["FAULT_KINDS", "InjectedFault", "FaultPlan", "install_torn_writes"]
 
@@ -140,7 +143,7 @@ class FaultPlan:
         os._exit(self.exit_code)
 
     # ------------------------------------------------------------- conversion
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form of the plan."""
         return {
             "faults": [list(f) for f in self.faults],
@@ -150,7 +153,7 @@ class FaultPlan:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FaultPlan":
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
         """Inverse of :meth:`to_dict`."""
         return cls(
             faults=tuple(tuple(f) for f in data.get("faults", ())),
@@ -188,7 +191,7 @@ class FaultPlan:
         return cls(faults=tuple(faults), hang_s=hang_s)
 
 
-def install_torn_writes(store, plan: FaultPlan):
+def install_torn_writes(store: "ResultStore", plan: FaultPlan) -> "ResultStore":
     """Make ``store`` tear the appends named by ``plan.torn_records``.
 
     The designated append writes only the first half of its record line —

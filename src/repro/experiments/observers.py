@@ -32,7 +32,12 @@ cannot abort a sweep and discard its completed cells.
 from __future__ import annotations
 
 import sys
-from typing import Callable, Optional, TextIO
+from typing import TYPE_CHECKING, Callable, Optional, TextIO
+
+if TYPE_CHECKING:
+    from ..sim.results import RunResult, SweepCell, SweepResult
+    from ..sim.runner import SweepSpec
+    from ..sim.simulator import Simulation
 
 __all__ = ["Observer", "ProgressObserver", "EarlyStopObserver"]
 
@@ -40,31 +45,31 @@ __all__ = ["Observer", "ProgressObserver", "EarlyStopObserver"]
 class Observer:
     """Base class with every hook as a no-op; subclass what you need."""
 
-    def on_run_start(self, sim) -> None:
+    def on_run_start(self, sim: "Simulation") -> None:
         """The run's fleet is populated and the loop is about to start."""
 
-    def on_step(self, sim, step_index: int) -> Optional[bool]:
+    def on_step(self, sim: "Simulation", step_index: int) -> Optional[bool]:
         """One engine step finished.  Return truthy to stop the run early."""
         return None
 
-    def on_converged(self, sim, time_s: float) -> None:
+    def on_converged(self, sim: "Simulation", time_s: float) -> None:
         """Convergence was reached for the first time, at ``time_s``."""
 
-    def on_run_end(self, sim, result) -> None:
+    def on_run_end(self, sim: "Simulation", result: "RunResult") -> None:
         """The run finished (converged, horizon, or early-stopped)."""
 
-    def on_sweep_start(self, spec, total_cells: int) -> None:
+    def on_sweep_start(self, spec: "SweepSpec", total_cells: int) -> None:
         """A sweep of ``total_cells`` cells is starting."""
 
-    def on_cell_done(self, cell, index: int, total: int) -> Optional[bool]:
+    def on_cell_done(self, cell: "SweepCell", index: int, total: int) -> Optional[bool]:
         """One sweep cell finished.  Return truthy to cancel the sweep."""
         return None
 
-    def on_cell_failed(self, exc, attempt: int, index: int, total: int) -> None:
+    def on_cell_failed(self, exc: BaseException, attempt: int, index: int, total: int) -> None:
         """One attempt at a sweep cell failed (it may be retried; see
         :class:`repro.sim.runner.RetryPolicy`)."""
 
-    def on_sweep_end(self, result) -> None:
+    def on_sweep_end(self, result: "SweepResult") -> None:
         """The sweep finished (complete or cancelled)."""
 
 
@@ -83,14 +88,14 @@ class ProgressObserver(Observer):
     def _emit(self, text: str) -> None:
         print(text, file=self.stream, flush=True)
 
-    def on_run_start(self, sim) -> None:
+    def on_run_start(self, sim: "Simulation") -> None:
         self._next_report_s = self.every_s
         self._emit(
             f"[{sim.config.name}] start: {sim.initial_fleet_size} vehicles, "
             f"{len(sim.seeds)} seed(s), horizon {sim.config.max_duration_s:.0f}s"
         )
 
-    def on_step(self, sim, step_index: int) -> None:
+    def on_step(self, sim: "Simulation", step_index: int) -> None:
         if sim.engine.time_s >= self._next_report_s:
             self._next_report_s += self.every_s
             self._emit(
@@ -99,36 +104,36 @@ class ProgressObserver(Observer):
                 f"count={sim.protocol.global_count()}"
             )
 
-    def on_converged(self, sim, time_s: float) -> None:
+    def on_converged(self, sim: "Simulation", time_s: float) -> None:
         self._emit(f"[{sim.config.name}] converged at t={time_s:.1f}s")
 
-    def on_run_end(self, sim, result) -> None:
+    def on_run_end(self, sim: "Simulation", result: "RunResult") -> None:
         verdict = "EXACT" if result.is_exact else f"error {result.miscount_error:+d}"
         self._emit(
             f"[{sim.config.name}] done: truth={result.ground_truth} "
             f"counted={result.protocol_count} ({verdict})"
         )
 
-    def on_sweep_start(self, spec, total_cells: int) -> None:
+    def on_sweep_start(self, spec: "SweepSpec", total_cells: int) -> None:
         self._emit(
             f"sweep: {total_cells} cells "
             f"({len(spec.volumes)} volumes x {len(spec.seed_counts)} seed counts, "
             f"{spec.replications} replication(s) each)"
         )
 
-    def on_cell_done(self, cell, index: int, total: int) -> None:
+    def on_cell_done(self, cell: "SweepCell", index: int, total: int) -> None:
         flag = "exact" if cell.all_exact else "MISCOUNT"
         self._emit(
             f"sweep: cell {index + 1}/{total} volume={cell.volume_fraction:g} "
             f"seeds={cell.num_seeds} [{flag}]"
         )
 
-    def on_cell_failed(self, exc, attempt: int, index: int, total: int) -> None:
+    def on_cell_failed(self, exc: BaseException, attempt: int, index: int, total: int) -> None:
         self._emit(
             f"sweep: cell {index + 1}/{total} attempt {attempt} FAILED: {exc}"
         )
 
-    def on_sweep_end(self, result) -> None:
+    def on_sweep_end(self, result: "SweepResult") -> None:
         tail = ""
         if result.health is not None and not result.health.ok:
             tail = f" ({len(result.health.failed_cells)} failed)"
@@ -162,11 +167,11 @@ class EarlyStopObserver(Observer):
         self.predicate = predicate
         self.cells_done = 0
 
-    def on_step(self, sim, step_index: int) -> bool:
+    def on_step(self, sim: "Simulation", step_index: int) -> bool:
         if self.max_simulated_s is not None and sim.engine.time_s >= self.max_simulated_s:
             return True
         return bool(self.predicate(sim)) if self.predicate is not None else False
 
-    def on_cell_done(self, cell, index: int, total: int) -> bool:
+    def on_cell_done(self, cell: "SweepCell", index: int, total: int) -> bool:
         self.cells_done += 1
         return self.max_cells is not None and self.cells_done >= self.max_cells

@@ -29,7 +29,8 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence, Union
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, Mapping, Optional, Sequence, Union
 
 from ..errors import ExperimentError
 from ..roadnet.registry import NetworkSpec
@@ -37,6 +38,10 @@ from ..sim.config import ScenarioConfig
 from ..sim.results import RunResult, SweepCell, SweepResult
 from ..sim.runner import ExperimentRunner, RetryPolicy, SweepSpec
 from ..sim.simulator import Simulation
+
+if TYPE_CHECKING:
+    from ..roadnet.network import RoadNetwork
+    from .store import ResultStore
 
 __all__ = ["SPEC_FORMAT", "ExperimentSpec"]
 
@@ -62,7 +67,7 @@ class ExperimentSpec:
         return self.sweep is not None
 
     # ------------------------------------------------------------ conversion
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready spec (see the module docstring for the format)."""
         out = {
             "format": SPEC_FORMAT,
@@ -74,7 +79,7 @@ class ExperimentSpec:
         return out
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ExperimentSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
         """Inverse of :meth:`to_dict`; tolerates a missing format tag."""
         fmt = data.get("format", SPEC_FORMAT)
         if fmt != SPEC_FORMAT:
@@ -92,14 +97,14 @@ class ExperimentSpec:
             sweep=None if sweep is None else SweepSpec.from_dict(sweep),
         )
 
-    def save(self, path: Union[str, "os.PathLike"]) -> None:
-        """Write the spec as a JSON file."""
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+    def save(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        """Write the spec as a JSON file (atomically: no torn spec files)."""
+        from .store import atomic_write_json
+
+        atomic_write_json(Path(path), self.to_dict())
 
     @classmethod
-    def load(cls, path: Union[str, "os.PathLike"]) -> "ExperimentSpec":
+    def load(cls, path: Union[str, "os.PathLike[str]"]) -> "ExperimentSpec":
         """Read a spec from a JSON file."""
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_dict(json.load(fh))
@@ -126,7 +131,7 @@ class ExperimentSpec:
         """A copy of this spec with a different sweep grid (None = single)."""
         return replace(self, sweep=sweep)
 
-    def build_network(self):
+    def build_network(self) -> "RoadNetwork":
         """A fresh network instance for this spec."""
         return self.network.build()
 
@@ -141,7 +146,7 @@ class ExperimentSpec:
         observers: Sequence[object] = (),
         parallel: bool = False,
         max_workers: Optional[int] = None,
-        store: Union[None, str, "os.PathLike", "ResultStore"] = None,
+        store: Union[None, str, "os.PathLike[str]", "ResultStore"] = None,
         resume: bool = False,
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[object] = None,
@@ -204,8 +209,15 @@ class ExperimentSpec:
             )
 
     def _execute(
-        self, observers, result_store, resume, *, parallel, max_workers,
-        retry, fault_plan,
+        self,
+        observers: Sequence[object],
+        result_store: Optional["ResultStore"],
+        resume: bool,
+        *,
+        parallel: bool,
+        max_workers: Optional[int],
+        retry: Optional[RetryPolicy],
+        fault_plan: Optional[object],
     ) -> Union[RunResult, SweepResult]:
         if self.sweep is None:
             return self._run_single(observers, result_store, resume)
@@ -214,8 +226,14 @@ class ExperimentSpec:
             max_workers=max_workers, retry=retry, fault_plan=fault_plan,
         )
 
-    def _run_single(self, observers, result_store, resume) -> RunResult:
+    def _run_single(
+        self,
+        observers: Sequence[object],
+        result_store: Optional["ResultStore"],
+        resume: bool,
+    ) -> RunResult:
         if resume:
+            assert result_store is not None  # enforced by run()
             stored = result_store.load_single()
             if stored is not None:
                 return stored
@@ -232,9 +250,18 @@ class ExperimentSpec:
         return result
 
     def _run_sweep(
-        self, observers, result_store, resume, *, parallel, max_workers,
-        retry, fault_plan,
+        self,
+        observers: Sequence[object],
+        result_store: Optional["ResultStore"],
+        resume: bool,
+        *,
+        parallel: bool,
+        max_workers: Optional[int],
+        retry: Optional[RetryPolicy],
+        fault_plan: Optional[object],
     ) -> SweepResult:
+        assert self.sweep is not None  # _execute() dispatches on this
+        sweep = self.sweep
         runner = ExperimentRunner(
             self.network,
             self.config,
@@ -244,17 +271,21 @@ class ExperimentSpec:
             retry=retry,
             fault_plan=fault_plan,
         )
-        skip = None
+        skip: Optional[Callable[[float, int], Optional[SweepCell]]] = None
         if resume:
-            replications = self.sweep.replications
+            assert result_store is not None  # enforced by run()
+            resume_store = result_store
+            replications = sweep.replications
 
-            def skip(volume: float, seeds: int) -> Optional[SweepCell]:
-                return result_store.load_cell(volume, seeds, replications)
+            def _skip_completed(volume: float, seeds: int) -> Optional[SweepCell]:
+                return resume_store.load_cell(volume, seeds, replications)
+
+            skip = _skip_completed
 
         all_observers = list(observers)
         if result_store is not None:
-            all_observers.append(_CellRecorder(result_store, self.sweep.replications))
-        result = runner.run_sweep(self.sweep, observers=all_observers, skip=skip)
+            all_observers.append(_CellRecorder(result_store, sweep.replications))
+        result = runner.run_sweep(sweep, observers=all_observers, skip=skip)
         if result_store is not None and result.health is not None:
             # Failure records make retry-exhausted cells first-class store
             # citizens (visible to store-check, re-run on resume); the

@@ -31,7 +31,7 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -84,7 +84,7 @@ def profile_type_names() -> List[str]:
     return sorted(_PROFILE_TYPES)
 
 
-def profile_from_dict(data: dict) -> "DemandProfile":
+def profile_from_dict(data: Mapping[str, Any]) -> "DemandProfile":
     """Rebuild a profile from its :meth:`DemandProfile.to_dict` form."""
     tag = data.get("type")
     cls = _PROFILE_TYPES.get(tag)
@@ -142,7 +142,7 @@ class DemandProfile:
         """Per-:class:`DemandModel` evaluation state for this profile."""
         return _ProfileState(self)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form: a ``"type"`` tag plus the declared fields.
 
         The tag is resolved against the profile registry
@@ -425,14 +425,14 @@ class DemandConfig:
                 f"profile must be a DemandProfile, got {type(self.profile).__name__}"
             )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (see ``repro.serde`` for the conventions)."""
         out = shallow_asdict(self)
         out["profile"] = self.profile.to_dict()
         return out
 
     @classmethod
-    def from_dict(cls, data: dict) -> "DemandConfig":
+    def from_dict(cls, data: Mapping[str, Any]) -> "DemandConfig":
         """Inverse of :meth:`to_dict`; missing keys use the defaults."""
         kwargs = kwargs_from(cls, data)
         if "profile" in data:

@@ -51,7 +51,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -91,7 +91,7 @@ class EngineStats:
     exits: int = 0
     spawned: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "steps": self.steps,
             "crossings": self.crossings,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .engine import TrafficEngine
 from .events import CrossingEvent, EntryEvent, ExitEvent, OvertakeEvent, TrafficEvent
@@ -34,7 +34,7 @@ class TraceRecord:
     pos_m: Optional[float] = None
     speed_mps: Optional[float] = None
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "time_s": self.time_s,
             "kind": self.kind,

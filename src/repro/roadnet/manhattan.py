@@ -130,6 +130,7 @@ def build_midtown_grid(
         avenue 0 in the west.
     """
     base = spec or MidtownSpec()
+    # repro-lint: ignore[D4] -- exact sentinel: only a strictly-non-1 scale rescales
     if scale != 1.0:
         base = base.scaled(scale)
     if speed_limit_mps is not None or open_border is not None:

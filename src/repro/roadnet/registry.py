@@ -124,7 +124,7 @@ class NetworkSpec:
     def __call__(self) -> RoadNetwork:
         return self.build()
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (see ``repro.serde`` for the conventions)."""
         return {
             "builder": self.builder,
@@ -133,7 +133,7 @@ class NetworkSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "NetworkSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetworkSpec":
         """Inverse of :meth:`to_dict`."""
         return cls(
             builder=data["builder"],

@@ -410,7 +410,7 @@ def _load_csv(prefix: str, *, name: Optional[str]) -> RoadNetwork:
     return network_from_tables(doc, name=name)
 
 
-def _require_pyarrow():
+def _require_pyarrow() -> Tuple[Any, Any]:
     try:
         import pyarrow  # noqa: F401
         import pyarrow.parquet as pq

@@ -25,7 +25,7 @@ construction.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Mapping, Type, TypeVar
+from typing import Any, Dict, Mapping, Type, TypeVar
 
 __all__ = ["to_jsonable", "from_jsonable", "shallow_asdict", "kwargs_from"]
 
@@ -50,7 +50,7 @@ def from_jsonable(value: Any) -> Any:
     return value
 
 
-def shallow_asdict(obj: Any) -> dict:
+def shallow_asdict(obj: Any) -> Dict[str, Any]:
     """``{field: to_jsonable(value)}`` over a dataclass's declared fields.
 
     Unlike :func:`dataclasses.asdict` this does not recurse into nested
@@ -63,7 +63,7 @@ def shallow_asdict(obj: Any) -> dict:
     }
 
 
-def kwargs_from(cls: Type[T], data: Mapping[str, Any]) -> dict:
+def kwargs_from(cls: Type[T], data: Mapping[str, Any]) -> Dict[str, Any]:
     """Constructor kwargs for ``cls`` from a (possibly sparse) JSON mapping.
 
     Only keys that name a declared field are taken, and only when present —

@@ -10,7 +10,7 @@ regenerate the paper's figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 from ..core.patrol import PatrolPlan
 from ..core.protocol import ProtocolConfig
@@ -36,12 +36,12 @@ class WirelessConfig:
         if self.attempts_per_contact < 1:
             raise ConfigurationError("attempts_per_contact must be at least 1")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (see ``repro.serde`` for the conventions)."""
         return shallow_asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "WirelessConfig":
+    def from_dict(cls, data: Mapping[str, Any]) -> "WirelessConfig":
         """Inverse of :meth:`to_dict`; missing keys use the defaults."""
         return cls(**kwargs_from(cls, data))
 
@@ -70,12 +70,12 @@ class MobilityConfig:
         if self.crossing_delay_s < 0:
             raise ConfigurationError("crossing_delay_s cannot be negative")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (see ``repro.serde`` for the conventions)."""
         return shallow_asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "MobilityConfig":
+    def from_dict(cls, data: Mapping[str, Any]) -> "MobilityConfig":
         """Inverse of :meth:`to_dict`; missing keys use the defaults."""
         return cls(**kwargs_from(cls, data))
 
@@ -136,7 +136,7 @@ class ScenarioConfig:
             raise ConfigurationError("settle_extra_s cannot be negative")
 
     # Serialization --------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form: scalar fields plus one sub-dict per component.
 
         Together with :meth:`from_dict` this is the full config round-trip
@@ -161,7 +161,7 @@ class ScenarioConfig:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ScenarioConfig":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioConfig":
         """Inverse of :meth:`to_dict`; missing keys use the defaults."""
         kwargs = kwargs_from(cls, data)
         nested = {

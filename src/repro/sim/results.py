@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..units import seconds_to_minutes
 
@@ -93,7 +93,7 @@ class RunResult:
     def collection_time_min(self) -> Optional[float]:
         return None if self.collection_time_s is None else seconds_to_minutes(self.collection_time_s)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         """Complete, lossless JSON-ready record of this run.
 
         Every constructor field is present (plus the derived
@@ -127,7 +127,7 @@ class RunResult:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RunResult":
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
         """Inverse of :meth:`as_dict` (derived keys are ignored)."""
         return cls(
             scenario_name=data["scenario"],
@@ -211,7 +211,7 @@ class FailedCell:
     attempts: int
     error: str
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "volume_fraction": self.volume_fraction,
             "num_seeds": self.num_seeds,
@@ -247,7 +247,7 @@ class SweepHealth:
         """Whether every cell of the sweep ultimately completed."""
         return not self.failed_cells
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         """JSON-ready form (written to ``health.json`` by stored sweeps)."""
         return {
             "ok": self.ok,

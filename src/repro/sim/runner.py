@@ -40,7 +40,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 from ..roadnet.graph import RoadNetwork
@@ -102,14 +102,14 @@ class SweepSpec:
         """A tiny sweep for tests."""
         return cls(volumes=(0.5,), seed_counts=(1,), replications=1)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (see ``repro.serde`` for the conventions)."""
         from ..serde import shallow_asdict
 
         return shallow_asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "SweepSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
         """Inverse of :meth:`to_dict`; missing keys use the defaults."""
         from ..serde import kwargs_from
 
@@ -181,18 +181,19 @@ class RetryPolicy:
 
     def backoff_s(self, attempt: int) -> float:
         """Sleep before the attempt after ``attempt`` failed (1-based)."""
+        # repro-lint: ignore[D4] -- exact sentinel: 0.0 disables backoff entirely
         if self.backoff_base_s == 0.0:
             return 0.0
         return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form."""
         from ..serde import shallow_asdict
 
         return shallow_asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RetryPolicy":
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetryPolicy":
         """Inverse of :meth:`to_dict`; missing keys use the defaults."""
         from ..serde import kwargs_from
 

@@ -162,6 +162,7 @@ class Simulation:
         wireless = self.config.wireless
         channel = (
             PerfectChannel()
+            # repro-lint: ignore[D4] -- exact sentinel: only strictly-zero loss is lossless
             if wireless.loss_probability == 0.0
             else BernoulliLossChannel(wireless.loss_probability)
         )

@@ -13,7 +13,7 @@ needed in the first place.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -85,12 +85,12 @@ class ExteriorSignature:
         """True when every field is a wildcard (matches all vehicles)."""
         return self.color is None and self.make is None and self.body_type is None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (``None`` fields are wildcards)."""
         return {"color": self.color, "make": self.make, "body_type": self.body_type}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ExteriorSignature":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExteriorSignature":
         """Inverse of :meth:`to_dict`; missing keys act as wildcards."""
         return cls(
             color=data.get("color"),

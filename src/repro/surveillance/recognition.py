@@ -23,7 +23,7 @@ synchronization layer).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -42,7 +42,7 @@ class RecognitionStats:
     false_negatives: int = 0
     false_positives: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "observations": self.observations,
             "matches": self.matches,
@@ -82,7 +82,9 @@ class Recognizer:
         self.target = target if target is not None else ExteriorSignature()
         self.false_negative_rate = float(false_negative_rate)
         self.false_positive_rate = float(false_positive_rate)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Deterministic fallback: a recognizer constructed without an
+        # explicit stream must still behave reproducibly run to run.
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = RecognitionStats()
 
     @property
@@ -90,7 +92,9 @@ class Recognizer:
         """True when the target is a wildcard and recognition is noise-free."""
         return (
             self.target.is_wildcard
+            # repro-lint: ignore[D4] -- exact sentinel: 0.0 means "noise disabled"
             and self.false_negative_rate == 0.0
+            # repro-lint: ignore[D4] -- exact sentinel: 0.0 means "noise disabled"
             and self.false_positive_rate == 0.0
         )
 
@@ -146,6 +150,7 @@ def observe_many(
     rng = recognizers[0].rng
     truly = [r.target.matches(s) for r, s in zip(recognizers, signatures)]
     needs_draw = [
+        # repro-lint: ignore[D4] -- exact sentinel: only a strictly-zero rate skips the draw
         (r.false_negative_rate != 0.0) if t else (r.false_positive_rate != 0.0)
         for r, t in zip(recognizers, truly)
     ]

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 import numpy as np
 
@@ -114,7 +114,7 @@ class ExchangeStats:
         """Average number of attempts per logical exchange."""
         return self.total_attempts / self.exchanges if self.exchanges else 0.0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "exchanges": self.exchanges,
             "successes": self.successes,
@@ -153,7 +153,9 @@ class ExchangeService:
         if attempts_per_contact < 1:
             raise WirelessError("attempts_per_contact must be at least 1")
         self.channel = channel if channel is not None else BernoulliLossChannel(0.3)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Deterministic fallback: a service constructed without an explicit
+        # stream must still behave reproducibly run to run.
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.attempts_per_contact = int(attempts_per_contact)
         self.reliable_within_window = bool(reliable_within_window)
         self.stats = ExchangeStats()
