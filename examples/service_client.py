@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Submit a spec to a running simulation service and follow it live.
+
+The client side of ``repro-count serve``: POST an experiment-spec JSON
+document to ``/runs``, tail the run's NDJSON event stream as it executes,
+then fetch the stored result — all with the stdlib only, because the
+service speaks plain HTTP.
+
+Start a server in one terminal::
+
+    repro-count serve --root /tmp/service --port 8080
+
+then, in another::
+
+    python examples/service_client.py                         # midtown spec
+    python examples/service_client.py --spec my_spec.json
+    python examples/service_client.py --base http://127.0.0.1:8080 --json
+
+``--json`` prints one machine-readable summary object instead of progress
+lines (this is what CI's service-smoke step consumes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+DEFAULT_SPEC = Path(__file__).resolve().parent / "spec_midtown.json"
+
+
+def _request(url: str, *, data: bytes | None = None, method: str = "GET") -> dict:
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(req) as response:
+        return json.loads(response.read())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", default="http://127.0.0.1:8080",
+                        help="service base URL (default: %(default)s)")
+    parser.add_argument("--spec", default=str(DEFAULT_SPEC),
+                        help="experiment-spec JSON document to submit")
+    parser.add_argument("--json", action="store_true",
+                        help="print one JSON summary instead of progress lines")
+    args = parser.parse_args()
+
+    document = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+    quiet = args.json
+
+    # 1. Submit.
+    try:
+        submitted = _request(
+            f"{args.base}/runs",
+            data=json.dumps(document).encode("utf-8"),
+            method="POST",
+        )
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        print(f"submit failed: HTTP {exc.code} {detail}", file=sys.stderr)
+        return 2
+    run_id = submitted["run_id"]
+    if not quiet:
+        print(f"submitted {Path(args.spec).name} as run {run_id}")
+
+    # 2. Tail the event stream.  The server replays from event 0 and then
+    # follows live until the run reaches a terminal state, so this loop is
+    # also a completion wait.  Blank lines are stream keepalives.
+    counts: dict[str, int] = {}
+    last_step: dict | None = None
+    with urllib.request.urlopen(f"{args.base}{submitted['events_url']}") as stream:
+        for raw in stream:
+            line = raw.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            counts[event["event"]] = counts.get(event["event"], 0) + 1
+            if event["event"] == "step":
+                last_step = event["data"]
+                if not quiet and event["data"]["step"] % 200 == 0:
+                    data = event["data"]
+                    print(
+                        f"  t={data['time_s']:8.1f}s  inside={data['inside']:4d}  "
+                        f"count={data['count']:4d}"
+                    )
+            elif not quiet and event["event"] != "run_end":
+                print(f"  event: {event['event']} {event['data']}")
+
+    # 3. Status and stored results.
+    status = _request(f"{args.base}{submitted['status_url']}")
+    summary = {
+        "run_id": run_id,
+        "status": status["status"],
+        "steps": status["steps"],
+        "step_events": counts.get("step", 0),
+        "event_counts": counts,
+        "store": status["store"],
+        "error": status["error"],
+    }
+    if status["status"] == "converged":
+        results = _request(f"{args.base}{submitted['results_url']}")
+        summary["kind"] = results["kind"]
+        summary["result"] = results["result"]
+
+    if quiet:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(f"run {run_id}: {status['status']}")
+        print(f"  steps={status['steps']} streamed_step_events={counts.get('step', 0)}")
+        if last_step is not None:
+            print(f"  final count={last_step['count']} at t={last_step['time_s']:.1f}s")
+        if status["status"] == "converged":
+            result = summary["result"]
+            print(
+                f"  ground truth={result['ground_truth']} "
+                f"counted={result['protocol_count']} "
+                f"(simulated {result['simulated_s']:.0f}s)"
+            )
+        elif status["error"]:
+            print(f"  error: {status['error']}")
+        print(f"  store: {status['store']}")
+    return 0 if status["status"] == "converged" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -303,6 +303,28 @@ def build_parser() -> argparse.ArgumentParser:
     lnt.add_argument("--no-semantic", action="store_true",
                      help="skip the S1 registry-completeness check")
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the simulation service (HTTP job server streaming runs)",
+    )
+    srv.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="service root: one result-store directory is kept per run",
+    )
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8080,
+                     help="bind port (default: 8080; 0 picks a free port)")
+    srv.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker threads executing runs (default: min(4, cpu count))",
+    )
+    srv.add_argument(
+        "--queue-limit", type=int, default=16, metavar="N",
+        help="bounded FIFO queue size; further submissions get 429 "
+        "(default: 16)",
+    )
+
     val = sub.add_parser("validate", help="run the correctness battery (observation 1)")
     val.add_argument(
         "--rng-seed", type=int, default=7,
@@ -657,6 +679,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return reprolint.main(argv)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import make_server
+
+    try:
+        server = make_server(
+            args.root,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+        )
+    except (ReproError, OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    host, port = server.server_address[0], server.server_address[1]
+    manager = server.manager
+    print(
+        f"repro-count service on http://{host}:{port} "
+        f"(root={args.root}, workers={manager.workers}, "
+        f"queue-limit={manager.queue_limit})"
+    )
+    print("POST /runs an experiment-spec document to submit; Ctrl-C to stop.")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (cancelling running jobs)...")
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.shutdown()
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .sim.config import MobilityConfig, WirelessConfig
 
@@ -758,6 +813,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "export-network": _cmd_export_network,
         "gen-city": _cmd_gen_city,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
         "validate": _cmd_validate,
     }
     handler = handlers.get(args.command)

@@ -100,8 +100,19 @@ RULES: Dict[str, Rule] = {
 _NAME_TO_ID: Dict[str, str] = {rule.name: rule.id for rule in RULES.values()}
 
 #: Directories (relative to the package root) forming the deterministic core
-#: — the scope of rule D2.
-_D2_SCOPE = ("core", "mobility", "wireless", "surveillance", "sim")
+#: — the scope of rule D2.  ``service`` is in scope because the job server
+#: decides what runs and what it produces (run ids, event sequences, status
+#: documents), all of which must replay bit-for-bit.
+_D2_SCOPE = ("core", "mobility", "wireless", "surveillance", "sim", "service")
+
+#: Files inside the D2 scope exempt from rule D2.  ``service/http.py`` is
+#: the service's transport layer only: its sole wall-clock use is
+#: ``time.monotonic`` keepalive deadlines on idle NDJSON streams (so
+#: proxies do not drop quiet connections) — timing that never reaches a
+#: run, an event payload, or a stored result.  The deterministic layers
+#: beneath it (``service/jobs.py``, ``service/events.py``,
+#: ``service/api.py``) stay fully in scope.
+_D2_EXEMPT = ("service/http.py",)
 
 #: The one module allowed to own RNG construction (rule D1 exemption).
 _D1_EXEMPT = ("sim/rng.py",)
@@ -318,7 +329,7 @@ class _FileScope:
     @property
     def d2(self) -> bool:
         first = self.relpath.split("/", 1)[0]
-        return first in _D2_SCOPE
+        return first in _D2_SCOPE and self.relpath not in _D2_EXEMPT
 
     @property
     def d5(self) -> bool:

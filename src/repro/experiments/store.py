@@ -150,10 +150,17 @@ class IntegrityReport:
     quarantined: List[dict] = field(default_factory=list)
     locked_by: Optional[int] = None
     lock_stale: bool = False
+    in_progress_tail: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
-        """True when the manifest parses and no record was quarantined."""
+        """True when the manifest parses and no record was quarantined.
+
+        An :attr:`in_progress_tail` does not make the store damaged: it is
+        the final, unterminated line of a write that a live holder of the
+        writer lock has not finished yet — expected state when checking a
+        store mid-run, complete on the next read after the write lands.
+        """
         return self.manifest_ok and not self.quarantined
 
     def as_dict(self) -> Dict[str, Any]:
@@ -169,6 +176,7 @@ class IntegrityReport:
             "quarantined": list(self.quarantined),
             "locked_by": self.locked_by,
             "lock_stale": self.lock_stale,
+            "in_progress_tail": self.in_progress_tail,
         }
 
     def describe(self) -> str:
@@ -189,6 +197,11 @@ class IntegrityReport:
                 lines.append(f"    ... and {len(self.quarantined) - 10} more")
         else:
             lines.append("  quarantined: none")
+        if self.in_progress_tail is not None:
+            lines.append(
+                f"  in-progress tail: line {self.in_progress_tail['line']} "
+                "(live writer mid-append; not an error)"
+            )
         if self.locked_by is not None:
             state = "STALE (holder is dead)" if self.lock_stale else "held"
             lines.append(f"  writer lock: {state} by pid {self.locked_by}")
@@ -222,6 +235,7 @@ class ResultStore:
         self._records: Optional[Dict[_RecordKey, dict]] = None
         self._failures: List[dict] = []
         self._quarantined: List[dict] = []
+        self._in_progress_tail: Optional[dict] = None
         self._checksummed = 0
         self._legacy_records = 0
         # Secondary index for tolerant volume matching: (seeds, replication)
@@ -507,6 +521,24 @@ class ResultStore:
     def _quarantine(self, line_no: int, reason: str) -> None:
         self._quarantined.append({"line": line_no, "reason": reason})
 
+    def _quarantine_or_tail(
+        self, line_no: int, reason: str, terminated: bool
+    ) -> None:
+        """Quarantine a bad line — unless it is a live writer's open tail.
+
+        A failing line that is not newline-terminated is the file's final
+        line mid-append.  When the writer lock is held by a live process,
+        that tail is work in progress, not corruption: quarantining it
+        would report a healthy concurrent run as damaged (and, worse, keep
+        warning for as long as the run lasts).
+        """
+        if not terminated:
+            holder = self.lock_holder()
+            if holder is not None and _pid_alive(holder):
+                self._in_progress_tail = {"line": line_no, "reason": reason}
+                return
+        self._quarantine(line_no, reason)
+
     def records(self) -> Dict[_RecordKey, dict]:
         """All stored *result* records keyed by (volume, seeds, replication).
 
@@ -516,34 +548,50 @@ class ResultStore:
         quarantined: skipped and counted — a warning summarizes them once,
         and :meth:`integrity_report` lists every one.  Failure records are
         collected separately (:meth:`failures`).
+
+        Concurrent-reader contract: reading a store whose writer lock is
+        held by a *live* process never raises and never mis-quarantines the
+        writer's in-progress append.  A failing final line with no trailing
+        newline under a live lock is the writer's unfinished tail — it is
+        skipped silently (reported as ``in_progress_tail``, not quarantine)
+        and picked up complete on the next read.  The same tail with no
+        live writer is a genuine crash fragment and quarantines as before.
         """
         if self._records is None:
             self._records = {}
             self._volume_index = {}
             self._failures = []
             self._quarantined = []
+            self._in_progress_tail = None
             self._checksummed = 0
             self._legacy_records = 0
             if self.runs_path.is_file():
                 with open(self.runs_path, "r", encoding="utf-8") as fh:
-                    for line_no, line in enumerate(fh, start=1):
-                        line = line.strip()
+                    for line_no, raw in enumerate(fh, start=1):
+                        terminated = raw.endswith("\n")
+                        line = raw.strip()
                         if not line:
                             continue
                         try:
                             record = json.loads(line)
                         except json.JSONDecodeError:
-                            self._quarantine(
-                                line_no, "unparseable JSON (torn write?)"
+                            self._quarantine_or_tail(
+                                line_no,
+                                "unparseable JSON (torn write?)",
+                                terminated,
                             )
                             continue
                         if not isinstance(record, dict):
-                            self._quarantine(line_no, "record is not an object")
+                            self._quarantine_or_tail(
+                                line_no, "record is not an object", terminated
+                            )
                             continue
                         stored_sum = record.get("checksum")
                         if stored_sum is not None:
                             if stored_sum != record_checksum(record):
-                                self._quarantine(line_no, "checksum mismatch")
+                                self._quarantine_or_tail(
+                                    line_no, "checksum mismatch", terminated
+                                )
                                 continue
                             self._checksummed += 1
                         else:
@@ -577,6 +625,11 @@ class ResultStore:
         self.records()
         return list(self._quarantined)
 
+    def in_progress_tail(self) -> Optional[dict]:
+        """The live writer's unfinished final line, if one was skipped."""
+        self.records()
+        return None if self._in_progress_tail is None else dict(self._in_progress_tail)
+
     def integrity_report(self) -> IntegrityReport:
         """Re-read the store from disk and report its integrity (fsck).
 
@@ -607,6 +660,7 @@ class ResultStore:
             quarantined=list(self._quarantined),
             locked_by=holder,
             lock_stale=holder is not None and not _pid_alive(holder),
+            in_progress_tail=self._in_progress_tail,
         )
 
     def load_cell(

@@ -1,0 +1,68 @@
+"""Simulation-as-a-service: an async job server streaming live runs.
+
+The experiment API made an experiment *data* (a serializable
+:class:`~repro.experiments.ExperimentSpec` that "can be shipped to a
+worker"); this package ships it.  A dependency-light job server accepts
+spec documents over HTTP, executes them on a bounded worker pool, streams
+the run's observer events live as NDJSON, and serves results from the
+per-run :class:`~repro.experiments.store.ResultStore` directories it keeps
+under one service root:
+
+``POST /runs``
+    Submit an experiment-spec JSON document (format
+    ``repro-experiment-spec/1``); returns the run id.  ``429`` when the
+    bounded FIFO queue is full.
+``GET /runs`` / ``GET /runs/{id}``
+    List runs / report one run's status (queued, running, converged,
+    failed, cancelled) with step count, convergence counters and — for
+    sweeps — cell progress and :class:`~repro.sim.results.SweepHealth`.
+``GET /runs/{id}/events``
+    Stream the run's observer events as NDJSON (schema
+    ``repro-service-event/1``), from event 0: a late subscriber replays the
+    whole sequence, then follows live.
+``GET /runs/{id}/results``
+    The stored :class:`~repro.sim.results.RunResult` /
+    :class:`~repro.sim.results.SweepResult` record.
+``DELETE /runs/{id}``
+    Cancel: a queued run is dequeued; a running run is stopped via an
+    injected :class:`~repro.experiments.observers.EarlyStopObserver`
+    (sweeps keep their completed cells — the store stays resumable).
+
+The layering is deliberate: :mod:`repro.service.jobs` (execution) and
+:mod:`repro.service.api` (request handling) know nothing about HTTP, so a
+FastAPI adapter can be layered over :class:`ServiceAPI` later; the stdlib
+:mod:`repro.service.http` transport keeps tier-1 CI free of new packages.
+Run ids are deterministic (spec config hash + submission counter — no
+wall clock, no uuid), and a served run's stored results are bit-for-bit
+identical to an in-process ``spec.run()`` of the same spec.
+"""
+
+from .api import ApiEventStream, ApiResponse, ServiceAPI
+from .events import EVENT_FORMAT, EventLog, ServiceEventObserver
+from .http import ServiceHTTPServer, make_server, serve
+from .jobs import (
+    RUN_STATUSES,
+    CancellationObserver,
+    JobManager,
+    JobRecord,
+    QueueFullError,
+    UnknownRunError,
+)
+
+__all__ = [
+    "ApiEventStream",
+    "ApiResponse",
+    "ServiceAPI",
+    "EVENT_FORMAT",
+    "EventLog",
+    "ServiceEventObserver",
+    "ServiceHTTPServer",
+    "make_server",
+    "serve",
+    "RUN_STATUSES",
+    "CancellationObserver",
+    "JobManager",
+    "JobRecord",
+    "QueueFullError",
+    "UnknownRunError",
+]

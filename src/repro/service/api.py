@@ -1,0 +1,187 @@
+"""Framework-agnostic request handling for the simulation service.
+
+:class:`ServiceAPI` maps (method, path, body) triples onto the
+:class:`~repro.service.jobs.JobManager` and returns plain
+:class:`ApiResponse` / :class:`ApiEventStream` values — no sockets, no
+HTTP types, no framework imports.  The stdlib transport
+(:mod:`repro.service.http`) is one adapter over it; a FastAPI app would be
+another (each handler body becomes ``api.submit(...)`` etc., and
+``ApiEventStream.iter_lines()`` feeds a ``StreamingResponse`` directly).
+
+Routes::
+
+    POST   /runs              -> submit        (201 / 400 / 429)
+    GET    /runs              -> list_runs     (200)
+    GET    /runs/{id}         -> status        (200 / 404)
+    GET    /runs/{id}/events  -> events        (200 NDJSON stream / 404)
+    GET    /runs/{id}/results -> results       (200 / 404 / 409)
+    DELETE /runs/{id}         -> cancel        (200 / 404)
+
+Error payloads are ``{"error": <message>}`` with the HTTP status carried
+alongside, so every adapter reports failures identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..errors import ExperimentError
+from .events import EventLog
+from .jobs import JobManager, QueueFullError, UnknownRunError
+
+__all__ = ["ApiResponse", "ApiEventStream", "ServiceAPI"]
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """One JSON response: an HTTP-ish status code and a JSON-ready payload."""
+
+    status: int
+    payload: Dict[str, Any]
+
+    def body(self) -> bytes:
+        return (json.dumps(self.payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+@dataclass(frozen=True)
+class ApiEventStream:
+    """A live NDJSON event stream for one run.
+
+    Transports either pump :attr:`log` themselves (the stdlib server does,
+    so it can interleave keepalives) or consume :meth:`iter_lines`, which
+    blocks until the run's log closes.
+    """
+
+    status: int
+    run_id: str
+    log: EventLog
+    start: int = field(default=0)
+
+    def iter_lines(self) -> Iterator[str]:
+        """Every event from ``start`` as one NDJSON line, until closed."""
+        for event in self.log.iter_events(self.start):
+            yield json.dumps(event, sort_keys=True) + "\n"
+
+
+_Handled = Union[ApiResponse, ApiEventStream]
+
+
+class ServiceAPI:
+    """The service's request handlers, independent of any web framework."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+
+    # ------------------------------------------------------------- handlers
+    def submit(self, body: Union[bytes, str, Dict[str, Any]]) -> ApiResponse:
+        """POST /runs — validate a spec document and queue it."""
+        try:
+            document = _parse_document(body)
+        except ValueError as exc:
+            return ApiResponse(400, {"error": f"request body is not JSON: {exc}"})
+        if not isinstance(document, dict):
+            return ApiResponse(400, {"error": "request body must be a JSON object"})
+        try:
+            record = self.manager.submit_document(document)
+        except QueueFullError as exc:
+            return ApiResponse(429, {"error": str(exc)})
+        except ExperimentError as exc:
+            return ApiResponse(400, {"error": str(exc)})
+        return ApiResponse(
+            201,
+            {
+                "run_id": record.run_id,
+                "status": record.status,
+                "status_url": f"/runs/{record.run_id}",
+                "events_url": f"/runs/{record.run_id}/events",
+                "results_url": f"/runs/{record.run_id}/results",
+            },
+        )
+
+    def list_runs(self) -> ApiResponse:
+        """GET /runs — every known run's status, in submission order."""
+        runs = [self.manager.status(run_id) for run_id in self.manager.run_ids()]
+        return ApiResponse(200, {"runs": runs})
+
+    def status(self, run_id: str) -> ApiResponse:
+        """GET /runs/{id} — one run's status document."""
+        try:
+            return ApiResponse(200, self.manager.status(run_id))
+        except UnknownRunError as exc:
+            return ApiResponse(404, {"error": str(exc)})
+
+    def results(self, run_id: str) -> ApiResponse:
+        """GET /runs/{id}/results — the stored result record."""
+        try:
+            return ApiResponse(200, self.manager.results(run_id))
+        except UnknownRunError as exc:
+            return ApiResponse(404, {"error": str(exc)})
+        except ExperimentError as exc:
+            return ApiResponse(409, {"error": str(exc)})
+
+    def cancel(self, run_id: str) -> ApiResponse:
+        """DELETE /runs/{id} — cancel (idempotent)."""
+        try:
+            return ApiResponse(200, self.manager.cancel(run_id))
+        except UnknownRunError as exc:
+            return ApiResponse(404, {"error": str(exc)})
+
+    def events(self, run_id: str, *, start: int = 0) -> _Handled:
+        """GET /runs/{id}/events — the NDJSON stream, replayed from 0."""
+        try:
+            record = self.manager.get(run_id)
+        except UnknownRunError as exc:
+            return ApiResponse(404, {"error": str(exc)})
+        return ApiEventStream(200, run_id, record.events, start=start)
+
+    # --------------------------------------------------------------- router
+    def handle(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> _Handled:
+        """Dispatch one request; unknown routes get 404/405 responses."""
+        parts = _split(path)
+        if parts[:1] != ["runs"]:
+            return ApiResponse(404, {"error": f"no such resource: {path}"})
+        if len(parts) == 1:
+            if method == "POST":
+                return self.submit(body if body is not None else b"")
+            if method == "GET":
+                return self.list_runs()
+            return _method_not_allowed(method, "POST, GET")
+        run_id = parts[1]
+        if len(parts) == 2:
+            if method == "GET":
+                return self.status(run_id)
+            if method == "DELETE":
+                return self.cancel(run_id)
+            return _method_not_allowed(method, "GET, DELETE")
+        if len(parts) == 3 and parts[2] == "events":
+            if method == "GET":
+                return self.events(run_id)
+            return _method_not_allowed(method, "GET")
+        if len(parts) == 3 and parts[2] == "results":
+            if method == "GET":
+                return self.results(run_id)
+            return _method_not_allowed(method, "GET")
+        return ApiResponse(404, {"error": f"no such resource: {path}"})
+
+
+def _split(path: str) -> List[str]:
+    return [part for part in path.partition("?")[0].split("/") if part]
+
+
+def _method_not_allowed(method: str, allowed: str) -> ApiResponse:
+    return ApiResponse(
+        405, {"error": f"method {method} not allowed here (allowed: {allowed})"}
+    )
+
+
+def _parse_document(body: Union[bytes, str, Dict[str, Any]]) -> Any:
+    if isinstance(body, dict):
+        return body
+    text = body.decode("utf-8") if isinstance(body, bytes) else body
+    if not text.strip():
+        raise ValueError("empty body")
+    return json.loads(text)

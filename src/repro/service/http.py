@@ -1,0 +1,183 @@
+"""Stdlib HTTP transport for the simulation service.
+
+A :class:`ThreadingHTTPServer` adapter over the framework-agnostic
+:class:`~repro.service.api.ServiceAPI`: JSON endpoints answer with
+``Content-Length`` bodies, the event endpoint streams chunked NDJSON —
+every observer event of the run, replayed from event 0 and then followed
+live until the run reaches a terminal state.  One handler thread per
+connection (streams hold theirs open), so slow stream readers never touch
+the workers executing runs: readers *pull* from the run's in-memory
+:class:`~repro.service.events.EventLog` at their own pace.
+
+This module is the service's only wall-clock consumer (stream keepalive
+deadlines, below) and is therefore the one file of ``repro.service``
+exempt from reprolint's D2 rule — see ``_D2_EXEMPT`` in
+:mod:`repro.devtools.reprolint`.  Everything that decides *what runs and
+what it produces* (jobs, events, api) stays deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple, Union
+
+from .api import ApiEventStream, ApiResponse, ServiceAPI
+from .jobs import JobManager
+
+__all__ = ["ServiceHTTPServer", "make_server", "serve"]
+
+#: Seconds of stream silence before an empty keepalive line is sent, so
+#: idle proxies / load balancers do not drop a quiet event stream.  NDJSON
+#: consumers skip blank lines by convention.
+KEEPALIVE_S = 15.0
+
+#: Largest accepted request body (a spec document is a few KiB; a sweep
+#: grid a few hundred).  Guards the service against accidental uploads.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the API and its job manager."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], api: ServiceAPI) -> None:
+        super().__init__(address, _Handler)
+        self.api = api
+        self.manager = api.manager
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+    server: ServiceHTTPServer
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, method: str) -> None:
+        body: Optional[bytes] = None
+        if method == "POST":
+            body = self._read_body()
+            if body is None:
+                return  # 413 already sent
+        handled = self.server.api.handle(method, self.path, body)
+        if isinstance(handled, ApiEventStream):
+            self._send_stream(handled)
+        else:
+            self._send_json(handled)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming contract)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    # -------------------------------------------------------------- plumbing
+    def _read_body(self) -> Optional[bytes]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            self._send_json(
+                ApiResponse(413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"})
+            )
+            return None
+        return self.rfile.read(length) if length else b""
+
+    def _send_json(self, response: ApiResponse) -> None:
+        body = response.body()
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_stream(self, stream: ApiEventStream) -> None:
+        """Chunked NDJSON: replay from event 0, then follow until closed."""
+        self.send_response(stream.status)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        log = stream.log
+        seq = stream.start
+        try:
+            while True:
+                batch = log.events_from(seq)
+                if batch:
+                    seq += len(batch)
+                    payload = "".join(
+                        json.dumps(event, sort_keys=True) + "\n" for event in batch
+                    )
+                    self._write_chunk(payload.encode("utf-8"))
+                    continue
+                if log.closed:
+                    break
+                # Wait for news, emitting a blank keepalive line whenever a
+                # full KEEPALIVE_S window passes in silence.
+                deadline = time.monotonic() + KEEPALIVE_S
+                while not log.wait_beyond(seq, timeout=1.0):
+                    if time.monotonic() >= deadline:
+                        self._write_chunk(b"\n")
+                        deadline = time.monotonic() + KEEPALIVE_S
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the client hung up; the run is unaffected
+        # A finished stream closes the connection: chunked bodies ended
+        # cleanly above, and reusing the socket buys nothing for NDJSON.
+        self.close_connection = True
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n")
+        self.wfile.flush()
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Quiet by default: the service is exercised inside test suites and
+        # CI where per-request stderr noise drowns real output.
+        pass
+
+
+def make_server(
+    root: Union[str, "JobManager"],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: Optional[int] = None,
+    queue_limit: int = 16,
+) -> ServiceHTTPServer:
+    """Build a ready-to-run service server (not yet serving).
+
+    ``root`` is either a service-root directory (a :class:`JobManager` is
+    created over it) or an existing manager.  ``port=0`` picks a free port
+    — read ``server.server_address`` afterwards.
+    """
+    if isinstance(root, JobManager):
+        manager = root
+    else:
+        manager = JobManager(root, workers=workers, queue_limit=queue_limit)
+    return ServiceHTTPServer((host, port), ServiceAPI(manager))
+
+
+def serve(
+    root: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    workers: Optional[int] = None,
+    queue_limit: int = 16,
+) -> None:
+    """Run the service until interrupted (the ``repro-count serve`` verb)."""
+    server = make_server(
+        root, host=host, port=port, workers=workers, queue_limit=queue_limit
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.manager.shutdown()

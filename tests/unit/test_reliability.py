@@ -9,6 +9,7 @@ import json
 import os
 import pickle
 import subprocess
+import warnings
 
 import pytest
 
@@ -230,6 +231,63 @@ class TestStoreIntegrity:
         assert [q["reason"] for q in fresh.quarantined()] == [
             "unparseable JSON (torn write?)"
         ]
+
+    def test_concurrent_reader_skips_live_writers_open_tail(self, tmp_path):
+        # Satellite contract for the service: records()/integrity_report()
+        # on a store whose writer lock is held by a live run must never
+        # raise and never mis-quarantine the in-progress torn tail.  The
+        # service's status endpoint reads stores exactly like this, mid-run.
+        store = ResultStore(tmp_path / "s")
+        store.initialize(_tiny_spec())
+        store.record_run(_make_result(), volume=0.5, seeds=1, replication=0)
+        with store.writer_lock():
+            # simulate the writer paused mid-append: a partial line with no
+            # newline, while the lock names this live process
+            with open(store.runs_path, "a") as fh:
+                fh.write('{"volume": 0.7, "seeds": 1, "repl')
+            reader = ResultStore(tmp_path / "s")
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # any warning -> test failure
+                records = reader.records()
+            assert set(records) == {(0.5, 1, 0)}
+            assert reader.quarantined() == []
+            assert reader.in_progress_tail() == {
+                "line": 2, "reason": "unparseable JSON (torn write?)"}
+            report = ResultStore(tmp_path / "s").integrity_report()
+            assert report.ok and report.quarantined == []
+            assert report.in_progress_tail is not None
+            assert report.locked_by == os.getpid() and not report.lock_stale
+            assert "in-progress tail" in report.describe()
+        # lock released, tail still unterminated: now it is a crash
+        # fragment and quarantines as before
+        fresh = ResultStore(tmp_path / "s")
+        with pytest.warns(UserWarning, match="quarantined"):
+            fresh.records()
+        assert [q["reason"] for q in fresh.quarantined()] == [
+            "unparseable JSON (torn write?)"
+        ]
+        assert fresh.in_progress_tail() is None
+
+    def test_live_checksum_mismatch_tail_is_not_quarantined(self, tmp_path):
+        # The torn tail of a checksummed record can parse as JSON yet fail
+        # its checksum; under a live lock that is still work in progress.
+        store = ResultStore(tmp_path / "s")
+        store.initialize(_tiny_spec())
+        store.record_run(_make_result(), volume=0.5, seeds=1, replication=0)
+        record = {"volume": 0.7, "seeds": 1, "replication": 0, "result": {}}
+        record["checksum"] = record_checksum(record)
+        # parses as JSON but fails its checksum (value cut mid-write)
+        partial = json.dumps(record).replace('"volume": 0.7', '"volume": 0.1')
+        with store.writer_lock():
+            with open(store.runs_path, "a") as fh:
+                fh.write(partial)  # no trailing newline
+            reader = ResultStore(tmp_path / "s")
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert set(reader.records()) == {(0.5, 1, 0)}
+            assert reader.quarantined() == []
+            tail = reader.in_progress_tail()
+            assert tail is not None and tail["reason"] == "checksum mismatch"
 
     def test_failure_records_are_first_class_but_never_resume(self, tmp_path):
         store = ResultStore(tmp_path / "s")

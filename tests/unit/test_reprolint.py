@@ -131,6 +131,27 @@ class TestD2WallClock:
         )
         assert findings == []
 
+    def test_service_is_in_scope(self, tmp_path):
+        # The job server decides what runs and what it produces: run ids,
+        # event sequences, status documents — all must replay bit-for-bit.
+        findings, _ = _lint_source(
+            tmp_path,
+            "service/jobs.py",
+            "import time\nsubmitted = time.time()\n",
+        )
+        assert _rules_of(findings) == ["D2"]
+
+    def test_service_http_transport_is_exempt(self, tmp_path):
+        # The one sanctioned wall-clock use in repro.service: keepalive
+        # deadlines on idle NDJSON streams, which never reach a run or a
+        # stored result.  The exemption is the file, not the package.
+        findings, _ = _lint_source(
+            tmp_path,
+            "service/http.py",
+            "import time\ndeadline = time.monotonic() + 15.0\n",
+        )
+        assert findings == []
+
     def test_clean_deterministic_time_use(self, tmp_path):
         findings, _ = _lint_source(
             tmp_path,

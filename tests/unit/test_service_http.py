@@ -1,0 +1,180 @@
+"""HTTP transport tests: the stdlib server over a real loopback socket.
+
+Each test binds port 0 (a free ephemeral port), drives the service with
+``urllib`` and asserts the wire-level contract: JSON status codes, NDJSON
+event streaming (replay + live follow), cancellation via DELETE, and the
+429 queue-overflow answer.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments import ExperimentSpec, NetworkSpec
+from repro.mobility.demand import DemandConfig
+from repro.service import JobManager, make_server
+from repro.sim.config import ScenarioConfig
+
+
+def _spec(name="svc-http", seed=3, settle_extra_s=0.0):
+    return ExperimentSpec(
+        network=NetworkSpec("grid", args=(3, 3), kwargs={"lanes": 1}),
+        config=ScenarioConfig(
+            name=name,
+            rng_seed=seed,
+            demand=DemandConfig(volume_fraction=0.6),
+            settle_extra_s=settle_extra_s,
+        ),
+    )
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = make_server(tmp_path / "service", workers=2, queue_limit=4)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    srv.manager.shutdown()
+    thread.join(timeout=10)
+
+
+def _base(server):
+    host, port = server.server_address[0], server.server_address[1]
+    return f"http://{host}:{port}"
+
+
+def _get(url):
+    with urllib.request.urlopen(url) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload):
+    data = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    request = urllib.request.Request(url, data=data, method="POST")
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+def _delete(url):
+    request = urllib.request.Request(url, method="DELETE")
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+def _error_of(call, *args):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        call(*args)
+    exc = excinfo.value
+    return exc.code, json.loads(exc.read())
+
+
+class TestHTTPEndpoints:
+    def test_submit_poll_results_round_trip(self, server):
+        base = _base(server)
+        status, submitted = _post(f"{base}/runs", _spec().to_dict())
+        assert status == 201
+        run_id = submitted["run_id"]
+        assert submitted["status_url"] == f"/runs/{run_id}"
+        assert server.manager.wait(run_id, timeout=60)
+
+        status, document = _get(f"{base}/runs/{run_id}")
+        assert status == 200 and document["status"] == "converged"
+        assert document["format"] == "repro-service-run/1"
+
+        status, listing = _get(f"{base}/runs")
+        assert status == 200
+        assert [run["run_id"] for run in listing["runs"]] == [run_id]
+
+        status, results = _get(f"{base}/runs/{run_id}/results")
+        assert status == 200 and results["kind"] == "single"
+        assert results["result"]["converged"] is True
+
+    def test_event_stream_is_ndjson_replay(self, server):
+        base = _base(server)
+        _, submitted = _post(f"{base}/runs", _spec().to_dict())
+        run_id = submitted["run_id"]
+        assert server.manager.wait(run_id, timeout=60)
+        # stream after completion: full replay, then clean end-of-stream
+        events = []
+        with urllib.request.urlopen(f"{base}/runs/{run_id}/events") as stream:
+            assert stream.headers["Content-Type"] == "application/x-ndjson"
+            for raw in stream:
+                line = raw.strip()
+                if line:
+                    events.append(json.loads(line))
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        assert events[0]["event"] == "run_start"
+        assert events[-1]["event"] == "run_end"
+        assert events == server.manager.get(run_id).events.snapshot()
+
+    def test_live_stream_follows_run_to_completion(self, server):
+        base = _base(server)
+        _, submitted = _post(f"{base}/runs", _spec().to_dict())
+        run_id = submitted["run_id"]
+        # connect immediately — the stream must follow the running job live
+        # and terminate on its own when the run finishes
+        kinds = []
+        with urllib.request.urlopen(f"{base}/runs/{run_id}/events") as stream:
+            for raw in stream:
+                line = raw.strip()
+                if line:
+                    kinds.append(json.loads(line)["event"])
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert "converged" in kinds
+
+    def test_delete_cancels_running_job(self, server):
+        base = _base(server)
+        _, submitted = _post(f"{base}/runs", _spec(settle_extra_s=3600.0).to_dict())
+        run_id = submitted["run_id"]
+        record = server.manager.get(run_id)
+        assert record.events.wait_beyond(5, timeout=30)  # actually stepping
+        status, document = _delete(f"{base}/runs/{run_id}")
+        assert status == 200
+        assert server.manager.wait(run_id, timeout=30)
+        assert server.manager.status(run_id)["status"] == "cancelled"
+        # results for a cancelled single run: 409 conflict
+        code, payload = _error_of(_get, f"{base}/runs/{run_id}/results")
+        assert code == 409 and "error" in payload
+
+    def test_error_statuses(self, server):
+        base = _base(server)
+        code, payload = _error_of(_get, f"{base}/runs/nope-0000")
+        assert code == 404 and "error" in payload
+        code, _ = _error_of(_get, f"{base}/runs/nope-0000/events")
+        assert code == 404
+        code, _ = _error_of(_get, f"{base}/nowhere")
+        assert code == 404
+        code, payload = _error_of(_post, f"{base}/runs", b"not json{")
+        assert code == 400 and "not JSON" in payload["error"]
+        code, payload = _error_of(_post, f"{base}/runs", {"format": "bogus/9"})
+        assert code == 400
+        code, payload = _error_of(_delete, f"{base}/runs")
+        assert code == 405 and "allowed" in payload["error"]
+
+    def test_queue_overflow_answers_429(self, tmp_path):
+        manager = JobManager(tmp_path / "svc", workers=1, queue_limit=1)
+        server = make_server(manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base = _base(server)
+            _, blocker = _post(
+                f"{base}/runs", _spec(settle_extra_s=3600.0).to_dict()
+            )
+            record = manager.get(blocker["run_id"])
+            assert record.events.wait_beyond(0, timeout=30)  # worker busy
+            _post(f"{base}/runs", _spec(seed=11).to_dict())  # fills the queue
+            code, payload = _error_of(
+                _post, f"{base}/runs", _spec(seed=12).to_dict()
+            )
+            assert code == 429 and "queue is full" in payload["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            manager.shutdown()
+            thread.join(timeout=10)
