@@ -284,11 +284,19 @@ class CountingProtocol:
         self._batched_unsafe = (
             self.exchange.rng is rng and not self._recognition_trivial
         )
+        #: granular flush barriers (see :meth:`process_batch`): irregular
+        #: events only flush the plain-crossing buffer when they are actually
+        #: order-entangled with it.  Requires trivial recognition — then the
+        #: flush itself is draw-free, so every RNG draw happens inline in
+        #: stream order no matter when the buffer is settled.  ``False``
+        #: restores the every-irregular-event barrier (the pre-optimization
+        #: behaviour, kept as the benchmark baseline).
+        self._irregular_batching = True
 
     # ------------------------------------------------------------------ main
     def handle_events(self, events: Iterable[TrafficEvent]) -> None:
         """Process a batch of engine events in order (scalar reference path)."""
-        self._handle_items_scalar(list(events), (), (), (), (), None)
+        self._handle_items_scalar(list(events), (), (), (), (), (), (), (), None)
 
     # ----------------------------------------------------- batched pipeline
     def process_batch(
@@ -317,11 +325,24 @@ class CountingProtocol:
           settled in one flush: grouped camera tallies, one vectorized
           recognizer pass (:func:`observe_many`), and a tight counting loop
           over the snapshot of per-direction states;
-        * everything else (label handling, collection transport, patrol
-          sync, border events, overtakes) is a *flush barrier*: the buffer
-          is applied first, then the event runs through the scalar handlers
-          verbatim, so all state an irregular event can read or write is
-          exactly as the scalar path would have left it.
+        * irregular events (label handling, collection transport, patrol
+          sync, border events, overtakes) run through the scalar handlers
+          verbatim.  With trivial recognition (the default wiring) the flush
+          is *draw-free*, so every RNG draw happens inline in stream order
+          no matter when the buffer is settled — an irregular event then
+          forces a flush only when it is genuinely *order-entangled* with
+          the buffer: it touches a buffered vehicle's counted bit, or reads
+          a buffered checkpoint's counter subtree (patrol sync / report
+          attachment).  Everything else — entries, exits and overtakes of
+          un-buffered vehicles, label deliveries, patrol syncs at quiet
+          intersections — runs inline over the buffer, because all the
+          state it can reach is either mutated only inline (direction and
+          activation state, pending labels, collection readiness, carried
+          labels) or commutes with the flush (counter and statistics
+          increments).  With recognition noise enabled the flush draws from
+          the recognizer stream, so every irregular event is a barrier (the
+          pre-optimization behaviour, also selectable via the
+          ``_irregular_batching`` switch for benchmarking).
 
         Plainness is sound because plain crossings mutate only counters,
         adjustments and their own vehicle's counted bit — never direction
@@ -343,20 +364,36 @@ class CountingProtocol:
             cross_node = events.cross_node
             cross_from = events.cross_from
             cross_to = events.cross_to
+            exit_vehicle = events.exit_vehicle
+            exit_gate = events.exit_gate
+            exit_from = events.exit_from
             step_time = events.time_s
         else:
             items = events
             cross_vehicle = cross_node = cross_from = cross_to = ()
+            exit_vehicle = exit_gate = exit_from = ()
             step_time = None
         if self._batched_unsafe:
             return self._handle_items_scalar(
-                items, cross_vehicle, cross_node, cross_from, cross_to, step_time
+                items,
+                cross_vehicle,
+                cross_node,
+                cross_from,
+                cross_to,
+                exit_vehicle,
+                exit_gate,
+                exit_from,
+                step_time,
             )
         checkpoints = self.checkpoints
         collection = self.collection
         coll_enabled = collection.enabled
         ready_cached = collection.ready_to_report_cached
         counting_state = DirectionState.COUNTING
+        # Granular barriers are only sound when the flush consumes no RNG
+        # (see the docstring); with recognition noise every irregular event
+        # stays a full barrier.
+        granular = self._irregular_batching and self._recognition_trivial
         # structure-of-arrays buffer of plain crossings awaiting a flush
         b_cp: List[Checkpoint] = []
         b_veh: List[Vehicle] = []
@@ -365,10 +402,33 @@ class CountingProtocol:
         b_active: List[bool] = []
         b_time: List[float] = []
         buffers = (b_cp, b_veh, b_from, b_counting, b_active, b_time)
+        # Entanglement index of the buffer: vehicles whose counted bit the
+        # flush will write, and checkpoints whose counters/adjustments it
+        # will bump (only *arrivals* do either — an injected crossing
+        # contributes nothing but a statistics increment).
+        buffered_vids: set = set()
+        buffered_nodes: set = set()
         last_time = None
         with self.exchange.batched_draws():
             for event in items:
                 if type(event) is int:
+                    if event < 0:
+                        j = -1 - event
+                        if granular:
+                            need_flush = exit_vehicle[j].vid in buffered_vids
+                        else:
+                            need_flush = True
+                        if need_flush and b_cp:
+                            self._flush_plain(*buffers)
+                            for buf in buffers:
+                                del buf[:]
+                            buffered_vids.clear()
+                            buffered_nodes.clear()
+                        self._exit_scalar(
+                            exit_vehicle[j], exit_gate[j], exit_from[j], step_time
+                        )
+                        last_time = step_time
+                        continue
                     vehicle = cross_vehicle[event]
                     node = cross_node[event]
                     from_node = cross_from[event]
@@ -407,14 +467,50 @@ class CountingProtocol:
                         )
                         b_active.append(cp.active)
                         b_time.append(time_s)
+                        if granular and from_node is not None:
+                            buffered_vids.add(vehicle.vid)
+                            buffered_nodes.add(node)
                         last_time = time_s
                         continue
-                # Every non-plain event is a flush barrier: settle the
-                # buffered crossings before it can observe or mutate state.
-                if b_cp:
+                    if granular:
+                        # Order-entangled only if this crossing reads a
+                        # buffered vehicle's counted bit, or reads the
+                        # counter subtree of a buffered checkpoint (patrol
+                        # sync and predecessor-bound report attachment are
+                        # the only subtree readers on the crossing path).
+                        need_flush = vehicle.vid in buffered_vids or (
+                            node in buffered_nodes
+                            and (
+                                vehicle.is_patrol
+                                or (
+                                    coll_enabled
+                                    and to_node == cp.predecessor
+                                    and ready_cached(node)
+                                )
+                            )
+                        )
+                    else:
+                        need_flush = True
+                elif granular:
+                    if cls is OvertakeEvent:
+                        need_flush = (
+                            event.passer.vid in buffered_vids
+                            or event.passee.vid in buffered_vids
+                        )
+                    elif cls is EntryEvent or cls is ExitEvent:
+                        need_flush = event.vehicle.vid in buffered_vids
+                    else:
+                        raise ProtocolError(f"unknown traffic event {event!r}")
+                else:
+                    need_flush = True
+                # Settle the buffered crossings before an entangled event
+                # can observe or mutate state they would have written.
+                if need_flush and b_cp:
                     self._flush_plain(*buffers)
                     for buf in buffers:
                         del buf[:]
+                    buffered_vids.clear()
+                    buffered_nodes.clear()
                 if is_crossing:
                     self._crossing_scalar(vehicle, node, from_node, to_node, time_s)
                     last_time = time_s
@@ -440,24 +536,33 @@ class CountingProtocol:
         cross_node: Sequence[object],
         cross_from: Sequence[Optional[object]],
         cross_to: Sequence[object],
+        exit_vehicle: Sequence[Vehicle],
+        exit_gate: Sequence[object],
+        exit_from: Sequence[Optional[object]],
         step_time: Optional[float],
     ) -> None:
         """Scalar per-event processing of a (possibly index-form) item stream.
 
         The ``_batched_unsafe`` fallback: identical to
         :meth:`handle_events`, but able to resolve the engine fast path's
-        crossing indices.
+        crossing and exit indices.
         """
         last_time = None
         for event in items:
             if type(event) is int:
-                self._crossing_scalar(
-                    cross_vehicle[event],
-                    cross_node[event],
-                    cross_from[event],
-                    cross_to[event],
-                    step_time,
-                )
+                if event >= 0:
+                    self._crossing_scalar(
+                        cross_vehicle[event],
+                        cross_node[event],
+                        cross_from[event],
+                        cross_to[event],
+                        step_time,
+                    )
+                else:
+                    j = -1 - event
+                    self._exit_scalar(
+                        exit_vehicle[j], exit_gate[j], exit_from[j], step_time
+                    )
                 last_time = step_time
                 continue
             if isinstance(event, CrossingEvent):
@@ -713,17 +818,28 @@ class CountingProtocol:
 
     def on_exit(self, event: ExitEvent) -> None:
         """Alg. 5: a vehicle left the open system through a border gate."""
-        cp = self.checkpoints[event.gate_node]
-        vehicle = event.vehicle
+        self._exit_scalar(
+            event.vehicle, event.gate_node, event.from_node, event.time_s
+        )
+
+    def _exit_scalar(
+        self,
+        vehicle: Vehicle,
+        gate_node: object,
+        from_node: Optional[object],
+        time_s: float,
+    ) -> None:
+        """Scalar exit handler over bare fields (no event object needed)."""
+        cp = self.checkpoints[gate_node]
         if vehicle.is_patrol:
             return
 
         # The departing vehicle still rolls through the gate intersection:
         # deliver its labels/reports and apply regular inbound counting first.
-        self._deliver_labels(cp, vehicle, event.time_s)
-        self.collection.deliver_from_vehicle(cp, vehicle, event.time_s)
-        if event.from_node is not None:
-            self._count_arrival(cp, vehicle, event.from_node, event.time_s)
+        self._deliver_labels(cp, vehicle, time_s)
+        self.collection.deliver_from_vehicle(cp, vehicle, time_s)
+        if from_node is not None:
+            self._count_arrival(cp, vehicle, from_node, time_s)
 
         if not self._is_target(vehicle):
             return

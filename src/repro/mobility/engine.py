@@ -51,7 +51,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple, cast
 
 import numpy as np
 
@@ -69,7 +69,8 @@ from .events import (
     TrafficEvent,
 )
 from .intersections import IntersectionPolicy, simple_policy
-from .vehicle import Vehicle
+from .kernels import StepKernel, load_step_kernel
+from .vehicle import MIN_GAP_M, VEHICLE_LENGTH_M, Vehicle
 
 __all__ = ["EngineStats", "TrafficEngine"]
 
@@ -124,6 +125,13 @@ class TrafficEngine:
         Use the batch NumPy hot path (default).  ``False`` selects the
         original per-vehicle reference loops; both modes produce identical
         event streams and state for the same RNG.
+    compiled:
+        Opt in to the compiled inner step kernel (:mod:`repro.mobility.
+        kernels`): the whole gather→advance→scatter recurrence runs as one
+        native call (numba when importable, otherwise a small C library
+        built with the system compiler).  A *request*, not a requirement —
+        when no backend loads the engine silently runs its NumPy path, and
+        every backend is bit-for-bit identical to it (golden-trace pinned).
     """
 
     def __init__(
@@ -137,6 +145,7 @@ class TrafficEngine:
         lane_change: Optional[LaneChangeModel] = None,
         allow_overtaking: bool = True,
         vectorized: bool = True,
+        compiled: bool = False,
     ) -> None:
         if dt_s <= 0:
             raise MobilityError(f"dt_s must be positive, got {dt_s!r}")
@@ -150,6 +159,26 @@ class TrafficEngine:
         self.lane_change = lane_change if lane_change is not None else LaneChangeModel()
         self.allow_overtaking = bool(allow_overtaking)
         self.vectorized = bool(vectorized)
+        self.compiled = bool(compiled)
+        #: which batch tail implementations the vectorized step uses:
+        #: "fast" (default) = in-place chained advance (compiled kernel or
+        #: single NumPy pass) + occupied-lane-filtered overtake detection +
+        #: span-sliced lane-change viability; "legacy" = the pre-batching
+        #: tails, kept verbatim as the benchmark baseline
+        #: (benchmarks/bench_irregular.py flips this).
+        self._tails = "fast"
+        self._kernel: Optional[StepKernel] = None
+        if self.compiled and self.vectorized:
+            cf = self.car_following
+            self._kernel = load_step_kernel(
+                dt_s=self.dt_s,
+                max_accel_mps2=cf.max_accel_mps2,
+                max_decel_mps2=cf.max_decel_mps2,
+                headway_s=cf.headway_s,
+                vehicle_length_m=VEHICLE_LENGTH_M,
+                min_gap_m=MIN_GAP_M,
+                arrival_eps_m=_ARRIVAL_EPS_M,
+            )
 
         self.time_s: float = 0.0
         self._vehicles: Dict[int, Vehicle] = {}
@@ -176,6 +205,10 @@ class TrafficEngine:
         # Sorted indices (into _state_by_index) of edges carrying vehicles,
         # so the hot step never walks the empty part of the network.
         self._occupied: List[int] = []
+        # Sorted subset of ``_occupied``: the multilane edges, maintained at
+        # the same occupancy transitions — the fast tails consult it instead
+        # of re-deriving watch eligibility per edge per step.
+        self._occupied_ml: List[int] = []
         # Sparse: edges with vehicles waiting at the stop line, and those
         # vehicles themselves (always their lane's head).
         self._waiting: Dict[Tuple[object, object], List[Vehicle]] = {}
@@ -190,6 +223,9 @@ class TrafficEngine:
             )
             self._ranked.append([] if seg.lanes > 1 else None)
             self._edge_order[seg.key] = i
+        #: per-edge multilane flag, indexed like ``_state_by_index`` (the
+        #: ``[3]`` tuple entry, hoisted for the occupancy-transition updates).
+        self._edge_ml: List[bool] = [st[3] for st in self._state_by_index]
 
         # Resident structure-of-arrays state (vectorized engine only).  One
         # slot per vehicle currently inside, allocated from a free list and
@@ -214,11 +250,94 @@ class TrafficEngine:
         self._desired = np.empty(0, dtype=np.float64)
         self._is_head = np.empty(0, dtype=bool)
         self._ml = np.empty(0, dtype=bool)
+        #: mirror of ``waiting_since_s is not None`` per slot, so the fast
+        #: advance can mask already-waiting vehicles without touching the
+        #: Vehicle objects (cleared on every placement, set when a vehicle
+        #: reaches a stop line).
+        self._wait_flag = np.empty(0, dtype=bool)
         n_edges = len(self._state_by_index)
         self._gather_cache: List[Optional[np.ndarray]] = [None] * n_edges
+        #: edges whose gather cache entry was invalidated since the last
+        #: fast gather — processed (rebuilt) up front each step so the
+        #: gather's per-edge walk is two plain list comprehensions.
+        self._gather_dirty: Set[int] = set()
+        #: per-edge gathered counts of the current step, aligned with
+        #: ``_occupied`` (kept for the lazy watch-span computation); None
+        #: when the pointer-table gather ran instead (the counts then live
+        #: in ``_gather_len`` and are materialized only on demand).
+        self._gather_counts: Optional[List[int]] = []
+        #: per-edge count of non-empty lanes and cumulative per-lane gather
+        #: offsets (length ``lanes + 1``, empty lanes included), refreshed
+        #: together with ``_gather_cache`` — the fast tails use them to skip
+        #: overtake detection on segments whose vehicles all share one lane
+        #: and to slice lane-change viability spans without walking lists.
+        self._occ_lanes: List[int] = [0] * n_edges
+        self._lane_bounds: List[List[int]] = [[0] for _ in range(n_edges)]
         #: per-edge overtake ranking slots (ascending (pos, vid)), kept
         #: index-parallel to ``_ranked``'s vehicle lists; None = dirty.
         self._ranked_cache: List[Optional[List[int]]] = [None] * n_edges
+        #: fast-tail variant of ``_ranked_cache``: per-edge (slot array,
+        #: vid array) pairs, so the overtake scan concatenates resident
+        #: arrays and resolves positional ties vectorized; None = dirty.
+        self._ranked_np: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * n_edges
+        # Capacity-sized per-step scratch buffers (reallocated, not
+        # preserved, on growth): the gather index vector, the advance
+        # arrival/movement masks, the lane-change candidate mask and the
+        # overtake-scan concat targets.  The compiled kernel binds the
+        # first four once per capacity change, making each per-step native
+        # call a cached-pointer invocation with only the count varying.
+        self._idx_buf = np.empty(0, dtype=np.intp)
+        self._newly_buf = np.empty(0, dtype=bool)
+        self._moved_buf = np.empty(0, dtype=bool)
+        self._cand_buf = np.empty(0, dtype=bool)
+        self._rank_buf = np.empty(0, dtype=np.intp)
+        self._vid_buf = np.empty(0, dtype=np.int64)
+        # Edge-count-sized (static) scratch: watched-edge ranking lengths
+        # in, per-edge inversion flags out, for the compiled ranking scan.
+        self._lens_buf = np.empty(n_edges, dtype=np.int64)
+        self._flags_buf = np.empty(n_edges, dtype=bool)
+        # Pointer tables for the C backend's full-edge sweeps: per-edge
+        # address + length of the cached gather slot array and of the
+        # cached ranking (slot, vid) arrays, plus the occupied-edge index
+        # mirror and the per-edge ranking-scan eligibility byte.  Updated
+        # only where the corresponding cache entry changes (a handful of
+        # edges per step), so the steady-state gather and overtake scan
+        # are each one bound native call with no per-edge Python walk.
+        # numba cannot dereference raw addresses, so that backend (and the
+        # plain NumPy path) keeps the per-edge comprehension paths.
+        self._gather_ptr = np.zeros(n_edges, dtype=np.int64)
+        self._gather_len = np.zeros(n_edges, dtype=np.int64)
+        self._occ_buf = np.zeros(n_edges, dtype=np.int64)
+        self._occ_stale = True
+        self._rank_ptr_s = np.zeros(n_edges, dtype=np.int64)
+        self._rank_ptr_v = np.zeros(n_edges, dtype=np.int64)
+        self._rank_len = np.zeros(n_edges, dtype=np.int64)
+        self._rank_elig = np.zeros(n_edges, dtype=np.uint8)
+        #: per-edge reusable buffers behind the pointer tables, all with
+        #: *stable addresses* between reallocations: grow-only gather slot
+        #: buffers, fixed-size lane-bounds arrays (cumulative per-lane
+        #: gather offsets, ``lanes + 1`` int64 each) and grow-only ranking
+        #: (slot, vid) buffers.  Rebuilds overwrite the prefix in place, so
+        #: the per-rebuild cost is a bulk copy — no allocation and no
+        #: ``.ctypes`` pointer extraction (both measurably dominate the
+        #: rebuild otherwise); a table slot is rewritten only when its
+        #: buffer actually grows.
+        self._gather_bufs: List[Optional[np.ndarray]] = [None] * n_edges
+        self._rank_sbufs: List[Optional[np.ndarray]] = [None] * n_edges
+        self._rank_vbufs: List[Optional[np.ndarray]] = [None] * n_edges
+        self._bounds_np: List[np.ndarray] = [
+            np.zeros(st[0].lanes + 1, dtype=np.int64) for st in self._state_by_index
+        ]
+        self._bounds_ptr = np.array(
+            [b.ctypes.data for b in self._bounds_np], dtype=np.int64
+        )
+        #: edges whose ranking-scan eligibility must be re-derived before
+        #: the next pointer-table scan (cache invalidated or occupied-lane
+        #: count changed).
+        self._rank_dirty: Set[int] = set()
+        self._use_tables = self._kernel is not None and self._kernel.has_tables
+        if self._kernel is not None:
+            self._bind_kernel()
         self._kinematics_stale = False
         #: event sink for the current step_batch() call (None => step()
         #: materializes scalar CrossingEvent objects).
@@ -320,8 +439,56 @@ class TrafficEngine:
         bpad = np.zeros(extra, dtype=bool)
         self._is_head = np.concatenate((self._is_head, bpad))
         self._ml = np.concatenate((self._ml, bpad))
+        self._wait_flag = np.concatenate((self._wait_flag, bpad))
         self._slot_vehicle.extend([None] * extra)
         self._capacity = capacity
+        self._idx_buf = np.empty(capacity, dtype=np.intp)
+        self._newly_buf = np.empty(capacity, dtype=bool)
+        self._moved_buf = np.empty(capacity, dtype=bool)
+        self._cand_buf = np.empty(capacity, dtype=bool)
+        self._rank_buf = np.empty(capacity, dtype=np.intp)
+        self._vid_buf = np.empty(capacity, dtype=np.int64)
+        if self._kernel is not None:
+            self._bind_kernel()
+
+    def _bind_kernel(self) -> None:
+        """(Re-)bind the compiled kernel to the current resident arrays.
+
+        Called whenever any bound array is reallocated (capacity growth);
+        afterwards each step's native call passes only the element count.
+        """
+        kernel = self._kernel
+        assert kernel is not None
+        lc = self.lane_change
+        kernel.bind(
+            self._idx_buf,
+            self._pos,
+            self._speed,
+            self._freeflow,
+            self._seglen,
+            self._is_head,
+            self._wait_flag,
+            self._newly_buf,
+            self._moved_buf,
+            self._desired,
+            self._ml,
+            self._cand_buf,
+            lc.blocked_distance_m,
+            lc.speed_gain_threshold_mps,
+            self._rank_buf,
+            self._vid_buf,
+            self._lens_buf,
+            self._flags_buf,
+            occ_buf=self._occ_buf,
+            gather_ptr=self._gather_ptr,
+            gather_len=self._gather_len,
+            rank_elig=self._rank_elig,
+            rank_ptr_s=self._rank_ptr_s,
+            rank_ptr_v=self._rank_ptr_v,
+            rank_len=self._rank_len,
+            bounds_ptr=self._bounds_ptr,
+            gap_half_m=lc.required_gap_m / 2.0,
+        )
 
     def _sync_kinematics(self) -> None:
         """Refresh the Vehicle mirrors of the resident kinematic arrays.
@@ -425,22 +592,30 @@ class TrafficEngine:
             order = self._edge_order[key]
             if len(flat) == 1:
                 insort(self._occupied, order)
+                self._occ_stale = True
+                if seg.lanes > 1:
+                    insort(self._occupied_ml, order)
             slot = vehicle.slot
             self._pos[slot] = vehicle.pos_m
             self._speed[slot] = vehicle.speed_mps
             self._freeflow[slot] = free
             self._seglen[slot] = seg.length_m
             self._ml[slot] = seg.lanes > 1
+            self._wait_flag[slot] = False
             lane_list = self._lanes[key][vehicle.lane]
             idx = bisect_left(
                 lane_list, (-vehicle.pos_m, vehicle.vid), key=self._lane_sort_key
             )
             lane_list.insert(idx, vehicle)
             self._gather_cache[order] = None
+            self._gather_dirty.add(order)
             ranked = self._ranked[order]
             if ranked is not None:
                 insort(ranked, vehicle, key=self._rank_sort_key)
                 self._ranked_cache[order] = None
+                self._ranked_np[order] = None
+                self._rank_elig[order] = 0
+                self._rank_dirty.add(order)
 
     def _remove_from_edge(self, vehicle: Vehicle) -> None:
         edge = vehicle.edge
@@ -450,18 +625,26 @@ class TrafficEngine:
             order = self._edge_order[edge]
             if not flat:
                 del self._occupied[bisect_left(self._occupied, order)]
+                self._occ_stale = True
+                if self._edge_ml[order]:
+                    del self._occupied_ml[bisect_left(self._occupied_ml, order)]
             # Materialize the departing vehicle's kinematics so exit events
             # and the departed pool carry its final state even though the
             # resident arrays are the in-run source of truth.
             slot = vehicle.slot
             vehicle.pos_m = float(self._pos[slot])
             vehicle.speed_mps = float(self._speed[slot])
+            self._wait_flag[slot] = False
             self._lanes[edge][vehicle.lane].remove(vehicle)
             self._gather_cache[order] = None
+            self._gather_dirty.add(order)
             ranked = self._ranked[order]
             if ranked is not None:
                 ranked.remove(vehicle)
                 self._ranked_cache[order] = None
+                self._ranked_np[order] = None
+                self._rank_elig[order] = 0
+                self._rank_dirty.add(order)
             if vehicle.waiting_since_s is not None:
                 queue = self._waiting[edge]
                 queue.remove(vehicle)
@@ -554,7 +737,10 @@ class TrafficEngine:
 
     def _step_core(self, events: List) -> None:
         if self.vectorized:
-            self._advance_segments_batch(events)
+            if self._tails == "legacy":
+                self._advance_segments_batch_legacy(events)
+            else:
+                self._advance_segments_batch(events)
             self._process_intersections_indexed(events)
         else:
             self._advance_segments(events)
@@ -582,19 +768,211 @@ class TrafficEngine:
         lanes = self._state_by_index[ei][2]
         is_head = self._is_head
         slots: List[int] = []
+        occupied_lanes = 0
+        bounds = [0]
         for lane_list in lanes:
             if lane_list:
+                occupied_lanes += 1
                 head = True
                 for v in lane_list:
                     is_head[v.slot] = head
                     head = False
                     slots.append(v.slot)
-        part = np.array(slots, dtype=np.intp)
+            bounds.append(len(slots))
+        k = len(slots)
+        buf = self._gather_bufs[ei]
+        if buf is None or buf.shape[0] < k:
+            buf = np.empty(max(4, k, 0 if buf is None else 2 * buf.shape[0]),
+                           dtype=np.intp)
+            self._gather_bufs[ei] = buf
+            self._gather_ptr[ei] = buf.ctypes.data
+        part = buf[:k]
+        part[:] = slots
         self._gather_cache[ei] = part
+        self._gather_len[ei] = k
+        self._bounds_np[ei][:] = bounds
+        self._occ_lanes[ei] = occupied_lanes
+        self._lane_bounds[ei] = bounds
+        if self._use_tables and self._edge_ml[ei]:
+            # The occupied-lane count gates ranking-scan eligibility;
+            # re-derive it before the next pointer-table scan.
+            self._rank_dirty.add(ei)
         return part
 
     def _advance_segments_batch(self, events: List[TrafficEvent]) -> None:
-        """Advance every occupied segment in one structure-of-arrays pass.
+        """Advance every occupied segment — fast tails, optional kernel.
+
+        Gather and lane changes as in the legacy path (cached per-edge slot
+        arrays; vectorized blocked-follower predicate; scalar-RNG-order
+        target-lane choice, with viability checked on sliced position spans
+        instead of lane-list walks).  The advance itself then takes one of
+        two equivalent forms:
+
+        * **compiled kernel** (``MobilityConfig.compiled`` and a backend
+          loaded): a single native call sweeps the gather order updating the
+          resident position/speed arrays *in place* — each follower
+          naturally reads its leader's already-written post-step state, so
+          the whole front-to-back recurrence runs in one pass with no
+          classify/rounds machinery, returning the arrival and movement
+          masks;
+        * **NumPy**: the legacy classify / exact-rounds / scalar-tail
+          resolution, with the arrival bookkeeping folded into one
+          vectorized pass over the ``_wait_flag`` mirror.
+
+        Both produce bit-identical state and events (golden-trace pinned).
+        Overtake detection afterwards skips multilane segments whose
+        vehicles currently share a single lane: car following preserves
+        strict in-lane (position, vid) order and never creates ties (a
+        follower's position ceiling stays strictly below its leader), and
+        lane changes never move vehicles longitudinally — so a one-lane
+        ranking cannot invert.
+        """
+        dt = self.dt_s
+        cf = self.car_following
+        n = self._gather_fast()
+        if n == 0:
+            return
+        idx = self._idx_buf[:n]
+        # Any occupied multilane edge means lane changes / overtakes are in
+        # play this step; single-vehicle multilane edges cost nothing extra
+        # (their lone vehicle is a lane head, so it can never be a
+        # candidate, and the overtake scan skips one-lane occupancies).
+        watching = self.allow_overtaking and bool(self._occupied_ml)
+
+        pos_a = self._pos
+        speed_a = self._speed
+        wait_flag = self._wait_flag
+        kernel = self._kernel
+        if kernel is not None:
+            # The kernel path never gathers kinematic columns: the
+            # candidate mask comes from the compiled predicate over the
+            # resident arrays, and lane-change viability spans are sliced
+            # lazily per candidate-bearing segment.
+            if watching and kernel.candidates_bound(n):
+                if self._use_tables:
+                    if self._lane_change_batch_table(idx, self._cand_buf[:n]):
+                        # Accepted moves re-ordered some lanes: rebuild
+                        # their caches and redo the whole gather with one
+                        # bound table call (values outside the patched
+                        # edges are rewritten unchanged, so the result is
+                        # identical to span patching).
+                        cache = self._gather_cache
+                        dirty = self._gather_dirty
+                        for di in dirty:
+                            if cache[di] is None:
+                                self._rebuild_gather(di)
+                        dirty.clear()
+                        kernel.gather_bound(len(self._occupied))
+                else:
+                    watch_ei, w_lo, w_hi = self._watch_spans()
+                    patched = self._lane_change_batch(
+                        idx, self._cand_buf[:n], None, watch_ei, w_lo, w_hi
+                    )
+                    for ei, s, e in patched:
+                        idx[s:e] = self._rebuild_gather(ei)
+            # One native call: in-place resident-array sweep in gather
+            # order (the exact reference recurrence), arrival/movement
+            # masks out.  The return value is the newly-arrived count, so
+            # the no-arrival common case skips the mask reduction too.
+            n_newly = kernel.advance_bound(n)
+            newly = self._newly_buf[:n] if n_newly else None
+        else:
+            pos = pos_a[idx]
+            speed = speed_a[idx]
+            if watching:
+                lc = self.lane_change
+                desired = self._desired[idx]
+                cand = np.zeros(n, dtype=bool)
+                cand[1:] = ((pos[:-1] - pos[1:]) <= lc.blocked_distance_m) & (
+                    (desired[1:] - speed[:-1]) > lc.speed_gain_threshold_mps
+                )
+                cand &= self._ml[idx] & ~self._is_head[idx]
+                if cand.any():
+                    watch_ei, w_lo, w_hi = self._watch_spans()
+                    patched = self._lane_change_batch(
+                        idx, cand, pos, watch_ei, w_lo, w_hi
+                    )
+                    for ei, s, e in patched:
+                        part = self._rebuild_gather(ei)
+                        idx[s:e] = part
+                        pos[s:e] = pos_a[part]
+                        speed[s:e] = speed_a[part]
+            free = self._freeflow[idx]
+            length = self._seglen[idx]
+            heads = self._is_head[idx]
+
+            vfree = cf.batch_free_speed(speed, free, dt)
+            cand_speed = np.maximum(0.0, vfree)
+            cand_raw = pos + cand_speed * dt
+            cand_pos = np.minimum(cand_raw, length)
+
+            unconstrained_f, stopped_f = cf.batch_classify(
+                pos[1:], vfree[1:], cand_raw[1:], pos[:-1], cand_pos[:-1], dt
+            )
+            stopped = np.zeros(n, dtype=bool)
+            stopped[1:] = stopped_f
+            stopped[heads] = False
+            resolved = np.empty(n, dtype=bool)
+            resolved[0] = False
+            resolved[1:] = unconstrained_f | stopped_f
+            resolved[heads] = True
+
+            new_pos = np.where(stopped, pos, cand_pos)
+            new_speed = np.where(stopped, 0.0, cand_speed)
+
+            residual = np.nonzero(~resolved)[0]
+            while residual.size > 24:
+                ready = resolved[residual - 1]
+                if not ready.any():
+                    break
+                ridx = residual[ready]
+                lidx = ridx - 1
+                new_pos[ridx], new_speed[ridx] = cf.batch_follow(
+                    pos[ridx], vfree[ridx], new_pos[lidx], new_speed[lidx],
+                    length[ridx], dt,
+                )
+                resolved[ridx] = True
+                residual = residual[~ready]
+
+            if residual.size:
+                follow = cf.follow_scalar
+                for i in residual.tolist():
+                    new_pos[i], new_speed[i] = follow(
+                        pos[i], vfree[i], new_pos[i - 1], new_speed[i - 1],
+                        length[i], dt,
+                    )
+
+            # All arrivals in one vectorized pass: ``_wait_flag`` mirrors
+            # ``waiting_since_s is not None``, so no per-vehicle probing.
+            newly = (new_pos >= length - _ARRIVAL_EPS_M) & ~wait_flag[idx]
+            if not newly.any():
+                newly = None
+            pos_a[idx] = new_pos
+            speed_a[idx] = new_speed
+
+        if newly is not None:
+            time_s = self.time_s
+            waiting = self._waiting
+            slot_vehicle = self._slot_vehicle
+            for slot in idx[newly].tolist():
+                v = slot_vehicle[slot]
+                assert v is not None
+                v.waiting_since_s = time_s
+                wait_flag[slot] = True
+                waiting.setdefault(v.edge, []).append(v)
+
+        self._kinematics_stale = True
+
+        if watching:
+            self._detect_overtakes_fast(events)
+
+    def _advance_segments_batch_legacy(self, events: List[TrafficEvent]) -> None:
+        """Pre-kernel batch advance, kept verbatim as the benchmark baseline.
+
+        This is the classify/rounds/scalar-tail formulation the fast path
+        (:meth:`_advance_segments_batch`) replaced; ``_tails = "legacy"``
+        selects it so ``benchmarks/bench_irregular.py`` can measure the
+        fast tails against their immediate predecessor in the same build.
 
         Gather: concatenate the per-edge cached slot-index arrays (lane
         lists are maintained in front-to-back order, so a follower's in-lane
@@ -631,7 +1009,7 @@ class TrafficEngine:
         speed = speed_a[idx]
 
         if watch_ei:
-            patched = self._lane_change_batch(idx, pos, speed, watch_ei, w_lo, w_hi)
+            patched = self._lane_change_batch_legacy(idx, pos, speed, watch_ei, w_lo, w_hi)
             if patched:
                 # Accepted moves re-ordered some lanes: patch only those
                 # segments' gather spans in place (lane changes never move
@@ -778,7 +1156,252 @@ class TrafficEngine:
             return None
         return out
 
+    def _gather_fast(self) -> int:
+        """Buffer-backed :meth:`_gather`: flatten into ``_idx_buf``.
+
+        Same edge walk, restructured for constant-factor speed: edges whose
+        cache was invalidated since the last gather (``_gather_dirty``) are
+        rebuilt up front, so the walk itself is two plain list
+        comprehensions plus one ``np.concatenate`` into the persistent
+        capacity-sized index buffer the compiled kernel is pointer-bound
+        to.  No watch-span bookkeeping here — most steps never need it, so
+        spans are derived lazily (:meth:`_watch_spans`) from the per-edge
+        counts this method records.  Returns the gathered element count
+        (0 = nothing occupied).
+        """
+        cache = self._gather_cache
+        dirty = self._gather_dirty
+        if dirty:
+            rebuild = self._rebuild_gather
+            for ei in dirty:
+                if cache[ei] is None:
+                    rebuild(ei)
+            dirty.clear()
+        if self._use_tables:
+            # One bound native call walks the pointer table; the Python
+            # side only refreshes the occupied-edge mirror when membership
+            # actually changed.
+            occupied = self._occupied
+            m = len(occupied)
+            if self._occ_stale:
+                self._occ_buf[:m] = occupied
+                self._occ_stale = False
+            self._gather_counts = None
+            kernel = self._kernel
+            assert kernel is not None
+            return kernel.gather_bound(m)
+        parts = cast("List[np.ndarray]", [cache[ei] for ei in self._occupied])
+        counts = [part.shape[0] for part in parts]
+        self._gather_counts = counts
+        total = sum(counts)
+        if total:
+            np.concatenate(parts, out=self._idx_buf[:total])
+        return total
+
+    def _watch_spans(self) -> Tuple[List[int], List[int], List[int]]:
+        """Gather spans of the watched (multilane, >1 vehicle) segments.
+
+        Derived on demand from the per-edge counts of the current gather —
+        only the steps with actual lane-change candidates (and the NumPy
+        tail's candidate-bearing steps) pay for the span walk.
+        """
+        watch_ei: List[int] = []
+        w_lo: List[int] = []
+        w_hi: List[int] = []
+        ml = self._edge_ml
+        counts = self._gather_counts
+        if counts is None:
+            # Pointer-table gather: materialize the per-edge counts from
+            # the length table (only candidate-bearing steps get here).
+            counts = self._gather_len[self._occ_buf[: len(self._occupied)]].tolist()
+        base = 0
+        for ei, count in zip(self._occupied, counts):
+            nxt = base + count
+            if count > 1 and ml[ei]:
+                watch_ei.append(ei)
+                w_lo.append(base)
+                w_hi.append(nxt)
+            base = nxt
+        return watch_ei, w_lo, w_hi
+
     def _lane_change_batch(
+        self,
+        idx: np.ndarray,
+        cand: np.ndarray,
+        pos: Optional[np.ndarray],
+        watch_ei: List[int],
+        w_lo: List[int],
+        w_hi: List[int],
+    ) -> List[Tuple[int, int, int]]:
+        """Fast lane-change pass: span-sliced viability checks.
+
+        Same structure and RNG order as :meth:`_lane_change_batch_legacy`
+        (candidates visited in gather order, per-segment pending moves
+        applied at the segment boundary), but driven by a precomputed
+        gather-aligned candidate mask — the caller's NumPy blocked-follower
+        predicate or the compiled kernel's, bit-identical either way — and
+        each candidate's target-lane viability is evaluated on a slice of
+        the segment's position span (the per-edge ``_lane_bounds`` offsets
+        delimit each lane's sub-span) instead of walking the lane lists.
+        ``pos`` is the gathered pre-advance position column when the caller
+        has one; on the compiled-kernel path (which gathers no columns) it
+        is None and each candidate-bearing segment's span is gathered
+        lazily from the resident array — advance has not run yet, so the
+        values are identical.  The viability comparison (``|other - own| <
+        half``) is the same float operation sequence as the scalar model,
+        so decisions are bit-for-bit the same.
+        """
+        patched: List[Tuple[int, int, int]] = []
+        slot_vehicle = self._slot_vehicle
+        state_by_index = self._state_by_index
+        lane_bounds = self._lane_bounds
+        pos_a = self._pos
+        rng = self.rng
+        wi = 0
+        ei = watch_ei[0]
+        span_start = w_lo[0]
+        span_end = w_hi[0]
+        st = state_by_index[ei]
+        seg = st[0]
+        lanes = st[2]
+        bounds = lane_bounds[ei]
+        span_pos: Optional[np.ndarray] = None
+        pending: List[Tuple[Vehicle, int]] = []
+        for i in cand.nonzero()[0].tolist():
+            if i >= span_end:
+                if pending:
+                    self._apply_lane_moves(ei, lanes, pending)
+                    patched.append((ei, span_start, span_end))
+                    pending = []
+                while w_hi[wi] <= i:
+                    wi += 1
+                ei = watch_ei[wi]
+                span_start = w_lo[wi]
+                span_end = w_hi[wi]
+                st = state_by_index[ei]
+                seg = st[0]
+                lanes = st[2]
+                bounds = lane_bounds[ei]
+                span_pos = None
+            if span_pos is None:
+                span_pos = (
+                    pos[span_start:span_end]
+                    if pos is not None
+                    else pos_a[idx[span_start:span_end]]
+                )
+            v = slot_vehicle[int(idx[i])]
+            target = self._target_lane_fast(v, seg.lanes, bounds, span_pos, rng)
+            if target is not None:
+                pending.append((v, target))
+        if pending:
+            self._apply_lane_moves(ei, lanes, pending)
+            patched.append((ei, span_start, span_end))
+        return patched
+
+    def _lane_change_batch_table(self, idx: np.ndarray, cand: np.ndarray) -> bool:
+        """Pointer-table lane-change pass (C backend only).
+
+        Same candidate order, RNG consumption and per-segment move
+        batching as :meth:`_lane_change_batch`, with two structural
+        differences: segment boundaries come from each candidate vehicle's
+        own edge (the gather is edge-block-ordered, so grouping is
+        identical and no watch spans are needed), and target-lane
+        viability is one bound native call per candidate reading the
+        gather and lane-bounds tables (:func:`lane_options_py` is the
+        reference; the gap comparison is the scalar model's exact float
+        sequence).  Returns whether any segment's lane order changed — the
+        caller then redoes the gather through the pointer table instead of
+        span patching.
+        """
+        slot_vehicle = self._slot_vehicle
+        state_by_index = self._state_by_index
+        edge_order = self._edge_order
+        pos_a = self._pos
+        lc = self.lane_change
+        politeness = lc.politeness
+        kernel = self._kernel
+        assert kernel is not None
+        lane_opts = kernel.lane_opts_bound
+        rng = self.rng
+        cur = -1
+        seg_lanes = 0
+        lanes: List[List[Vehicle]] = []
+        pending: List[Tuple[Vehicle, int]] = []
+        patched = False
+        for i in cand.nonzero()[0].tolist():
+            v = slot_vehicle[int(idx[i])]
+            assert v is not None
+            ei = edge_order[v.edge]
+            if ei != cur:
+                if pending:
+                    self._apply_lane_moves(cur, lanes, pending)
+                    pending = []
+                    patched = True
+                cur = ei
+                st = state_by_index[ei]
+                seg_lanes = st[0].lanes
+                lanes = st[2]
+            # Inline scalar target-lane choice: politeness veto first (one
+            # uniform per candidate, like the reference scan), then the
+            # both-neighbour viability bits, then the tie draw only when
+            # both neighbours are viable — identical RNG stream.
+            if rng.random() < politeness:
+                continue
+            opts = lane_opts(ei, v.lane, seg_lanes, float(pos_a[v.slot]))
+            if opts == 0:
+                continue
+            if opts == 3:
+                target = v.lane + 1 if int(rng.integers(2)) == 0 else v.lane - 1
+            elif opts == 1:
+                target = v.lane + 1
+            else:
+                target = v.lane - 1
+            pending.append((v, target))
+        if pending:
+            self._apply_lane_moves(cur, lanes, pending)
+            patched = True
+        return patched
+
+    def _target_lane_fast(
+        self,
+        vehicle: Vehicle,
+        seg_lanes: int,
+        bounds: List[int],
+        span_pos: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        """Span-sliced port of :meth:`LaneChangeModel.target_lane`.
+
+        ``span_pos`` holds the segment's gathered (pre-advance) positions,
+        lane-major; ``bounds[l] : bounds[l + 1]`` is lane ``l``'s sub-span.
+        Viability of an adjacent lane is one vectorized gap test over that
+        slice.  RNG draws (politeness first, then the two-candidate
+        tie-break) and candidate order are identical to the model's scalar
+        scan, which the engine-mode agreement tests pin.
+        """
+        lc = self.lane_change
+        if seg_lanes < 2:
+            return None
+        if rng.random() < lc.politeness:
+            return None
+        own = self._pos[vehicle.slot]
+        half = lc.required_gap_m / 2.0
+        candidates = []
+        for delta in (1, -1):
+            lane = vehicle.lane + delta
+            if 0 <= lane < seg_lanes:
+                others = span_pos[bounds[lane] : bounds[lane + 1]]
+                if not (np.abs(others - own) < half).any():
+                    candidates.append(lane)
+        if not candidates:
+            return None
+        return int(
+            candidates[0]
+            if len(candidates) == 1
+            else candidates[int(rng.integers(len(candidates)))]
+        )
+
+    def _lane_change_batch_legacy(
         self,
         idx: np.ndarray,
         pos: np.ndarray,
@@ -903,6 +1526,145 @@ class TrafficEngine:
             )
             target_list.insert(i, v)
         self._gather_cache[ei] = None
+        self._gather_dirty.add(ei)
+
+    def _detect_overtakes_fast(self, events: List[TrafficEvent]) -> None:
+        """Post-step overtake scan over resident per-edge ranking arrays.
+
+        Same contract as :meth:`_detect_overtakes_batch` — confirm each
+        watched segment's cached ascending (position, vid) ranking, emit
+        flipped pairs where it inverted — with three structural savings:
+        segments whose vehicles currently share a single lane are skipped
+        (``_occ_lanes``; a one-lane ranking cannot invert, see
+        :meth:`_advance_segments_batch`), the per-edge rankings are cached
+        as (slot, vid) array pairs concatenated into persistent buffers,
+        and positional ties resolve their vid comparison vectorized against
+        the cached vid arrays instead of per-pair Python lookups — ties are
+        routine (queues clamp at the stop line), inversions are not, so the
+        common step is a pure array scan with no Python per-tie work.
+        The watched set is ``_occupied_ml`` directly (its ordering is the
+        gather's edge ordering, so cross-edge event order is unchanged);
+        comprehension-driven, with invalidated cache pairs repaired in a
+        short second pass (typically one or two edges per step).
+        """
+        occ = self._occ_lanes
+        cache = self._ranked_np
+        if self._use_tables:
+            # Pointer-table scan: repair the dirty eligibility entries
+            # (ranking cache invalidated or occupied-lane count changed —
+            # a handful of edges per step), then one bound native call
+            # sweeps every edge.  ``elig`` encodes exactly the watched set
+            # of the packed path: multilane, more than one occupied lane,
+            # ranking cache fresh with its table slot current.
+            dirty = self._rank_dirty
+            if dirty:
+                ranked_l = self._ranked
+                elig = self._rank_elig
+                ptr_s = self._rank_ptr_s
+                ptr_v = self._rank_ptr_v
+                rlen = self._rank_len
+                sbufs = self._rank_sbufs
+                vbufs = self._rank_vbufs
+                for di in dirty:
+                    if occ[di] > 1:
+                        pair = cache[di]
+                        if pair is None:
+                            chain = ranked_l[di]
+                            assert chain is not None
+                            k = len(chain)
+                            sb = sbufs[di]
+                            vb = vbufs[di]
+                            if sb is None or vb is None or sb.shape[0] < k:
+                                cap = max(4, k, 0 if sb is None else 2 * sb.shape[0])
+                                sb = np.empty(cap, dtype=np.intp)
+                                vb = np.empty(cap, dtype=np.int64)
+                                sbufs[di] = sb
+                                vbufs[di] = vb
+                                ptr_s[di] = sb.ctypes.data
+                                ptr_v[di] = vb.ctypes.data
+                            sb[:k] = [v.slot for v in chain]
+                            vb[:k] = [v.vid for v in chain]
+                            rlen[di] = k
+                            cache[di] = (sb[:k], vb[:k])
+                        elig[di] = 1
+                    else:
+                        elig[di] = 0
+                dirty.clear()
+            kernel_t = self._kernel
+            assert kernel_t is not None
+            if not kernel_t.rank_all_bound():
+                return
+            ranked_l = self._ranked
+            for ei in np.nonzero(self._flags_buf)[0].tolist():
+                chain = ranked_l[ei]
+                assert chain is not None
+                ranked_l[ei] = self._emit_overtakes(ei, chain, events)
+            return
+        eis = [ei for ei in self._occupied_ml if occ[ei] > 1]
+        if not eis:
+            return
+        raw = [cache[ei] for ei in eis]
+        if None in raw:
+            ranked = self._ranked
+            for j, entry in enumerate(raw):
+                if entry is None:
+                    chain = ranked[eis[j]]
+                    assert chain is not None
+                    entry = (
+                        np.array([v.slot for v in chain], dtype=np.intp),
+                        np.array([v.vid for v in chain], dtype=np.int64),
+                    )
+                    cache[eis[j]] = entry
+                    raw[j] = entry
+        pairs = cast("List[Tuple[np.ndarray, np.ndarray]]", raw)
+        parts_s = [pair[0] for pair in pairs]
+        parts_v = [pair[1] for pair in pairs]
+        lens = [part.shape[0] for part in parts_s]
+        ranked = self._ranked
+        kernel = self._kernel
+        if kernel is not None:
+            # Compiled scan: positions read straight through the slot
+            # indices, one flag per edge — no gather, no boundary masking.
+            m = len(eis)
+            total = sum(lens)
+            np.concatenate(parts_s, out=self._rank_buf[:total])
+            np.concatenate(parts_v, out=self._vid_buf[:total])
+            self._lens_buf[:m] = lens
+            if not kernel.rank_bound(m):
+                return
+            for j in np.nonzero(self._flags_buf[:m])[0].tolist():
+                ei = eis[j]
+                chain = ranked[ei]
+                assert chain is not None
+                ranked[ei] = self._emit_overtakes(ei, chain, events)
+            return
+        if len(eis) == 1:
+            slots_all = parts_s[0]
+            vids_all = parts_v[0]
+        else:
+            total = sum(lens)
+            slots_all = self._rank_buf[:total]
+            vids_all = self._vid_buf[:total]
+            np.concatenate(parts_s, out=slots_all)
+            np.concatenate(parts_v, out=vids_all)
+        arr = self._pos[slots_all]
+        prev = arr[:-1]
+        nxt = arr[1:]
+        bad = nxt < prev
+        # A positional tie is an inversion when the vid order disagrees.
+        ties = nxt == prev
+        np.logical_and(ties, vids_all[:-1] > vids_all[1:], out=ties)
+        np.logical_or(bad, ties, out=bad)
+        bounds = np.cumsum(lens)
+        bad[bounds[:-1] - 1] = False
+        hits = np.nonzero(bad)[0]
+        if hits.size == 0:
+            return
+        for j in np.unique(np.searchsorted(bounds, hits, side="right")).tolist():
+            ei = eis[j]
+            chain = ranked[ei]
+            assert chain is not None
+            ranked[ei] = self._emit_overtakes(ei, chain, events)
 
     def _detect_overtakes_batch(
         self,
@@ -985,6 +1747,9 @@ class TrafficEngine:
         seg = self._state_by_index[ei][0]
         chain_after = sorted(chain_before, key=self._rank_sort_key)
         self._ranked_cache[ei] = None
+        self._ranked_np[ei] = None
+        self._rank_elig[ei] = 0
+        self._rank_dirty.add(ei)
         rank_before = {v.vid: r for r, v in enumerate(chain_before)}
         rank_after = {v.vid: r for r, v in enumerate(chain_after)}
         order = [self._vehicles[vid] for vid in self._occupancy[seg.key]]
@@ -1178,9 +1943,16 @@ class TrafficEngine:
             self._departed[vehicle.vid] = vehicle
             self._inside_nonpatrol -= 1
             self.stats.exits += 1
-            events.append(
-                ExitEvent(time_s=self.time_s, vehicle=vehicle, gate_node=node, from_node=tail)
-            )
+            sink = self._sink
+            if sink is None:
+                events.append(
+                    ExitEvent(
+                        time_s=self.time_s, vehicle=vehicle, gate_node=node, from_node=tail
+                    )
+                )
+            else:
+                # Fast path: typed exit arrays, encoded as a negative index.
+                events.append(sink.add_exit(vehicle, node, tail))
             return
 
         assert vehicle.router is not None

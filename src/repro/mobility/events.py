@@ -97,9 +97,14 @@ class StepBatch:
     :class:`CrossingEvent` object per intersection crossing, the engine
     appends the crossing's fields to four parallel arrays
     (``cross_vehicle`` / ``cross_node`` / ``cross_from`` / ``cross_to``) and
-    records the *index* in the ordered ``items`` stream.  Irregular events
-    (entries, exits, overtakes) stay scalar event objects in ``items`` so the
-    protocol's flush-barrier ordering is exactly the event-list order.
+    records the *index* in the ordered ``items`` stream.  Border exits get
+    the same treatment through three exit arrays (``exit_vehicle`` /
+    ``exit_gate`` / ``exit_from``); exit ``j`` appears in ``items`` as the
+    negative integer ``-1 - j`` so one ``type(item) is int`` test still
+    separates the typed structure-of-arrays events from the remaining
+    scalar objects.  Only the genuinely irregular leftovers (entries,
+    overtakes) stay event objects in ``items``; the protocol replays the
+    whole stream in exactly the event-list order either way.
 
     All events of one step share the same timestamp, so ``time_s`` is stored
     once on the batch.  :meth:`iter_events` materializes the equivalent
@@ -113,17 +118,24 @@ class StepBatch:
         "cross_node",
         "cross_from",
         "cross_to",
+        "exit_vehicle",
+        "exit_gate",
+        "exit_from",
     )
 
     def __init__(self, time_s: float) -> None:
         self.time_s = time_s
-        #: Ordered stream: ``int`` entries index the crossing arrays, every
-        #: other entry is a :data:`TrafficEvent` object.
+        #: Ordered stream: ``int`` entries >= 0 index the crossing arrays,
+        #: ``int`` entries < 0 encode exit ``-1 - item``, every other entry
+        #: is a :data:`TrafficEvent` object.
         self.items: List[object] = []
         self.cross_vehicle: List[Vehicle] = []
         self.cross_node: List[object] = []
         self.cross_from: List[Optional[object]] = []
         self.cross_to: List[object] = []
+        self.exit_vehicle: List[Vehicle] = []
+        self.exit_gate: List[object] = []
+        self.exit_from: List[Optional[object]] = []
 
     def add_crossing(
         self,
@@ -140,6 +152,19 @@ class StepBatch:
         self.cross_to.append(to_node)
         return i
 
+    def add_exit(
+        self,
+        vehicle: Vehicle,
+        gate_node: object,
+        from_node: Optional[object],
+    ) -> int:
+        """Append one border exit; returns its encoded ``items`` entry."""
+        j = len(self.exit_vehicle)
+        self.exit_vehicle.append(vehicle)
+        self.exit_gate.append(gate_node)
+        self.exit_from.append(from_node)
+        return -1 - j
+
     def crossing_event(self, i: int) -> CrossingEvent:
         """Materialize crossing ``i`` as a :class:`CrossingEvent` object."""
         return CrossingEvent(
@@ -150,10 +175,27 @@ class StepBatch:
             to_node=self.cross_to[i],
         )
 
+    def exit_event(self, j: int) -> ExitEvent:
+        """Materialize exit ``j`` (the *array* index, not the encoded item)
+        as an :class:`ExitEvent` object."""
+        return ExitEvent(
+            time_s=self.time_s,
+            vehicle=self.exit_vehicle[j],
+            gate_node=self.exit_gate[j],
+            from_node=self.exit_from[j],
+        )
+
     def iter_events(self) -> Iterator[TrafficEvent]:
         """The equivalent scalar event stream, in order."""
         for item in self.items:
-            yield self.crossing_event(item) if type(item) is int else item
+            if type(item) is int:
+                yield (
+                    self.crossing_event(item)
+                    if item >= 0
+                    else self.exit_event(-1 - item)
+                )
+            else:
+                yield item
 
     def __len__(self) -> int:
         return len(self.items)

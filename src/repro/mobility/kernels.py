@@ -1,0 +1,1161 @@
+"""Opt-in compiled backend for the engine's chained car-following step.
+
+The vectorized engine resolves most of a step with NumPy, but the
+front-to-back recurrence inside each lane (a follower's update reads its
+leader's *post-step* state) is inherently sequential, and the classify /
+round machinery that works around it still leaves a scalar tail at queue
+boundaries.  This module compiles the *whole* gather→advance→scatter inner
+step into one native call: a single sequential sweep over the gathered
+columns, lane heads delimiting the chains — exactly the reference engine's
+per-vehicle operation sequence, so the result is bit-for-bit identical to
+both the scalar and the NumPy paths (the golden-trace suites pin this).
+A second entry point evaluates the lane-change candidate predicate (the
+``LaneChangeModel.wants_to_change`` scan) over the same gathered order.
+
+Backends, tried in order (the fallback ladder's top rungs; the engine falls
+back to the NumPy path when neither loads, and ``vectorized=False`` remains
+the scalar reference below that):
+
+* **numba** — ``@njit`` over the pure-Python reference loops (strict IEEE:
+  ``fastmath`` stays off).  Preferred when importable; nothing here imports
+  numba at module load, so environments without it pay nothing.
+* **cc** — a small C translation unit compiled at first use with the
+  system C compiler into a process-lifetime temporary directory and loaded
+  through :mod:`ctypes`.  Compiled with ``-ffp-contract=off`` and no
+  ``-ffast-math``/``-march`` so every operation is a plain IEEE-754 double
+  op in source order (no FMA contraction), and with explicit ternary
+  min/max that return the *first* operand on ties — mirroring Python's
+  ``min``/``max`` (relevant for ``max(0.0, -0.0)``).
+
+Bitwise-equivalence contract
+----------------------------
+Every backend must reproduce :meth:`SimplifiedIDM.advance` /
+:meth:`SimplifiedIDM.follow_scalar` operation for operation:
+
+* head update: ``vfree = clip(free, v - decel*dt, v + accel*dt)``,
+  ``new_pos = min(pos + max(0, vfree)*dt, length)``;
+* follower update: the exact ``follow_scalar`` sequence against the
+  leader's just-written post-step state (the in-place sweep makes the
+  gather order supply it naturally);
+* scalar products (``accel*dt``) and the headway denominator are computed
+  *once* in Python and passed in, matching NumPy's scalar broadcasting.
+
+:func:`advance_chain_py` / :func:`lane_change_candidates_py` are the
+executable specifications: plain Python floats, no NumPy ufuncs, usable as
+property-test oracles against both compiled backends.
+
+Calling conventions
+-------------------
+A :class:`StepKernel` can be driven two ways.  The explicit
+:meth:`StepKernel.advance` / :meth:`StepKernel.candidates` calls take the
+arrays every time (used by the unit tests and oracles).  The engine instead
+*binds* its resident arrays and preallocated output buffers once per
+capacity change (:meth:`StepKernel.bind`) and then issues
+:meth:`StepKernel.advance_bound` / :meth:`StepKernel.candidates_bound` with
+just the element count — for the C backend that caches every pointer and
+scalar as a ready ``ctypes`` argument, cutting per-step FFI overhead to a
+single foreign call.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "advance_chain_py",
+    "lane_change_candidates_py",
+    "rank_scan_py",
+    "gather_all_py",
+    "rank_scan_all_py",
+    "lane_options_py",
+    "available_backends",
+    "load_step_kernel",
+    "StepKernel",
+]
+
+
+def advance_chain_py(
+    idx: Any,
+    pos: Any,
+    speed: Any,
+    freeflow: Any,
+    seglen: Any,
+    heads: Any,
+    waitflag: Any,
+    newly: Any,
+    moved: Any,
+    dt: float,
+    accel_dt: float,
+    decel_dt: float,
+    denom: float,
+    veh_len: float,
+    min_gap: float,
+    arrival_eps: float,
+) -> int:
+    """Reference chained advance over gathered columns (pure Python).
+
+    ``idx`` maps gather order to resident-array slots; ``heads`` (slot
+    indexed, like every input column) marks the front vehicle of each lane
+    chain, so the in-lane leader of a non-head gather index ``i`` is gather
+    index ``i-1``.  Updates ``pos``/``speed`` in place (slot-indexed),
+    which hands each follower its leader's post-step state for free, and
+    fills the *gather-aligned* ``newly`` (arrived and not yet flagged
+    waiting) and ``moved`` (position changed) output masks.
+
+    This function is the specification both compiled backends are tested
+    against; it is also what numba jits.  Returns the number of ``newly``
+    bits set (saving callers a mask reduction).  Ternary ``if``/``else``
+    min/max (first operand on ties) mirror Python's builtins — keep them, or the
+    ``max(0.0, -0.0)`` sign bit diverges from the scalar engine.
+    """
+    n = idx.shape[0]
+    lead_pos = 0.0
+    lead_speed = 0.0
+    n_newly = 0
+    for i in range(n):
+        slot = idx[i]
+        p = pos[slot]
+        v = speed[slot]
+        free = freeflow[slot]
+        length = seglen[slot]
+        # vfree = clip(free, v - decel*dt, v + accel*dt)
+        vfree = free
+        lo = v - decel_dt
+        hi = v + accel_dt
+        if vfree < lo:
+            vfree = lo
+        if vfree > hi:
+            vfree = hi
+        if heads[slot]:
+            nv = vfree if vfree > 0.0 else 0.0  # max(0.0, vfree)
+            np_ = p + nv * dt
+            if np_ > length:
+                np_ = length
+        else:
+            gap = lead_pos - p - veh_len
+            if gap <= min_gap:
+                nv = 0.0
+            else:
+                usable = gap - min_gap + lead_speed * dt
+                safe = usable / denom
+                nv = safe if safe < vfree else vfree  # min(vfree, safe)
+                if not nv > 0.0:  # max(0.0, nv): first operand on ties
+                    nv = 0.0
+            np_ = p + nv * dt
+            ceiling = lead_pos - veh_len - min_gap * 0.5
+            if np_ > ceiling:
+                np_ = ceiling if ceiling > p else p  # max(p, ceiling)
+                nv = (np_ - p) / dt
+            if np_ > length:
+                np_ = length
+            nv = nv if nv > 0.0 else 0.0  # max(0.0, nv)
+        pos[slot] = np_
+        speed[slot] = nv
+        moved[i] = np_ != p
+        arrived = (np_ >= length - arrival_eps) and not waitflag[slot]
+        newly[i] = arrived
+        if arrived:
+            n_newly += 1
+        lead_pos = np_
+        lead_speed = nv
+    return n_newly
+
+
+def lane_change_candidates_py(
+    idx: Any,
+    pos: Any,
+    speed: Any,
+    desired: Any,
+    multilane: Any,
+    heads: Any,
+    cand: Any,
+    blocked_m: float,
+    gain_mps: float,
+) -> int:
+    """Reference lane-change candidate predicate (pure Python).
+
+    Gather-aligned port of :meth:`LaneChangeModel.wants_to_change`: a
+    vehicle is a candidate when it is a follower (not a lane head) on a
+    multilane segment whose in-lane leader (gather index ``i-1``) is both
+    close (``gap <= blocked_m``) and slow (``desired - leader_speed >
+    gain_mps``).  All inputs are slot-indexed resident columns; ``cand`` is
+    the gather-aligned output mask.  The comparisons are the exact float
+    operations of the NumPy predicate, so the masks are identical bit for
+    bit.
+    """
+    n = idx.shape[0]
+    if n == 0:
+        return 0
+    n_cand = 0
+    cand[0] = False
+    for i in range(1, n):
+        slot = idx[i]
+        if multilane[slot] and not heads[slot]:
+            lead = idx[i - 1]
+            c = (pos[lead] - pos[slot]) <= blocked_m and (
+                desired[slot] - speed[lead]
+            ) > gain_mps
+            cand[i] = c
+            if c:
+                n_cand += 1
+        else:
+            cand[i] = False
+    return n_cand
+
+
+def rank_scan_py(
+    slots: Any,
+    vids: Any,
+    lens: Any,
+    pos: Any,
+    flags: Any,
+) -> int:
+    """Reference per-edge overtake-ranking monotonicity scan (pure Python).
+
+    ``slots``/``vids`` hold the watched edges' cached ascending
+    (position, vid) rankings back to back; ``lens[e]`` is edge ``e``'s
+    ranking length.  ``flags[e]`` is set when any adjacent pair within the
+    edge inverted — post-step position strictly decreasing, or a positional
+    tie whose vid order disagrees — i.e. exactly when the engine must
+    enumerate that edge's overtakes.  Positions are read straight from the
+    resident array through the slot indices, so no gather precedes the
+    call.
+    """
+    off = 0
+    m = lens.shape[0]
+    n_flagged = 0
+    for e in range(m):
+        ln = lens[e]
+        bad = False
+        for k in range(1, ln):
+            a = pos[slots[off + k - 1]]
+            b = pos[slots[off + k]]
+            if b < a or (b == a and vids[off + k - 1] > vids[off + k]):
+                bad = True
+                break
+        flags[e] = bad
+        if bad:
+            n_flagged += 1
+        off += ln
+    return n_flagged
+
+
+def _deref_i64(addr: int, n: int) -> np.ndarray:
+    """View ``n`` int64 values at ``addr`` (pointer-table oracle helper)."""
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    ptr = ctypes.cast(int(addr), ctypes.POINTER(ctypes.c_int64))
+    return np.ctypeslib.as_array(ptr, shape=(n,))
+
+
+def gather_all_py(
+    occ: Any,
+    ptrs: Any,
+    lens: Any,
+    out: Any,
+) -> int:
+    """Reference pointer-table gather (Python + ctypes dereference).
+
+    ``occ[:m]`` lists the occupied edge indices in gather order; ``ptrs[e]``
+    / ``lens[e]`` give the address and length of edge ``e``'s cached slot
+    array.  Copies the per-edge arrays back to back into ``out`` and returns
+    the total element count — exactly what the engine's per-edge
+    ``np.concatenate`` walk produced.  Pointer tables are a C-backend
+    feature (numba cannot dereference raw addresses), so this oracle exists
+    for the unit tests rather than as jit source.
+    """
+    total = 0
+    for j in range(occ.shape[0]):
+        e = int(occ[j])
+        ln = int(lens[e])
+        out[total:total + ln] = _deref_i64(int(ptrs[e]), ln)
+        total += ln
+    return total
+
+
+def lane_options_py(
+    e: int,
+    lane: int,
+    nlanes: int,
+    own: float,
+    half: float,
+    gptrs: Any,
+    bptrs: Any,
+    pos: Any,
+) -> int:
+    """Reference both-neighbour lane-change viability (Python + ctypes).
+
+    Bit 0: ``lane + 1`` exists and is gap-clear of ``own``; bit 1: same for
+    ``lane - 1``.  ``gptrs[e]`` addresses edge ``e``'s gathered slot array
+    and ``bptrs[e]`` its per-lane cumulative bounds.  Same |other - own| <
+    half comparison as the scalar model's lane scan; C-backend oracle only,
+    like :func:`gather_all_py`.
+    """
+    bounds = _deref_i64(int(bptrs[e]), int(nlanes) + 1)
+    slots = _deref_i64(int(gptrs[e]), int(bounds[nlanes]))
+    ret = 0
+    for d in (0, 1):
+        target = lane - 1 if d else lane + 1
+        if target < 0 or target >= nlanes:
+            continue
+        ok = 1
+        for k in range(int(bounds[target]), int(bounds[target + 1])):
+            if abs(float(pos[slots[k]]) - own) < half:
+                ok = 0
+                break
+        ret |= ok << d
+    return ret
+
+
+def rank_scan_all_py(
+    elig: Any,
+    ptrs_s: Any,
+    ptrs_v: Any,
+    lens: Any,
+    pos: Any,
+    flags: Any,
+) -> int:
+    """Reference full-range overtake-ranking scan (Python + ctypes).
+
+    The pointer-table form of :func:`rank_scan_py`: iterates *every* edge,
+    skipping those not flagged eligible (multilane, more than one occupied
+    lane, ranking cache fresh — the engine maintains ``elig`` at
+    invalidation time), and reads each eligible edge's cached ascending
+    (slot, vid) ranking through its table pointers.  ``flags`` is written
+    for the whole edge range every call.  Same inversion predicate as
+    :func:`rank_scan_py`; C-backend oracle only, like
+    :func:`gather_all_py`.
+    """
+    n_edges = elig.shape[0]
+    n_flagged = 0
+    for e in range(n_edges):
+        bad = False
+        if elig[e]:
+            ln = int(lens[e])
+            slots = _deref_i64(int(ptrs_s[e]), ln)
+            vids = _deref_i64(int(ptrs_v[e]), ln)
+            for k in range(1, ln):
+                a = pos[slots[k - 1]]
+                b = pos[slots[k]]
+                if b < a or (b == a and vids[k - 1] > vids[k]):
+                    bad = True
+                    break
+        flags[e] = bad
+        if bad:
+            n_flagged += 1
+    return n_flagged
+
+
+# --------------------------------------------------------------------- C
+# The same sweeps in C.  MAXF/MINF return the FIRST operand on ties, like
+# Python's max/min (fmax/fmin would normalize -0.0 away).  Compiled without
+# -ffast-math / -march and with -ffp-contract=off: every expression is the
+# plain IEEE double op sequence written here.
+_C_SOURCE = r"""
+#include <stdint.h>
+
+#define MAXF(a, b) (((b) > (a)) ? (b) : (a))
+#define MINF(a, b) (((b) < (a)) ? (b) : (a))
+
+int64_t advance_chain(
+    const int64_t *idx, int64_t n,
+    double *pos, double *speed,
+    const double *freeflow, const double *seglen,
+    const unsigned char *heads,
+    const unsigned char *waitflag,
+    unsigned char *newly, unsigned char *moved,
+    double dt, double accel_dt, double decel_dt, double denom,
+    double veh_len, double min_gap, double arrival_eps)
+{
+    double lead_pos = 0.0, lead_speed = 0.0;
+    int64_t n_newly = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t slot = idx[i];
+        double p = pos[slot];
+        double v = speed[slot];
+        double vfree = freeflow[slot];
+        double length = seglen[slot];
+        double lo = v - decel_dt, hi = v + accel_dt;
+        double nv, np;
+        if (vfree < lo) vfree = lo;
+        if (vfree > hi) vfree = hi;
+        if (heads[slot]) {
+            nv = MAXF(0.0, vfree);
+            np = p + nv * dt;
+            if (np > length) np = length;
+        } else {
+            double gap = lead_pos - p - veh_len;
+            if (gap <= min_gap) {
+                nv = 0.0;
+            } else {
+                double usable = gap - min_gap + lead_speed * dt;
+                double safe = usable / denom;
+                nv = MAXF(0.0, MINF(vfree, safe));
+            }
+            np = p + nv * dt;
+            double ceiling = lead_pos - veh_len - min_gap * 0.5;
+            if (np > ceiling) {
+                np = MAXF(p, ceiling);
+                nv = (np - p) / dt;
+            }
+            if (np > length) np = length;
+            nv = MAXF(0.0, nv);
+        }
+        pos[slot] = np;
+        speed[slot] = nv;
+        moved[i] = (np != p);
+        newly[i] = (np >= length - arrival_eps) && !waitflag[slot];
+        n_newly += newly[i];
+        lead_pos = np;
+        lead_speed = nv;
+    }
+    return n_newly;
+}
+
+int64_t rank_scan(
+    const int64_t *slots, const int64_t *vids, const int64_t *lens,
+    int64_t n_edges, const double *pos, unsigned char *flags)
+{
+    int64_t off = 0;
+    int64_t n_flagged = 0;
+    for (int64_t e = 0; e < n_edges; e++) {
+        int64_t len = lens[e];
+        unsigned char bad = 0;
+        for (int64_t k = 1; k < len; k++) {
+            double a = pos[slots[off + k - 1]];
+            double b = pos[slots[off + k]];
+            if (b < a || (b == a && vids[off + k - 1] > vids[off + k])) {
+                bad = 1;
+                break;
+            }
+        }
+        flags[e] = bad;
+        n_flagged += bad;
+        off += len;
+    }
+    return n_flagged;
+}
+
+int64_t lane_change_candidates(
+    const int64_t *idx, int64_t n,
+    const double *pos, const double *speed, const double *desired,
+    const unsigned char *multilane, const unsigned char *heads,
+    unsigned char *cand,
+    double blocked_m, double gain_mps)
+{
+    int64_t n_cand = 0;
+    if (n == 0) return 0;
+    cand[0] = 0;
+    for (int64_t i = 1; i < n; i++) {
+        int64_t slot = idx[i];
+        if (multilane[slot] && !heads[slot]) {
+            int64_t lead = idx[i - 1];
+            cand[i] = ((pos[lead] - pos[slot]) <= blocked_m)
+                   && ((desired[slot] - speed[lead]) > gain_mps);
+            n_cand += cand[i];
+        } else {
+            cand[i] = 0;
+        }
+    }
+    return n_cand;
+}
+
+/* Pointer-table entry points.  The engine maintains, per edge, the address
+ * and length of its cached gather / ranking arrays (updated only when a
+ * cache entry is rebuilt — a handful of edges per step); these sweeps then
+ * walk every edge natively, so the steady-state step does no per-edge
+ * Python work at all.  Addresses arrive as int64 values (numpy owns the
+ * arrays and keeps them alive; the engine refreshes a table slot whenever
+ * its array is reallocated). */
+
+int64_t gather_all(
+    const int64_t *occ, int64_t m,
+    const int64_t *ptrs, const int64_t *lens,
+    int64_t *out)
+{
+    int64_t total = 0;
+    for (int64_t j = 0; j < m; j++) {
+        int64_t e = occ[j];
+        const int64_t *src = (const int64_t *)(intptr_t)ptrs[e];
+        int64_t len = lens[e];
+        for (int64_t k = 0; k < len; k++) out[total + k] = src[k];
+        total += len;
+    }
+    return total;
+}
+
+/* Both-neighbour lane-change viability for one candidate: bit 0 set when
+ * lane+1 exists and has no vehicle within ``half`` of ``own``, bit 1
+ * likewise for lane-1.  Reads the candidate edge's gathered slots through
+ * the gather pointer table and its per-lane sub-spans through the lane
+ * bounds table (``lanes + 1`` cumulative offsets per edge).  The gap
+ * comparison is |other - own| < half, the exact float sequence of the
+ * scalar model. */
+int64_t lane_options(
+    int64_t e, int64_t lane, int64_t nlanes, double own, double half,
+    const int64_t *gptrs, const int64_t *bptrs, const double *pos)
+{
+    const int64_t *slots = (const int64_t *)(intptr_t)gptrs[e];
+    const int64_t *bounds = (const int64_t *)(intptr_t)bptrs[e];
+    int64_t ret = 0;
+    for (int64_t d = 0; d < 2; d++) {
+        int64_t target = d ? lane - 1 : lane + 1;
+        if (target < 0 || target >= nlanes) continue;
+        int64_t ok = 1;
+        for (int64_t k = bounds[target]; k < bounds[target + 1]; k++) {
+            double diff = pos[slots[k]] - own;
+            if (diff < 0.0) diff = -diff;
+            if (diff < half) { ok = 0; break; }
+        }
+        ret |= ok << d;
+    }
+    return ret;
+}
+
+int64_t rank_scan_all(
+    const unsigned char *elig, int64_t n_edges,
+    const int64_t *ptrs_s, const int64_t *ptrs_v, const int64_t *lens,
+    const double *pos, unsigned char *flags)
+{
+    int64_t n_flagged = 0;
+    for (int64_t e = 0; e < n_edges; e++) {
+        unsigned char bad = 0;
+        if (elig[e]) {
+            const int64_t *slots = (const int64_t *)(intptr_t)ptrs_s[e];
+            const int64_t *vids = (const int64_t *)(intptr_t)ptrs_v[e];
+            int64_t len = lens[e];
+            for (int64_t k = 1; k < len; k++) {
+                double a = pos[slots[k - 1]];
+                double b = pos[slots[k]];
+                if (b < a || (b == a && vids[k - 1] > vids[k])) {
+                    bad = 1;
+                    break;
+                }
+            }
+        }
+        flags[e] = bad;
+        n_flagged += bad;
+    }
+    return n_flagged;
+}
+"""
+
+_ADVANCE_ARGTYPES = [
+    ctypes.c_void_p, ctypes.c_int64,
+    ctypes.c_void_p, ctypes.c_void_p,
+    ctypes.c_void_p, ctypes.c_void_p,
+    ctypes.c_void_p, ctypes.c_void_p,
+    ctypes.c_void_p, ctypes.c_void_p,
+    ctypes.c_double, ctypes.c_double, ctypes.c_double, ctypes.c_double,
+    ctypes.c_double, ctypes.c_double, ctypes.c_double,
+]
+
+_CAND_ARGTYPES = [
+    ctypes.c_void_p, ctypes.c_int64,
+    ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+    ctypes.c_void_p, ctypes.c_void_p,
+    ctypes.c_void_p,
+    ctypes.c_double, ctypes.c_double,
+]
+
+_RANK_ARGTYPES = [
+    ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+    ctypes.c_int64,
+    ctypes.c_void_p, ctypes.c_void_p,
+]
+
+_GATHER_ALL_ARGTYPES = [
+    ctypes.c_void_p, ctypes.c_int64,
+    ctypes.c_void_p, ctypes.c_void_p,
+    ctypes.c_void_p,
+]
+
+_RANK_ALL_ARGTYPES = [
+    ctypes.c_void_p, ctypes.c_int64,
+    ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+    ctypes.c_void_p, ctypes.c_void_p,
+]
+
+_LANE_OPTIONS_ARGTYPES = [
+    ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+    ctypes.c_double, ctypes.c_double,
+    ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+]
+
+
+class StepKernel:
+    """One loaded backend's advance + candidate kernels, parameter-bound.
+
+    Wraps either the numba-jitted reference loops or the C symbols behind a
+    uniform interface; the engine holds one instance per run (the model
+    parameters never change mid-run) and re-:meth:`bind`\\ s it whenever its
+    resident arrays are reallocated.
+    """
+
+    def __init__(
+        self,
+        backend: str,
+        advance_fn: Callable[..., int],
+        cand_fn: Callable[..., int],
+        rank_fn: Callable[..., int],
+        params: Tuple[float, float, float, float, float, float, float],
+        gather_fn: Optional[Callable[..., int]] = None,
+        rank_all_fn: Optional[Callable[..., int]] = None,
+        lane_opts_fn: Optional[Callable[..., int]] = None,
+    ) -> None:
+        self.backend = backend
+        self._advance_fn = advance_fn
+        self._cand_fn = cand_fn
+        self._rank_fn = rank_fn
+        self._gather_fn = gather_fn
+        self._rank_all_fn = rank_all_fn
+        self._lane_opts_fn = lane_opts_fn
+        self._params = params
+        self._bound_advance: Optional[Callable[[int], int]] = None
+        self._bound_cand: Optional[Callable[[int], int]] = None
+        self._bound_rank: Optional[Callable[[int], int]] = None
+        self._bound_gather: Optional[Callable[[int], int]] = None
+        self._bound_rank_all: Optional[Callable[[], int]] = None
+        self._bound_lane_opts: Optional[Callable[[int, int, int, float], int]] = None
+
+    @property
+    def has_tables(self) -> bool:
+        """Whether the pointer-table sweeps loaded (C backend only).
+
+        numba cannot dereference raw addresses, so on that backend the
+        engine keeps its per-edge Python gather / packed ranking paths.
+        """
+        return (
+            self._gather_fn is not None
+            and self._rank_all_fn is not None
+            and self._lane_opts_fn is not None
+        )
+
+    # --------------------------------------------------- explicit-arg calls
+    def advance(
+        self,
+        idx: np.ndarray,
+        pos: np.ndarray,
+        speed: np.ndarray,
+        freeflow: np.ndarray,
+        seglen: np.ndarray,
+        heads: np.ndarray,
+        waitflag: np.ndarray,
+        newly: np.ndarray,
+        moved: np.ndarray,
+    ) -> int:
+        """Run one chained advance (see :func:`advance_chain_py`).
+
+        ``pos``/``speed`` are the engine's *resident* arrays, updated in
+        place at the slots named by ``idx``; ``newly``/``moved`` are
+        gather-aligned outputs.  Returns the number of ``newly`` bits set.
+        """
+        return int(self._advance_fn(
+            idx, pos, speed, freeflow, seglen, heads, waitflag, newly, moved,
+            *self._params,
+        ))
+
+    def candidates(
+        self,
+        idx: np.ndarray,
+        pos: np.ndarray,
+        speed: np.ndarray,
+        desired: np.ndarray,
+        multilane: np.ndarray,
+        heads: np.ndarray,
+        cand: np.ndarray,
+        blocked_m: float,
+        gain_mps: float,
+    ) -> int:
+        """Fill the lane-change candidate mask (see
+        :func:`lane_change_candidates_py`); returns the candidate count."""
+        return int(self._cand_fn(
+            idx, pos, speed, desired, multilane, heads, cand,
+            blocked_m, gain_mps,
+        ))
+
+    def rank_scan(
+        self,
+        slots: np.ndarray,
+        vids: np.ndarray,
+        lens: np.ndarray,
+        pos: np.ndarray,
+        flags: np.ndarray,
+    ) -> int:
+        """Flag edges whose overtake ranking inverted (see
+        :func:`rank_scan_py`); returns the flagged-edge count."""
+        return int(self._rank_fn(slots, vids, lens, pos, flags))
+
+    def gather_all(
+        self,
+        occ: np.ndarray,
+        ptrs: np.ndarray,
+        lens: np.ndarray,
+        out: np.ndarray,
+    ) -> int:
+        """Pointer-table gather (see :func:`gather_all_py`); returns the
+        total gathered count.  Requires :attr:`has_tables`."""
+        assert self._gather_fn is not None
+        return int(self._gather_fn(occ, ptrs, lens, out))
+
+    def rank_scan_all(
+        self,
+        elig: np.ndarray,
+        ptrs_s: np.ndarray,
+        ptrs_v: np.ndarray,
+        lens: np.ndarray,
+        pos: np.ndarray,
+        flags: np.ndarray,
+    ) -> int:
+        """Pointer-table full-range ranking scan (see
+        :func:`rank_scan_all_py`); returns the flagged-edge count.
+        Requires :attr:`has_tables`."""
+        assert self._rank_all_fn is not None
+        return int(self._rank_all_fn(elig, ptrs_s, ptrs_v, lens, pos, flags))
+
+    def lane_options(
+        self,
+        e: int,
+        lane: int,
+        nlanes: int,
+        own: float,
+        half: float,
+        gptrs: np.ndarray,
+        bptrs: np.ndarray,
+        pos: np.ndarray,
+    ) -> int:
+        """Both-neighbour lane viability bits (see :func:`lane_options_py`).
+        Requires :attr:`has_tables`."""
+        assert self._lane_opts_fn is not None
+        return int(self._lane_opts_fn(e, lane, nlanes, own, half, gptrs, bptrs, pos))
+
+    # ------------------------------------------------------ bound fast path
+    def bind(
+        self,
+        idx_buf: np.ndarray,
+        pos: np.ndarray,
+        speed: np.ndarray,
+        freeflow: np.ndarray,
+        seglen: np.ndarray,
+        heads: np.ndarray,
+        waitflag: np.ndarray,
+        newly_buf: np.ndarray,
+        moved_buf: np.ndarray,
+        desired: np.ndarray,
+        multilane: np.ndarray,
+        cand_buf: np.ndarray,
+        blocked_m: float,
+        gain_mps: float,
+        rank_buf: np.ndarray,
+        vid_buf: np.ndarray,
+        lens_buf: np.ndarray,
+        flags_buf: np.ndarray,
+        *,
+        occ_buf: Optional[np.ndarray] = None,
+        gather_ptr: Optional[np.ndarray] = None,
+        gather_len: Optional[np.ndarray] = None,
+        rank_elig: Optional[np.ndarray] = None,
+        rank_ptr_s: Optional[np.ndarray] = None,
+        rank_ptr_v: Optional[np.ndarray] = None,
+        rank_len: Optional[np.ndarray] = None,
+        bounds_ptr: Optional[np.ndarray] = None,
+        gap_half_m: float = 0.0,
+    ) -> None:
+        """Cache the engine's arrays for count-only per-step calls.
+
+        The gather lives in ``idx_buf[:n]`` and outputs land in
+        ``newly_buf[:n]`` / ``moved_buf[:n]`` / ``cand_buf[:n]``; the
+        overtake scan reads ``rank_buf``/``vid_buf``/``lens_buf[:m]`` and
+        writes ``flags_buf[:m]``.  The keyword group binds the pointer
+        tables for the C-only full sweeps (:meth:`gather_bound` /
+        :meth:`rank_all_bound`) when the engine maintains them.  The
+        caller must re-bind whenever any array is *reallocated* (the
+        engine does so on capacity growth); in-place writes — including
+        pointer-table slot updates — need no re-bind.
+        """
+        if self.backend == "cc":
+            # Pre-converted ctypes arguments: the per-step call is a single
+            # FFI invocation with only ``n`` varying.
+            p = [ctypes.c_double(x) for x in self._params]
+            adv_args = (
+                ctypes.c_void_p(idx_buf.ctypes.data),
+                ctypes.c_void_p(pos.ctypes.data),
+                ctypes.c_void_p(speed.ctypes.data),
+                ctypes.c_void_p(freeflow.ctypes.data),
+                ctypes.c_void_p(seglen.ctypes.data),
+                ctypes.c_void_p(heads.ctypes.data),
+                ctypes.c_void_p(waitflag.ctypes.data),
+                ctypes.c_void_p(newly_buf.ctypes.data),
+                ctypes.c_void_p(moved_buf.ctypes.data),
+            )
+            cand_args = (
+                ctypes.c_void_p(idx_buf.ctypes.data),
+                ctypes.c_void_p(pos.ctypes.data),
+                ctypes.c_void_p(speed.ctypes.data),
+                ctypes.c_void_p(desired.ctypes.data),
+                ctypes.c_void_p(multilane.ctypes.data),
+                ctypes.c_void_p(heads.ctypes.data),
+                ctypes.c_void_p(cand_buf.ctypes.data),
+            )
+            rank_args = (
+                ctypes.c_void_p(rank_buf.ctypes.data),
+                ctypes.c_void_p(vid_buf.ctypes.data),
+                ctypes.c_void_p(lens_buf.ctypes.data),
+                ctypes.c_void_p(pos.ctypes.data),
+                ctypes.c_void_p(flags_buf.ctypes.data),
+            )
+            blocked = ctypes.c_double(blocked_m)
+            gain = ctypes.c_double(gain_mps)
+            adv_sym = self._advance_fn.__wrapped_sym__  # type: ignore[attr-defined]
+            cand_sym = self._cand_fn.__wrapped_sym__  # type: ignore[attr-defined]
+            rank_sym = self._rank_fn.__wrapped_sym__  # type: ignore[attr-defined]
+
+            def advance_bound(n: int) -> int:
+                return int(adv_sym(adv_args[0], n, *adv_args[1:], *p))
+
+            def candidates_bound(n: int) -> int:
+                return int(cand_sym(cand_args[0], n, *cand_args[1:], blocked, gain))
+
+            def rank_bound(m: int) -> int:
+                return int(rank_sym(rank_args[0], rank_args[1], rank_args[2], m,
+                                    rank_args[3], rank_args[4]))
+
+            if self.has_tables and occ_buf is not None:
+                assert gather_ptr is not None and gather_len is not None
+                assert rank_elig is not None and rank_len is not None
+                assert rank_ptr_s is not None and rank_ptr_v is not None
+                gather_sym = self._gather_fn.__wrapped_sym__  # type: ignore[union-attr]
+                rank_all_sym = self._rank_all_fn.__wrapped_sym__  # type: ignore[union-attr]
+                gat_args = (
+                    ctypes.c_void_p(occ_buf.ctypes.data),
+                    ctypes.c_void_p(gather_ptr.ctypes.data),
+                    ctypes.c_void_p(gather_len.ctypes.data),
+                    ctypes.c_void_p(idx_buf.ctypes.data),
+                )
+                ra_args = (
+                    ctypes.c_void_p(rank_elig.ctypes.data),
+                    ctypes.c_int64(rank_elig.shape[0]),
+                    ctypes.c_void_p(rank_ptr_s.ctypes.data),
+                    ctypes.c_void_p(rank_ptr_v.ctypes.data),
+                    ctypes.c_void_p(rank_len.ctypes.data),
+                    ctypes.c_void_p(pos.ctypes.data),
+                    ctypes.c_void_p(flags_buf.ctypes.data),
+                )
+
+                def gather_bound(m: int) -> int:
+                    return int(gather_sym(gat_args[0], m, *gat_args[1:]))
+
+                def rank_all_bound() -> int:
+                    return int(rank_all_sym(*ra_args))
+
+                self._bound_gather = gather_bound
+                self._bound_rank_all = rank_all_bound
+                if bounds_ptr is not None:
+                    lane_opts_sym = self._lane_opts_fn.__wrapped_sym__  # type: ignore[union-attr]
+                    half_c = ctypes.c_double(gap_half_m)
+                    gptr_c = ctypes.c_void_p(gather_ptr.ctypes.data)
+                    bptr_c = ctypes.c_void_p(bounds_ptr.ctypes.data)
+                    pos_c = ctypes.c_void_p(pos.ctypes.data)
+
+                    def lane_opts_bound(e: int, lane: int, nlanes: int, own: float) -> int:
+                        return int(lane_opts_sym(e, lane, nlanes, own, half_c,
+                                                 gptr_c, bptr_c, pos_c))
+
+                    self._bound_lane_opts = lane_opts_bound
+
+        else:
+            adv_fn = self._advance_fn
+            cand_fn = self._cand_fn
+            rank_fn = self._rank_fn
+            params = self._params
+
+            def advance_bound(n: int) -> int:
+                return int(adv_fn(
+                    idx_buf[:n], pos, speed, freeflow, seglen, heads,
+                    waitflag, newly_buf, moved_buf, *params,
+                ))
+
+            def candidates_bound(n: int) -> int:
+                return int(cand_fn(
+                    idx_buf[:n], pos, speed, desired, multilane, heads,
+                    cand_buf, blocked_m, gain_mps,
+                ))
+
+            def rank_bound(m: int) -> int:
+                return int(rank_fn(rank_buf, vid_buf, lens_buf[:m], pos, flags_buf))
+
+        self._bound_advance = advance_bound
+        self._bound_cand = candidates_bound
+        self._bound_rank = rank_bound
+
+    def advance_bound(self, n: int) -> int:
+        """Bound-mode advance over ``idx_buf[:n]`` (requires :meth:`bind`);
+        returns the newly-arrived count."""
+        assert self._bound_advance is not None
+        return self._bound_advance(n)
+
+    def candidates_bound(self, n: int) -> int:
+        """Bound-mode candidate mask into ``cand_buf[:n]``; returns the
+        candidate count."""
+        assert self._bound_cand is not None
+        return self._bound_cand(n)
+
+    def rank_bound(self, m: int) -> int:
+        """Bound-mode ranking scan over ``lens_buf[:m]`` into
+        ``flags_buf[:m]``; returns the flagged-edge count."""
+        assert self._bound_rank is not None
+        return self._bound_rank(m)
+
+    @property
+    def tables_bound(self) -> bool:
+        """Whether :meth:`bind` installed the pointer-table sweeps."""
+        return self._bound_gather is not None
+
+    def gather_bound(self, m: int) -> int:
+        """Bound-mode pointer-table gather over the first ``m`` occupied
+        edges into ``idx_buf``; returns the total gathered count."""
+        assert self._bound_gather is not None
+        return self._bound_gather(m)
+
+    def rank_all_bound(self) -> int:
+        """Bound-mode full-range ranking scan into ``flags_buf``; returns
+        the flagged-edge count."""
+        assert self._bound_rank_all is not None
+        return self._bound_rank_all()
+
+    @property
+    def lane_opts_bound(self) -> Callable[[int, int, int, float], int]:
+        """Bound-mode both-neighbour viability call ``(e, lane, nlanes,
+        own) -> bits`` (the engine caches and calls it per candidate)."""
+        assert self._bound_lane_opts is not None
+        return self._bound_lane_opts
+
+
+def _c_wrapper(sym: Any, argtypes: List[Any]) -> Callable[..., int]:
+    """Adapt a raw C symbol to the array-level calling convention."""
+    sym.restype = ctypes.c_int64
+    sym.argtypes = argtypes
+
+    if len(argtypes) == len(_ADVANCE_ARGTYPES):
+
+        def call(
+            idx: np.ndarray,
+            pos: np.ndarray,
+            speed: np.ndarray,
+            freeflow: np.ndarray,
+            seglen: np.ndarray,
+            heads: np.ndarray,
+            waitflag: np.ndarray,
+            newly: np.ndarray,
+            moved: np.ndarray,
+            *params: float,
+        ) -> int:
+            return sym(
+                idx.ctypes.data, idx.shape[0],
+                pos.ctypes.data, speed.ctypes.data,
+                freeflow.ctypes.data, seglen.ctypes.data,
+                heads.ctypes.data, waitflag.ctypes.data,
+                newly.ctypes.data, moved.ctypes.data,
+                *params,
+            )
+
+    elif len(argtypes) == len(_CAND_ARGTYPES):
+
+        def call(  # type: ignore[misc]
+            idx: np.ndarray,
+            pos: np.ndarray,
+            speed: np.ndarray,
+            desired: np.ndarray,
+            multilane: np.ndarray,
+            heads: np.ndarray,
+            cand: np.ndarray,
+            *params: float,
+        ) -> int:
+            return sym(
+                idx.ctypes.data, idx.shape[0],
+                pos.ctypes.data, speed.ctypes.data, desired.ctypes.data,
+                multilane.ctypes.data, heads.ctypes.data,
+                cand.ctypes.data,
+                *params,
+            )
+
+    elif len(argtypes) == len(_RANK_ARGTYPES):
+
+        def call(  # type: ignore[misc]
+            slots: np.ndarray,
+            vids: np.ndarray,
+            lens: np.ndarray,
+            pos: np.ndarray,
+            flags: np.ndarray,
+        ) -> int:
+            return sym(
+                slots.ctypes.data, vids.ctypes.data, lens.ctypes.data,
+                lens.shape[0],
+                pos.ctypes.data, flags.ctypes.data,
+            )
+
+    elif len(argtypes) == len(_GATHER_ALL_ARGTYPES):
+
+        def call(  # type: ignore[misc]
+            occ: np.ndarray,
+            ptrs: np.ndarray,
+            lens: np.ndarray,
+            out: np.ndarray,
+        ) -> int:
+            return sym(
+                occ.ctypes.data, occ.shape[0],
+                ptrs.ctypes.data, lens.ctypes.data,
+                out.ctypes.data,
+            )
+
+    elif len(argtypes) == len(_RANK_ALL_ARGTYPES):
+
+        def call(  # type: ignore[misc]
+            elig: np.ndarray,
+            ptrs_s: np.ndarray,
+            ptrs_v: np.ndarray,
+            lens: np.ndarray,
+            pos: np.ndarray,
+            flags: np.ndarray,
+        ) -> int:
+            return sym(
+                elig.ctypes.data, elig.shape[0],
+                ptrs_s.ctypes.data, ptrs_v.ctypes.data, lens.ctypes.data,
+                pos.ctypes.data, flags.ctypes.data,
+            )
+
+    else:
+
+        def call(  # type: ignore[misc]
+            e: int,
+            lane: int,
+            nlanes: int,
+            own: float,
+            half: float,
+            gptrs: np.ndarray,
+            bptrs: np.ndarray,
+            pos: np.ndarray,
+        ) -> int:
+            return sym(
+                e, lane, nlanes, own, half,
+                gptrs.ctypes.data, bptrs.ctypes.data, pos.ctypes.data,
+            )
+
+    call.__wrapped_sym__ = sym  # type: ignore[attr-defined]
+    return call
+
+
+# Resolved backends, cached per process: ``False`` = not tried yet,
+# ``None`` = tried and unavailable.
+_NUMBA_FNS: Any = False
+_C_FNS: Any = False
+_TMPDIR: Optional[tempfile.TemporaryDirectory] = None
+
+
+def _load_numba() -> Optional[Tuple[Callable[..., int], ...]]:
+    global _NUMBA_FNS
+    if _NUMBA_FNS is not False:
+        return _NUMBA_FNS
+    try:
+        from numba import njit  # type: ignore[import-not-found]
+
+        _NUMBA_FNS = (
+            njit(cache=False)(advance_chain_py),
+            njit(cache=False)(lane_change_candidates_py),
+            njit(cache=False)(rank_scan_py),
+        )
+    except Exception:
+        _NUMBA_FNS = None
+    return _NUMBA_FNS
+
+
+def _load_cc() -> Optional[Tuple[Callable[..., int], ...]]:
+    global _C_FNS, _TMPDIR
+    if _C_FNS is not False:
+        return _C_FNS
+    _C_FNS = None
+    cc = shutil.which("cc") or shutil.which("gcc")
+    if cc is None:
+        return None
+    try:
+        _TMPDIR = tempfile.TemporaryDirectory(prefix="repro-kernel-")
+        digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+        src = os.path.join(_TMPDIR.name, f"kernel_{digest}.c")
+        lib = os.path.join(_TMPDIR.name, f"kernel_{digest}.so")
+        with open(src, "w") as fh:
+            fh.write(_C_SOURCE)
+        subprocess.run(
+            [cc, "-O2", "-fPIC", "-shared", "-ffp-contract=off", src, "-o", lib],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        dll = ctypes.CDLL(lib)
+        _C_FNS = (
+            _c_wrapper(dll.advance_chain, _ADVANCE_ARGTYPES),
+            _c_wrapper(dll.lane_change_candidates, _CAND_ARGTYPES),
+            _c_wrapper(dll.rank_scan, _RANK_ARGTYPES),
+            _c_wrapper(dll.gather_all, _GATHER_ALL_ARGTYPES),
+            _c_wrapper(dll.rank_scan_all, _RANK_ALL_ARGTYPES),
+            _c_wrapper(dll.lane_options, _LANE_OPTIONS_ARGTYPES),
+        )
+    except Exception:
+        _C_FNS = None
+    return _C_FNS
+
+
+def available_backends() -> List[str]:
+    """The compiled backends that actually load here, in preference order."""
+    out = []
+    if _load_numba() is not None:
+        out.append("numba")
+    if _load_cc() is not None:
+        out.append("cc")
+    return out
+
+
+def load_step_kernel(
+    *,
+    dt_s: float,
+    max_accel_mps2: float,
+    max_decel_mps2: float,
+    headway_s: float,
+    vehicle_length_m: float,
+    min_gap_m: float,
+    arrival_eps_m: float,
+) -> Optional[StepKernel]:
+    """Load the preferred compiled backend bound to these parameters.
+
+    Returns ``None`` when no backend is available — the engine then runs
+    its NumPy path unchanged (``MobilityConfig.compiled`` is a request,
+    not a requirement; the fallback is transparent and bit-identical).
+    """
+    # The headway denominator, computed once exactly as follow_scalar does.
+    denom = max(dt_s + headway_s * 0.25, 1e-9)
+    params = (
+        float(dt_s),
+        float(max_accel_mps2 * dt_s),
+        float(max_decel_mps2 * dt_s),
+        float(denom),
+        float(vehicle_length_m),
+        float(min_gap_m),
+        float(arrival_eps_m),
+    )
+    fns = _load_numba()
+    if fns is not None:
+        return StepKernel("numba", fns[0], fns[1], fns[2], params)
+    fns = _load_cc()
+    if fns is not None:
+        return StepKernel(
+            "cc", fns[0], fns[1], fns[2], params,
+            gather_fn=fns[3], rank_all_fn=fns[4], lane_opts_fn=fns[5],
+        )
+    return None

@@ -158,6 +158,28 @@ register(
 
 register(
     ScenarioDef(
+        name="patrol-open",
+        description="Open two-lane grid with patrol ferrying: the worst-case "
+        "irregular-event workload (border flow, labels, reports, patrol "
+        "syncs and overtakes every few steps)",
+        network=NetworkSpec(
+            "grid", args=(4, 4), kwargs={"lanes": 2, "gates_on_border": True}
+        ),
+        config=ScenarioConfig(
+            name="patrol-open",
+            rng_seed=43,
+            num_seeds=2,
+            open_system=True,
+            demand=DemandConfig(volume_fraction=0.8, through_traffic_fraction=0.6),
+            patrol=PatrolPlan(num_cars=2),
+            settle_extra_s=60.0,
+            max_duration_s=2 * 3600.0,
+        ),
+    )
+)
+
+register(
+    ScenarioDef(
         name="lossy-grid",
         description="Closed two-lane grid under 50% wireless loss, 3 seeds",
         network=NetworkSpec("grid", args=(4, 4), kwargs={"lanes": 2}),

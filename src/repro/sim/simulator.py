@@ -186,6 +186,7 @@ class Simulation:
             ),
             allow_overtaking=mobility.allow_overtaking,
             vectorized=mobility.vectorized,
+            compiled=mobility.compiled,
         )
 
         # --- demand ----------------------------------------------------------
@@ -270,7 +271,8 @@ class Simulation:
             time_s = batch.time_s
             for item in batch.items:
                 if type(item) is int:
-                    note_traffic(cross_from[item], cross_node[item], time_s)
+                    if item >= 0:
+                        note_traffic(cross_from[item], cross_node[item], time_s)
                 elif isinstance(item, CrossingEvent):
                     note_traffic(item.from_node, item.node, item.time_s)
             self.protocol.process_batch(batch)

@@ -25,9 +25,9 @@ The service also keeps aggregate statistics used by the metrics module.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional
+from types import TracebackType
+from typing import Any, Dict, Optional, Type
 
 import numpy as np
 
@@ -54,7 +54,10 @@ class UniformBlock:
 
     def __init__(self, rng: np.random.Generator, block_size: int = 64) -> None:
         self.rng = rng
-        self._state = rng.bit_generator.state
+        # Captured lazily on the first block draw: reading
+        # ``bit_generator.state`` builds a dict, which would otherwise be a
+        # fixed per-step cost on the (common) steps that draw nothing.
+        self._state: Optional[Dict[str, Any]] = None
         self._buf: Optional[np.ndarray] = None  # drawn lazily on first use
         self._pos = 0
         self._consumed = 0
@@ -64,6 +67,8 @@ class UniformBlock:
         """The next uniform of the stream (identical to ``rng.random()``)."""
         buf = self._buf
         if buf is None or self._pos >= len(buf):
+            if self._state is None:
+                self._state = self.rng.bit_generator.state
             self._buf = buf = self.rng.random(self._block_size)
             self._block_size *= 2
             self._pos = 0
@@ -76,6 +81,7 @@ class UniformBlock:
         """Leave the generator exactly where scalar consumption would."""
         if self._buf is None:
             return  # nothing drawn: state untouched
+        assert self._state is not None
         self.rng.bit_generator.state = self._state
         if self._consumed:
             self.rng.random(self._consumed)
@@ -167,8 +173,7 @@ class ExchangeService:
         return cls(PerfectChannel(), rng, attempts_per_contact=1)
 
     # ------------------------------------------------------------- batching
-    @contextmanager
-    def batched_draws(self) -> Iterator["ExchangeService"]:
+    def batched_draws(self) -> "_BatchedDraws":
         """Resolve the exchanges inside this context from vectorized draws.
 
         Inside the context every :meth:`exchange` / :meth:`single_attempt`
@@ -177,22 +182,11 @@ class ExchangeService:
         calls.  Outcomes, statistics and — crucially — the generator state
         left behind are bit-for-bit identical to the scalar path: the stream
         is consumed in the same per-event, per-attempt order.  Used by the
-        counting protocol's batched per-step pipeline.
+        counting protocol's batched per-step pipeline (once per step — hence
+        the hand-rolled context manager instead of ``@contextmanager``,
+        whose generator machinery would be a fixed per-step cost).
         """
-        if self._block is not None:
-            raise WirelessError("batched_draws() does not nest")
-        if not self._channel_supports_batch():
-            # A channel written against the pre-batch interface (only
-            # attempt_succeeds): stay on scalar draws inside the context —
-            # correct by construction, just without the block-draw speedup.
-            yield self
-            return
-        self._block = UniformBlock(self.rng)
-        try:
-            yield self
-        finally:
-            block, self._block = self._block, None
-            block.close()
+        return _BatchedDraws(self)
 
     def _channel_supports_batch(self) -> bool:
         """Whether the channel implements the batch draw contract.
@@ -252,3 +246,44 @@ class ExchangeService:
             f"attempts_per_contact={self.attempts_per_contact}, "
             f"reliable_within_window={self.reliable_within_window})"
         )
+
+
+class _BatchedDraws:
+    """Hand-rolled context manager behind :meth:`ExchangeService.batched_draws`.
+
+    Entered once per simulation step by the batched protocol pipeline; a
+    plain object with ``__enter__``/``__exit__`` keeps that fixed cost to an
+    attribute flip (no generator frame).  Entering installs a
+    :class:`UniformBlock` on the service when the channel supports block
+    draws — a channel written against the pre-batch interface stays on
+    scalar draws inside the context, correct by construction — and exiting
+    closes it, leaving the generator exactly where scalar consumption would.
+    """
+
+    __slots__ = ("_service", "_active")
+
+    def __init__(self, service: ExchangeService) -> None:
+        self._service = service
+        self._active = False
+
+    def __enter__(self) -> ExchangeService:
+        service = self._service
+        if service._block is not None:
+            raise WirelessError("batched_draws() does not nest")
+        if service._channel_supports_batch():
+            service._block = UniformBlock(service.rng)
+            self._active = True
+        return service
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        if self._active:
+            service = self._service
+            block, service._block = service._block, None
+            self._active = False
+            if block is not None:
+                block.close()

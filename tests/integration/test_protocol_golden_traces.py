@@ -9,14 +9,19 @@ statistics, collection statistics and the collected global view.  Any
 divergence fails the comparison here before it can silently move the paper's
 correctness results.
 
-Three scenarios are pinned, covering the protocol regimes that matter:
+Five scenarios are pinned, covering the protocol regimes that matter:
 
 * ``closed-lossless`` — FIFO traffic, perfect wireless: the base Alg. 1
   mechanism, no corrections, no retries;
 * ``closed-lossy`` — 30% per-attempt loss with overtaking: retry draws,
   forced successes and the Alg. 3 correction rules all fire;
 * ``open-border`` — gated grid with border arrivals: Alg. 5 interaction
-  counting plus entry/exit event handling.
+  counting plus entry/exit event handling;
+* ``midtown-open`` — the registry's open midtown scenario (patrol cars,
+  collection, border flow on the paper's map), run past convergence;
+* ``patrol-open`` — the registry's worst-case irregular-event workload:
+  open two-lane grid, patrol ferrying, lossy wireless, overtakes — the
+  densest mix of flush-barrier events the engine produces.
 
 Re-record (only when an *intentional* behaviour change is made) with::
 
@@ -82,30 +87,75 @@ def _open_border_config():
     )
 
 
-def _run(name, *, batched, vectorized=True):
-    from repro.roadnet.builders import grid_network
+def _grid_factory(**net_kwargs):
+    def build():
+        from repro.roadnet.builders import grid_network
+
+        return grid_network(4, 4, **net_kwargs)
+
+    return build
+
+
+def _registry_config(name):
+    def factory():
+        from repro.scenarios import get_scenario
+
+        return get_scenario(name).config
+
+    return factory
+
+
+def _registry_network(name):
+    def build():
+        from repro.scenarios import get_scenario
+
+        return get_scenario(name).build_network()
+
+    return build
+
+
+def _run(name, *, batched, vectorized=True, compiled=False):
     from repro.sim.simulator import Simulation
 
-    factory, net_kwargs, duration_s = SCENARIOS[name]
-    net = grid_network(4, 4, **net_kwargs)
-    config = factory()
-    config = replace(
-        config,
-        batched=batched,
-        mobility=replace(config.mobility, vectorized=vectorized),
-    )
-    sim = Simulation(net, config)
+    config_factory, net_factory, duration_s = SCENARIOS[name]
+    config = config_factory()
+    mobility = replace(config.mobility, vectorized=vectorized)
+    if compiled:
+        mobility = replace(mobility, compiled=True)
+    config = replace(config, batched=batched, mobility=mobility)
+    sim = Simulation(net_factory(), config)
     sim.run_for(duration_s)
     return sim
 
 
 SCENARIOS = {
-    "closed-lossless": (_closed_lossless_config, {"lanes": 1}, 600.0),
-    "closed-lossy": (_closed_lossy_config, {"lanes": 2}, 1200.0),
+    "closed-lossless": (
+        _closed_lossless_config,
+        _grid_factory(lanes=1),
+        600.0,
+    ),
+    "closed-lossy": (
+        _closed_lossy_config,
+        _grid_factory(lanes=2),
+        1200.0,
+    ),
     "open-border": (
         _open_border_config,
-        {"lanes": 2, "gates_on_border": True},
+        _grid_factory(lanes=2, gates_on_border=True),
         600.0,
+    ),
+    # The two registry scenarios the scalar-tail work targets, run past
+    # their convergence horizon so the traces pin stabilization times,
+    # complete collection and the post-convergence interaction balance.
+    "midtown-open": (
+        _registry_config("midtown-open"),
+        _registry_network("midtown-open"),
+        4800.0,
+    ),
+    "patrol-open": (
+        _registry_config("patrol-open"),
+        _registry_network("patrol-open"),
+        3300.0,
     ),
 }
 
@@ -194,6 +244,22 @@ def test_protocol_trace_matches_scalar_fixture(scenario, pipeline, engine):
     assert trace == recorded
 
 
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_compiled_kernel_matches_scalar_fixture(scenario):
+    """``compiled=True`` (when a backend loads here) must reproduce the
+    same scalar-path fixture bit for bit — the compiled kernel is a faster
+    engine, never a different one.  Skips cleanly on hosts where neither
+    numba nor a system C compiler is available; the engine then falls back
+    to the NumPy path, which the matrix above already pins."""
+    from repro.mobility.kernels import available_backends
+
+    if not available_backends():
+        pytest.skip("no compiled kernel backend available in this environment")
+    recorded = _load_fixture()[scenario]
+    sim = _run(scenario, batched=True, compiled=True)
+    assert protocol_trace(sim) == recorded
+
+
 def test_scalar_fixture_scenarios_stabilized():
     """The pinned scenarios must be interesting: counting finished in all
     three, so stabilization times are real values, not placeholders."""
@@ -207,7 +273,7 @@ def test_scalar_fixture_scenarios_stabilized():
         # collected view equals the live global count (the open system's
         # global count additionally carries the border interaction balance).
         assert trace["collected_count"] is not None, scenario
-        if not scenario.startswith("open"):
+        if "open" not in scenario:
             assert trace["collected_count"] == trace["global_count"], scenario
         assert trace["global_count"] == trace["ground_truth"], scenario
 

@@ -23,6 +23,7 @@ ENGINE_MATRIX = (
 EXPECTED_SCENARIOS = {
     "midtown-closed",
     "midtown-open",
+    "patrol-open",
     "lossy-grid",
     "one-way-ring",
     "arterial",

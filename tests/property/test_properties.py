@@ -221,6 +221,51 @@ def test_batched_pipeline_equals_scalar_on_random_scenarios(
 
 @SLOW
 @given(
+    volume=st.floats(min_value=0.5, max_value=1.0),
+    loss=st.sampled_from([0.0, 0.3]),
+    through=st.floats(min_value=0.4, max_value=0.9),
+    num_seeds=st.integers(min_value=1, max_value=2),
+    patrol_cars=st.integers(min_value=1, max_value=2),
+    rng_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_batched_equals_scalar_on_dense_irregular_scenarios(
+    volume, loss, through, num_seeds, patrol_cars, rng_seed
+):
+    """Worst-case irregular-event density: an open gated two-lane grid with
+    patrol ferrying, lossy wireless and heavy through traffic fires border
+    crossings, labels, reports, patrol syncs and overtakes every few steps —
+    the full batched stack (vectorized engine tails + batched pipeline, plus
+    the compiled kernel when a backend loads) must stay bit-for-bit the
+    scalar per-event reference on any such draw."""
+    from repro.core.patrol import PatrolPlan
+
+    config = ScenarioConfig(
+        name="prop-dense-irregular",
+        rng_seed=rng_seed,
+        num_seeds=num_seeds,
+        open_system=True,
+        demand=DemandConfig(
+            volume_fraction=volume, through_traffic_fraction=through
+        ),
+        patrol=PatrolPlan(num_cars=patrol_cars),
+        wireless=WirelessConfig(loss_probability=loss),
+    )
+    traces = {}
+    for fast in (False, True):
+        net = grid_network(4, 4, lanes=2, gates_on_border=True)
+        cfg = replace(
+            config,
+            batched=fast,
+            mobility=replace(config.mobility, vectorized=fast, compiled=fast),
+        )
+        sim = Simulation(net, cfg)
+        sim.run_for(300.0)
+        traces[fast] = (_pipeline_trace(sim), sim.ground_truth())
+    assert traces[True] == traces[False]
+
+
+@SLOW
+@given(
     shape=st.sampled_from(["ring", "grid"]),
     size=st.integers(min_value=3, max_value=6),
     volume=st.floats(min_value=0.2, max_value=0.9),

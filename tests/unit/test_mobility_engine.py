@@ -244,7 +244,7 @@ class TestResidentSoA:
         for _ in range(200):
             batch = eng.step_batch()
             for item in batch.items:
-                if type(item) is int:
+                if type(item) is int and item >= 0:
                     crossings += 1
                     assert batch.cross_vehicle[item].vid >= 0
                     assert small_grid.has_segment(
